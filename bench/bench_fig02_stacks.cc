@@ -1,0 +1,79 @@
+// Figure 2: startup latency of serverless software stacks.
+//
+// Paper points of reference: traditional VM ~1817ms, MicroVM ~1186ms
+// (Firecracker trims the device model), Unikernel ~137ms, and AlloyStack's
+// WFD at the bottom of the range. Sandboxes this machine cannot boot are
+// modeled boot-stage pipelines (DESIGN.md §1); the AlloyStack rows are real
+// measurements of this repository's WFD.
+
+#include <sys/stat.h>
+
+#include "bench/bench_util.h"
+#include "src/baselines/sim_profiles.h"
+
+namespace {
+
+using namespace asbench;
+
+asbl::BootProfile TraditionalVmProfile() {
+  // Full QEMU-style VM: BIOS + PCI enumeration + legacy devices + full
+  // kernel boot (the features Firecracker removes, §2.2).
+  asbl::BootProfile profile = asbl::FirecrackerMicroVmProfile();
+  profile.name = "traditional-vm";
+  profile.stages.insert(
+      profile.stages.begin(),
+      {"bios+pci+legacy-devices", 600'000'000, [] {}});
+  profile.stages.push_back({"full-distro-init", 100'000'000, [] {}});
+  return profile;
+}
+
+int64_t MeasureWfdBoot(bool on_demand) {
+  return MedianNanos([&] {
+    alloy::WfdOptions options;
+    options.on_demand = on_demand;
+    options.heap_bytes = 16u << 20;
+    options.disk_blocks = 16 * 1024;
+    auto wfd = alloy::Wfd::Create(options);
+    if (!wfd.ok()) {
+      return int64_t{0};
+    }
+    return (*wfd)->creation_nanos() + (*wfd)->libos().TotalLoadNanos();
+  });
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 2", "startup latency across software stacks");
+  std::printf("%-28s %14s  %s\n", "stack", "startup", "guest kernel");
+  std::printf("----------------------------------------------------------\n");
+
+  auto row = [](const std::string& name, int64_t nanos, bool guest_kernel) {
+    std::printf("%-28s %14s  %s\n", name.c_str(), Ms(nanos).c_str(),
+                guest_kernel ? "yes" : "no/libos");
+  };
+
+  row("traditional VM (model)",
+      MedianNanos([] { return asbl::SimulateBoot(TraditionalVmProfile()); }),
+      true);
+  row("MicroVM/Firecracker (model)",
+      MedianNanos(
+          [] { return asbl::SimulateBoot(asbl::FirecrackerMicroVmProfile()); }),
+      true);
+  row("Unikernel/Unikraft (model)",
+      MedianNanos([] { return asbl::SimulateBoot(asbl::UnikraftProfile()); }),
+      true);
+  row("Virtines (model)",
+      MedianNanos([] { return asbl::SimulateBoot(asbl::VirtinesProfile()); }),
+      false);
+  row("AlloyStack WFD load-all", MeasureWfdBoot(/*on_demand=*/false),
+      true);
+  row("AlloyStack WFD on-demand (real)", MeasureWfdBoot(/*on_demand=*/true),
+      true);
+
+  std::printf(
+      "\npaper shape: VM >> MicroVM >> Unikernel >> AlloyStack; on-demand\n"
+      "loading removes the remaining LibOS initialization from the start "
+      "path.\n");
+  return 0;
+}

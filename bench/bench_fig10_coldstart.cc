@@ -1,0 +1,139 @@
+// Figure 10: cold start latency of the no-ops function across platforms.
+//
+// Real measurements: AlloyStack (AS), AS-load-all, AS-C, AS-Py (VM runtime
+// init through the LibOS), Faastlane-T (thread spawn), Wasmer-T-equivalent
+// module instantiation. Modeled sandboxes (this machine cannot boot them):
+// Wasmer process, Virtines, Unikraft, gVisor, Kata, Faasm-Py worker.
+
+#include <sys/stat.h>
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/baselines/sim_profiles.h"
+
+namespace {
+
+using namespace asbench;
+
+// AlloyStack no-ops cold start: WFD instantiation + the time until the user
+// no-op begins to run (no modules needed under on-demand loading).
+int64_t AlloyColdStart(bool on_demand) {
+  alloy::FunctionRegistry::Global().Register(
+      "fig10.noop", [](alloy::FunctionContext&) { return asbase::OkStatus(); });
+  return MedianNanos([&]() -> int64_t {
+    alloy::WfdOptions options;
+    options.on_demand = on_demand;
+    options.heap_bytes = 16u << 20;
+    options.disk_blocks = 16 * 1024;
+    auto wfd = alloy::Wfd::Create(options);
+    if (!wfd.ok()) {
+      return 0;
+    }
+    alloy::WorkflowSpec spec;
+    spec.name = "noop";
+    spec.stages.push_back(
+        alloy::StageSpec{{alloy::FunctionSpec{"fig10.noop", 1}}});
+    alloy::Orchestrator orchestrator(wfd->get());
+    const int64_t start = asbase::MonoNanos();
+    auto stats = orchestrator.Run(spec, asbase::Json());
+    if (!stats.ok()) {
+      return 0;
+    }
+    return (*wfd)->creation_nanos() + (*wfd)->libos().TotalLoadNanos() +
+           (asbase::MonoNanos() - start) - stats->total_nanos +
+           stats->total_nanos;  // = boot + dispatch-to-noop-return
+  });
+}
+
+// AS-C / AS-Py: the WASM path adds VM construction (+ stdlib load for Py).
+int64_t AlloyVmColdStart(bool python) {
+  auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kPipe, 1);
+  if (!workflow.ok()) {
+    return 0;
+  }
+  // A no-op guest: the pipe sender with 0 bytes.
+  aswl::VmWorkflowSpec noop;
+  noop.name = "fig10-noop";
+  noop.stages.push_back(workflow->stages[0]);
+  alloy::WorkflowSpec spec = aswl::RegisterAlloyVmWorkflow(noop, python);
+  return MedianNanos([&]() -> int64_t {
+    AlloyRunConfig config;
+    config.wfd.heap_bytes = 16u << 20;
+    config.wfd.disk_blocks = 16 * 1024;
+    config.params.Set("bytes", 0);
+    config.params.Set("seed", 1);
+    config.python_stdlib = python;
+    auto outcome = RunAlloyOnce(spec, config);
+    return outcome.end_to_end;
+  });
+}
+
+int64_t ThreadSpawn() {
+  // Faastlane-T: function-as-thread in a warm process.
+  return MedianNanos([] {
+    const int64_t start = asbase::MonoNanos();
+    std::thread noop([] {});
+    noop.join();
+    return asbase::MonoNanos() - start;
+  });
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10", "no-ops cold start latency per platform");
+  std::printf("%-26s %14s  %s\n", "platform", "cold start", "source");
+  std::printf("----------------------------------------------------------\n");
+  auto row = [](const std::string& name, int64_t nanos, const char* source) {
+    std::printf("%-26s %14s  %s\n", name.c_str(), Ms(nanos).c_str(), source);
+  };
+
+  row("Faastlane-T", ThreadSpawn(), "real");
+  row("AlloyStack (AS)", AlloyColdStart(/*on_demand=*/true), "real");
+  const size_t noop_image = 4096;
+  row("Wasmer-T", MedianNanos([&] {
+        return asbl::SimulateBoot(asbl::WasmerThreadProfile(noop_image));
+      }),
+      "model+work");
+  row("AS-load-all", AlloyColdStart(/*on_demand=*/false), "real");
+  row("AS-C", AlloyVmColdStart(/*python=*/false), "real");
+  row("Virtines", MedianNanos([] {
+        return asbl::SimulateBoot(asbl::VirtinesProfile());
+      }),
+      "model+work");
+  row("Unikraft", MedianNanos([] {
+        return asbl::SimulateBoot(asbl::UnikraftProfile());
+      }),
+      "model+work");
+  row("Wasmer", MedianNanos([&] {
+        return asbl::SimulateBoot(asbl::WasmerProcessProfile(noop_image));
+      }),
+      "model+work");
+  row("Faastlane (process)", MedianNanos([] {
+        asbase::SpinFor(asbase::SimCostModel::Global().Scaled(
+            asbase::SimCostModel::Global().process_spawn_nanos));
+        return asbase::SimCostModel::Global().Scaled(
+            asbase::SimCostModel::Global().process_spawn_nanos);
+      }),
+      "model");
+  row("OpenFaaS container", MedianNanos([] {
+        return asbl::SimulateBoot(asbl::ContainerProfile());
+      }),
+      "model+work");
+  row("gVisor", MedianNanos([] {
+        return asbl::SimulateBoot(asbl::GvisorProfile());
+      }),
+      "model+work");
+  row("Kata/Firecracker", MedianNanos([] {
+        return asbl::SimulateBoot(asbl::KataContainerProfile());
+      }),
+      "model+work");
+  row("AS-Py", AlloyVmColdStart(/*python=*/true), "real");
+
+  std::printf(
+      "\npaper shape: Faastlane-T < AS (~1.3ms) < Wasmer-T < Virtines <\n"
+      "AS-load-all (~89ms) < Unikraft/gVisor/Kata/Wasmer; Python runtimes "
+      "slowest.\n");
+  return 0;
+}

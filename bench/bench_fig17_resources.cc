@@ -1,0 +1,119 @@
+// Figure 17(b): CPU and memory usage vs number of concurrent workflow
+// instances — AlloyStack vs Faastlane-refer-kata.
+//
+// CPU: process CPU time (rusage) consumed per completed workflow.
+// Memory: resident heap attributable to the workflow instances (AlloyStack:
+// WFD arenas via mincore; kata model: guest memory footprint per MicroVM).
+
+#include <sys/resource.h>
+#include <sys/stat.h>
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/baselines/runtimes.h"
+
+namespace {
+
+using namespace asbench;
+
+int64_t ProcessCpuMicros() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return (usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) * 1'000'000LL +
+         usage.ru_utime.tv_usec + usage.ru_stime.tv_usec;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 17b", "CPU and memory usage vs concurrent workflows");
+
+  auto input = aswl::MakeIntegerInput(512u << 10, 127);
+  alloy::WorkflowSpec spec =
+      aswl::RegisterAlloyStackWorkflow(aswl::ParallelSortingWorkflow(3));
+  const std::string dir = StageHostInput("fig17b-ps.bin", input);
+  // Guest memory a Kata MicroVM pins per workflow (VM memory + kernel +
+  // agent), per the Firecracker/Kata literature, scaled.
+  const size_t kata_guest_bytes = static_cast<size_t>(
+      asbase::SimCostModel::Global().Scaled(128u << 20));
+
+  std::printf("%-10s | %14s %14s | %14s %14s\n", "workflows", "AS cpu",
+              "AS mem", "kata cpu", "kata mem");
+  std::printf(
+      "--------------------------------------------------------------------"
+      "--\n");
+  for (int concurrent : {1, 2, 4, 8}) {
+    // --- AlloyStack: run `concurrent` WFDs at once, sample their heaps ---
+    int64_t alloy_cpu = 0;
+    size_t alloy_mem = 0;
+    {
+      const int64_t cpu_before = ProcessCpuMicros();
+      std::vector<std::unique_ptr<alloy::Wfd>> wfds;
+      std::vector<std::thread> runners;
+      std::mutex mem_mutex;
+      for (int i = 0; i < concurrent; ++i) {
+        alloy::WfdOptions options;
+        options.heap_bytes = 48u << 20;
+        options.disk_blocks = 32 * 1024;
+        auto wfd = alloy::Wfd::Create(options);
+        if (!wfd.ok()) {
+          continue;
+        }
+        wfds.push_back(std::move(*wfd));
+      }
+      for (auto& wfd : wfds) {
+        runners.emplace_back([&wfd, &input, &spec, &mem_mutex, &alloy_mem] {
+          alloy::AsStd as(wfd.get());
+          as.WriteWholeFile("/input.bin", input);
+          asbase::Json params;
+          params.Set("input", "/input.bin");
+          alloy::Orchestrator orchestrator(wfd.get());
+          orchestrator.Run(spec, params);
+          std::lock_guard<std::mutex> lock(mem_mutex);
+          alloy_mem += wfd->ResidentBytes();
+        });
+      }
+      for (auto& runner : runners) {
+        runner.join();
+      }
+      alloy_cpu = (ProcessCpuMicros() - cpu_before) / std::max(concurrent, 1);
+      alloy_mem /= static_cast<size_t>(std::max(concurrent, 1));
+    }
+
+    // --- Faastlane-refer-kata: same workload inside MicroVM models ---
+    int64_t kata_cpu = 0;
+    {
+      const int64_t cpu_before = ProcessCpuMicros();
+      std::vector<std::thread> runners;
+      for (int i = 0; i < concurrent; ++i) {
+        runners.emplace_back([&] {
+          asbl::BaselineRuntime::Options options;
+          options.kind = asbl::BaselineKind::kFaastlaneReferKata;
+          options.input_dir = dir;
+          asbl::BaselineRuntime runtime(options);
+          asbase::Json params;
+          params.Set("input", "fig17b-ps.bin");
+          runtime.Run(aswl::ParallelSortingWorkflow(3), params);
+        });
+      }
+      for (auto& runner : runners) {
+        runner.join();
+      }
+      kata_cpu = (ProcessCpuMicros() - cpu_before) / std::max(concurrent, 1);
+    }
+
+    std::printf("%-10d | %11lld us %11s | %11lld us %11s\n", concurrent,
+                static_cast<long long>(alloy_cpu),
+                asbase::FormatBytes(alloy_mem).c_str(),
+                static_cast<long long>(kata_cpu),
+                asbase::FormatBytes(kata_guest_bytes).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\npaper shape: AlloyStack uses ~2.4x less CPU (no guest kernel, no\n"
+      "vmexits) and ~3.2x less memory (on-demand modules, no pinned guest\n"
+      "RAM) per workflow instance.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 17(a): P99 end-to-end latency under rising load (QPS sweep),
+// ParallelSorting, AlloyStack vs Faastlane-refer-kata.
+//
+// Open-loop load: invocations are launched at the target rate regardless of
+// completions; each invocation is a full cold start. On this 1-core machine
+// saturation arrives at low absolute QPS — the *shape* (flat, then a knee,
+// kata knees first) is the reproduced claim.
+
+#include <sys/stat.h>
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/baselines/runtimes.h"
+
+namespace {
+
+using namespace asbench;
+
+constexpr int kRequests = 8;
+
+// Launches kRequests at `qps`, returns the P99 (here: max, n<100) latency.
+template <typename Invoke>
+int64_t OpenLoopP99(double qps, Invoke&& invoke) {
+  asbase::Histogram latencies;
+  std::vector<std::thread> inflight;
+  const int64_t gap_nanos = static_cast<int64_t>(1e9 / qps);
+  std::mutex mutex;
+  for (int i = 0; i < kRequests; ++i) {
+    const int64_t next_launch = asbase::MonoNanos();
+    inflight.emplace_back([&, i] {
+      const int64_t start = asbase::MonoNanos();
+      invoke();
+      const int64_t elapsed = asbase::MonoNanos() - start;
+      std::lock_guard<std::mutex> lock(mutex);
+      latencies.Record(elapsed);
+    });
+    const int64_t sleep_until = next_launch + gap_nanos;
+    while (asbase::MonoNanos() < sleep_until) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (auto& thread : inflight) {
+    thread.join();
+  }
+  return latencies.Percentile(0.99);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 17a", "P99 latency vs offered load (ParallelSorting)");
+
+  auto input = aswl::MakeIntegerInput(512u << 10, 113);
+  alloy::WorkflowSpec spec =
+      aswl::RegisterAlloyStackWorkflow(aswl::ParallelSortingWorkflow(3));
+  const std::string dir = StageHostInput("fig17-ps.bin", input);
+
+  std::printf("%-8s %18s %24s\n", "QPS", "AlloyStack P99",
+              "Faastlane-refer-kata P99");
+  std::printf("----------------------------------------------------------\n");
+  for (double qps : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const int64_t alloy_p99 = OpenLoopP99(qps, [&] {
+      AlloyRunConfig config;
+      config.wfd.heap_bytes = 64u << 20;
+      config.wfd.disk_blocks = 32 * 1024;
+      asbase::Json params;
+      params.Set("input", "/input.bin");
+      config.params = params;
+      config.input = input;
+      RunAlloyOnce(spec, config);
+    });
+    asbl::BaselineRuntime::Options options;
+    options.kind = asbl::BaselineKind::kFaastlaneReferKata;
+    options.input_dir = dir;
+    asbl::BaselineRuntime runtime(options);
+    asbase::Json params;
+    params.Set("input", "fig17-ps.bin");
+    const int64_t kata_p99 = OpenLoopP99(qps, [&] {
+      runtime.Run(aswl::ParallelSortingWorkflow(3), params);
+    });
+    std::printf("%-8.0f %18s %24s\n", qps, Ms(alloy_p99).c_str(),
+                Ms(kata_p99).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\npaper shape: kata's P99 rises steeply with QPS (rootfs/cgroup\n"
+      "bottlenecks + MicroVM boots); AlloyStack stays flat until CPU\n"
+      "saturation, then knees (~160 QPS on the paper's 64 cores; earlier\n"
+      "here on 1 core).\n");
+  return 0;
+}

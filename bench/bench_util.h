@@ -1,0 +1,147 @@
+// Shared helpers for the per-figure/per-table bench binaries.
+//
+// Every binary prints (a) a header identifying the experiment and the
+// SimCostModel scale in effect, and (b) a paper-style table. Workflow-level
+// experiments run each configuration `kIterations` times and report the
+// median. Input sizes are scaled down from the paper's testbed sizes so the
+// whole suite completes on one core; EXPERIMENTS.md records the mapping.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/core/asstd/wasi.h"
+#include "src/core/visor/visor.h"
+#include "src/workloads/alloystack_env.h"
+#include "src/workloads/generic_apps.h"
+#include "src/workloads/inputs.h"
+#include "src/workloads/vm_apps.h"
+
+namespace asbench {
+
+constexpr int kIterations = 3;
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("sim cost model scale: %.2f (see DESIGN.md §1)\n",
+              asbase::SimCostModel::Global().scale);
+  std::printf("================================================================\n");
+}
+
+inline int64_t MedianOf(std::vector<int64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0 : samples[samples.size() / 2];
+}
+
+// Runs `fn` kIterations times, returns the median of its returned latencies.
+template <typename Fn>
+int64_t MedianNanos(Fn&& fn) {
+  std::vector<int64_t> samples;
+  for (int i = 0; i < kIterations; ++i) {
+    samples.push_back(fn());
+  }
+  return MedianOf(std::move(samples));
+}
+
+inline std::string Ms(int64_t nanos) { return asbase::FormatNanos(nanos); }
+
+// ----------------------------------------------------- AlloyStack running
+
+struct AlloyRunConfig {
+  alloy::WfdOptions wfd;
+  asbase::Json params;
+  std::vector<uint8_t> input;  // written to /input.bin when non-empty
+  bool python_stdlib = false;  // provision /lib/python_stdlib.img
+  // Load the mm module before the measured window (transfer benches measure
+  // steady-state data movement, not the one-time module load).
+  bool prewarm_mm = false;
+};
+
+struct AlloyRunOutcome {
+  int64_t end_to_end = 0;
+  int64_t cold_start = 0;
+  alloy::PhaseTimings phases;
+  std::string result;
+};
+
+// One full cold invocation: WFD create + input staging (excluded from the
+// measured window where the paper excludes it) + workflow run + destroy.
+inline AlloyRunOutcome RunAlloyOnce(const alloy::WorkflowSpec& spec,
+                                    const AlloyRunConfig& config) {
+  AlloyRunOutcome outcome;
+  auto wfd = alloy::Wfd::Create(config.wfd);
+  if (!wfd.ok()) {
+    std::fprintf(stderr, "WFD create failed: %s\n",
+                 wfd.status().ToString().c_str());
+    return outcome;
+  }
+  // Stage inputs (corresponds to data already being on the function's disk
+  // image; not part of the measured workflow latency — reading it is).
+  {
+    alloy::AsStd as(wfd->get());
+    if (!config.input.empty()) {
+      auto status = as.WriteWholeFile("/input.bin", config.input);
+      if (!status.ok()) {
+        std::fprintf(stderr, "input staging failed: %s\n",
+                     status.ToString().c_str());
+        return outcome;
+      }
+    }
+    if (config.python_stdlib) {
+      alloy::EnsurePythonStdlib(as);
+    }
+    if (config.prewarm_mm) {
+      auto warm = as.AllocBuffer("__warm", 16, 0);
+      if (warm.ok()) {
+        auto taken = as.AcquireBuffer("__warm", 0);
+        if (taken.ok()) {
+          as.FreeBuffer(*taken);
+        }
+      }
+    }
+  }
+  const int64_t start = asbase::MonoNanos();
+  alloy::Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, config.params);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "workflow failed: %s\n",
+                 stats.status().ToString().c_str());
+    return outcome;
+  }
+  outcome.end_to_end = asbase::MonoNanos() - start;
+  outcome.cold_start =
+      (*wfd)->creation_nanos() + (*wfd)->libos().TotalLoadNanos();
+  outcome.end_to_end += (*wfd)->creation_nanos();  // WFD boot is part of e2e
+  outcome.phases = stats->phases;
+  outcome.result = stats->result;
+  return outcome;
+}
+
+// Writes a host input file for baseline runtimes; returns its directory.
+inline std::string StageHostInput(const std::string& name,
+                                  const std::vector<uint8_t>& data) {
+  const std::string dir = "/tmp/alloystack-bench";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string path = dir + "/" + name;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    (void)n;
+    ::close(fd);
+  }
+  return dir;
+}
+
+}  // namespace asbench
+
+#endif  // BENCH_BENCH_UTIL_H_

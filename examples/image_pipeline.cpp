@@ -1,0 +1,159 @@
+// Image-processing workflow (the §2.2 motivating example):
+//
+//   extract-image-metadata -> thumbnail -> store-image-metadata
+//
+// extract reads the "image" from the WFD's FAT disk image and passes its
+// metadata downstream by reference; thumbnail downsamples the pixels and
+// writes the result back to the virtual disk; store timestamps a record and
+// sends it to a "database" server over the LibOS TCP stack (smoltcp
+// equivalent on the virtual switch). Exactly the module set of Table 1 gets
+// loaded on demand: time, mm, block/fs (fatfs+fdtab), net (socket).
+//
+//   $ ./examples/image_pipeline
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "src/common/histogram.h"
+#include "src/core/asstd/asstd.h"
+#include "src/core/visor/visor.h"
+#include "src/workloads/inputs.h"
+
+namespace {
+
+struct ImageMetadata {
+  uint32_t width;
+  uint32_t height;
+  uint64_t bytes;
+  uint64_t checksum;
+};
+
+asbase::Status ExtractMetadata(alloy::FunctionContext& ctx) {
+  AS_ASSIGN_OR_RETURN(auto image, ctx.as().ReadWholeFile("/photos/cat.raw"));
+  AS_ASSIGN_OR_RETURN(auto meta, alloy::AsBuffer<ImageMetadata>::WithSlot(
+                                     ctx.as(), "metadata"));
+  meta->width = 512;
+  meta->height = static_cast<uint32_t>(image.size() / 512);
+  meta->bytes = image.size();
+  meta->checksum = aswl::Checksum(image);
+  return asbase::OkStatus();
+}
+
+asbase::Status Thumbnail(alloy::FunctionContext& ctx) {
+  AS_ASSIGN_OR_RETURN(auto image, ctx.as().ReadWholeFile("/photos/cat.raw"));
+  std::vector<uint8_t> thumb(image.size() / 16);
+  for (size_t i = 0; i < thumb.size(); ++i) {
+    thumb[i] = image[i * 16];  // 4x4 decimation
+  }
+  AS_RETURN_IF_ERROR(ctx.as().Mkdir("/thumbs"));
+  return ctx.as().WriteWholeFile("/thumbs/cat.raw", thumb);
+}
+
+asbase::Status StoreMetadata(alloy::FunctionContext& ctx) {
+  AS_ASSIGN_OR_RETURN(auto meta, alloy::AsBuffer<ImageMetadata>::FromSlot(
+                                     ctx.as(), "metadata"));
+  AS_ASSIGN_OR_RETURN(int64_t now, ctx.as().NowMicros());
+  char record[160];
+  std::snprintf(record, sizeof(record),
+                "INSERT image(width=%u,height=%u,bytes=%llu,crc=%llx,ts=%lld)",
+                meta->width, meta->height,
+                static_cast<unsigned long long>(meta->bytes),
+                static_cast<unsigned long long>(meta->checksum),
+                static_cast<long long>(now));
+  AS_RETURN_IF_ERROR(meta.Release());
+
+  AS_ASSIGN_OR_RETURN(auto connection,
+                      ctx.as().Connect(asnet::MakeAddr(10, 0, 9, 1), 5432));
+  AS_RETURN_IF_ERROR(asnet::SendAll(
+      *connection, std::span<const uint8_t>(
+                       reinterpret_cast<const uint8_t*>(record),
+                       std::strlen(record))));
+  uint8_t ack[8];
+  AS_ASSIGN_OR_RETURN(size_t n, connection->Recv(ack));
+  connection->Close();
+  ctx.SetResult(std::string(record) + " -> " +
+                std::string(ack, ack + n));
+  return asbase::OkStatus();
+}
+
+}  // namespace
+
+int main() {
+  // The "database": a TCP server on the virtual network fabric.
+  asnet::VirtualSwitch fabric;
+  auto db_port = fabric.Attach(asnet::MakeAddr(10, 0, 9, 1));
+  asnet::NetStack db_stack(db_port);
+  auto listener = db_stack.Listen(5432);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "db listen failed\n");
+    return 1;
+  }
+  std::thread db_thread([&] {
+    auto connection = (*listener)->Accept(std::chrono::seconds(30));
+    if (!connection.ok()) {
+      return;
+    }
+    uint8_t query[256];
+    auto n = (*connection)->Recv(query);
+    if (n.ok()) {
+      std::printf("[db] received: %.*s\n", static_cast<int>(*n), query);
+      (*connection)->Send(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>("ACK"), 3));
+    }
+    (*connection)->Close();
+  });
+
+  alloy::FunctionRegistry::Global().Register("img.extract", ExtractMetadata);
+  alloy::FunctionRegistry::Global().Register("img.thumbnail", Thumbnail);
+  alloy::FunctionRegistry::Global().Register("img.store", StoreMetadata);
+
+  alloy::AsVisor visor;
+  alloy::WorkflowSpec spec;
+  spec.name = "image-pipeline";
+  spec.stages.push_back(alloy::StageSpec{{alloy::FunctionSpec{"img.extract"}}});
+  spec.stages.push_back(
+      alloy::StageSpec{{alloy::FunctionSpec{"img.thumbnail"}}});
+  spec.stages.push_back(alloy::StageSpec{{alloy::FunctionSpec{"img.store"}}});
+
+  alloy::AsVisor::WorkflowOptions options;
+  options.wfd.name = "image-pipeline";
+  options.wfd.heap_bytes = 16u << 20;
+  options.wfd.fabric = &fabric;
+  options.wfd.addr = asnet::MakeAddr(10, 0, 9, 50);
+  visor.RegisterWorkflow(spec, options);
+
+  // The image has to exist on the workflow's disk image before invocation;
+  // production deployments bake inputs into the image. Here a pre-staged
+  // WFD isn't exposed by Invoke(), so run via the orchestrator directly.
+  auto wfd = alloy::Wfd::Create(options.wfd);
+  if (!wfd.ok()) {
+    std::fprintf(stderr, "wfd failed: %s\n", wfd.status().ToString().c_str());
+    return 1;
+  }
+  {
+    alloy::AsStd as(wfd->get());
+    as.Mkdir("/photos");
+    auto pixels = aswl::MakePayload(512 * 512, 2025);
+    if (!as.WriteWholeFile("/photos/cat.raw", pixels).ok()) {
+      std::fprintf(stderr, "failed to stage the image\n");
+      return 1;
+    }
+  }
+  alloy::Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, asbase::Json());
+  db_thread.join();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("result: %s\n", stats->result.c_str());
+  std::printf("modules loaded:");
+  for (auto kind : (*wfd)->libos().LoadedModules()) {
+    std::printf(" %s", alloy::ModuleKindName(kind));
+  }
+  std::printf("\nend-to-end: %s\n",
+              asbase::FormatNanos(stats->total_nanos).c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "src/alloc/slot_registry.h"
+
+namespace asalloc {
+
+asbase::Status SlotRegistry::Register(const std::string& slot,
+                                      BufferRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = slots_.emplace(slot, record);
+  if (!inserted) {
+    return asbase::AlreadyExists("slot '" + slot + "' already holds a buffer");
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Result<BufferRecord> SlotRegistry::Acquire(const std::string& slot,
+                                                   uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return asbase::NotFound("no buffer registered under slot '" + slot + "'");
+  }
+  if (it->second.fingerprint != fingerprint) {
+    return asbase::InvalidArgument(
+        "type fingerprint mismatch for slot '" + slot +
+        "': sender and receiver disagree on the payload type");
+  }
+  BufferRecord record = it->second;
+  slots_.erase(it);
+  return record;
+}
+
+asbase::Result<BufferRecord> SlotRegistry::Peek(const std::string& slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    return asbase::NotFound("no buffer registered under slot '" + slot + "'");
+  }
+  return it->second;
+}
+
+asbase::Status SlotRegistry::Remove(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slots_.erase(slot) == 0) {
+    return asbase::NotFound("no buffer registered under slot '" + slot + "'");
+  }
+  return asbase::OkStatus();
+}
+
+size_t SlotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+std::vector<std::string> SlotRegistry::SlotNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, record] : slots_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void SlotRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+}
+
+uint64_t FingerprintName(std::string_view type_name) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : type_name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace asalloc

@@ -1,0 +1,61 @@
+// Slot -> buffer mapping for intermediate data (§5, §7.1).
+//
+// `alloc_buffer(slot, layout, fingerprint)` registers a heap buffer under a
+// slot name; `acquire_buffer(slot, fingerprint)` looks it up, validates the
+// type fingerprint, and *removes* the entry so no two functions can own the
+// same buffer. Fan-out uses distinct slot names, fan-in one slot per
+// upstream function.
+
+#ifndef SRC_ALLOC_SLOT_REGISTRY_H_
+#define SRC_ALLOC_SLOT_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asalloc {
+
+struct BufferRecord {
+  uintptr_t addr = 0;
+  size_t size = 0;
+  // Hash of the transported type; mismatches indicate sender/receiver type
+  // skew and are rejected before any dereference.
+  uint64_t fingerprint = 0;
+};
+
+class SlotRegistry {
+ public:
+  // Fails with kAlreadyExists if the slot is occupied (a sender must not
+  // silently clobber data a receiver has not consumed).
+  asbase::Status Register(const std::string& slot, BufferRecord record);
+
+  // Single-consumer take: validates the fingerprint, removes the slot.
+  asbase::Result<BufferRecord> Acquire(const std::string& slot,
+                                       uint64_t fingerprint);
+
+  // Non-destructive lookup (used by diagnostics and tests).
+  asbase::Result<BufferRecord> Peek(const std::string& slot) const;
+
+  // Drops a slot without consuming it (sender-side abort path).
+  asbase::Status Remove(const std::string& slot);
+
+  size_t size() const;
+  std::vector<std::string> SlotNames() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, BufferRecord> slots_;
+};
+
+// FNV-1a over a type's stable name; as-std uses this to fingerprint
+// AsBuffer<T> payloads the way the Rust side derives `FaasData`.
+uint64_t FingerprintName(std::string_view type_name);
+
+}  // namespace asalloc
+
+#endif  // SRC_ALLOC_SLOT_REGISTRY_H_

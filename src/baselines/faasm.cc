@@ -1,0 +1,370 @@
+#include "src/baselines/faasm.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "src/baselines/sim_profiles.h"
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/vm/vm.h"
+
+namespace asbl {
+namespace {
+
+using asbase::SimCostModel;
+
+std::string SlotName(const std::string& base, int64_t i, int64_t j) {
+  std::string slot = base;
+  if (i >= 0) {
+    slot += "-" + std::to_string(i);
+  }
+  if (j >= 0) {
+    slot += "-" + std::to_string(j);
+  }
+  return slot;
+}
+
+// Worker-local shared state tier.
+struct LocalState {
+  std::mutex mutex;
+  std::map<std::string, std::vector<uint8_t>> table;
+  std::string result;
+};
+
+void ChargePageFaults(size_t bytes) {
+  const auto& model = SimCostModel::Global();
+  const int64_t pages = static_cast<int64_t>((bytes + 4095) / 4096);
+  asbase::SpinFor(model.Scaled(model.faasm_page_fault_nanos) * pages);
+}
+
+// Hostcall table bound to Faasm's state layer for one function invocation.
+class FaasmHost {
+ public:
+  FaasmHost(const FaasmRuntime::Options* options, LocalState* state,
+            KvClient* kv, int stage, int instance, int instance_count,
+            const asbase::Json* params)
+      : options_(options), state_(state), kv_(kv), stage_(stage),
+        instance_(instance), instance_count_(instance_count),
+        params_(params) {
+    Register();
+  }
+
+  const asvm::HostTable& table() const { return table_; }
+
+ private:
+  void Register();
+
+  const FaasmRuntime::Options* options_;
+  LocalState* state_;
+  KvClient* kv_;
+  int stage_;
+  int instance_;
+  int instance_count_;
+  const asbase::Json* params_;
+
+  asvm::HostTable table_;
+  std::map<int64_t, int> open_files_;  // guest fd -> host fd
+  int64_t next_fd_ = 3;
+};
+
+void FaasmHost::Register() {
+  table_.Register(
+      "ctx_instance", 0,
+      [this](asvm::Vm&, std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return instance_;
+      });
+  table_.Register(
+      "ctx_instances", 0,
+      [this](asvm::Vm&, std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return instance_count_;
+      });
+  table_.Register(
+      "ctx_stage", 0,
+      [this](asvm::Vm&, std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return stage_;
+      });
+  table_.Register(
+      "ctx_param_int", 2,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string name,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        return (*params_)[name].as_int();
+      });
+  table_.Register(
+      "ctx_param_str", 4,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string name,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string& value = (*params_)[name].as_string();
+        const size_t n =
+            std::min<size_t>(value.size(), static_cast<size_t>(args[3]));
+        AS_RETURN_IF_ERROR(vm.WriteGuestBytes(
+            static_cast<uint64_t>(args[2]),
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(value.data()), n)));
+        return static_cast<int64_t>(n);
+      });
+  table_.Register(
+      "ctx_set_result_int", 1,
+      [this](asvm::Vm&,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->result = "vm=" + std::to_string(args[0]);
+        return 0;
+      });
+
+  // ---- files: host filesystem under input_dir ----
+  table_.Register(
+      "path_filestat_get", 2,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string full = options_->input_dir + "/" + path;
+        int fd = ::open(full.c_str(), O_RDONLY);
+        if (fd < 0) {
+          return asbase::NotFound("faasm: no input " + full);
+        }
+        const off_t size = ::lseek(fd, 0, SEEK_END);
+        ::close(fd);
+        return static_cast<int64_t>(size);
+      });
+  table_.Register(
+      "path_open", 3,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string full = options_->input_dir + "/" + path;
+        int fd = ::open(full.c_str(), args[2] & 1 ? O_RDWR | O_CREAT | O_TRUNC
+                                                  : O_RDONLY,
+                        0644);
+        if (fd < 0) {
+          return asbase::NotFound("faasm: cannot open " + full);
+        }
+        const int64_t guest_fd = next_fd_++;
+        open_files_[guest_fd] = fd;
+        return guest_fd;
+      });
+  table_.Register(
+      "fd_read", 3,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        auto it = open_files_.find(args[0]);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("faasm: bad fd");
+        }
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[1]),
+                                         static_cast<uint64_t>(args[2])));
+        ssize_t n = ::read(it->second, vm.memory().data() + args[1],
+                           static_cast<size_t>(args[2]));
+        if (n < 0) {
+          return asbase::DataLoss("faasm: read failed");
+        }
+        return static_cast<int64_t>(n);
+      });
+  table_.Register(
+      "fd_close", 1,
+      [this](asvm::Vm&,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        auto it = open_files_.find(args[0]);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("faasm: bad fd");
+        }
+        ::close(it->second);
+        open_files_.erase(it);
+        return 0;
+      });
+  table_.Register(
+      "clock_time_get", 1,
+      [](asvm::Vm&, std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return asbase::WallMicros();
+      });
+
+  // ---- two-tier state transfers ----
+  table_.Register(
+      "buffer_register2", 6,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string base,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string slot = SlotName(base, args[2], args[3]);
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[4]),
+                                         static_cast<uint64_t>(args[5])));
+        const size_t len = static_cast<size_t>(args[5]);
+        // Local tier: copy into the shared region, faulting its pages in.
+        ChargePageFaults(len);
+        std::vector<uint8_t> copy(len);
+        if (len > 0) {
+          std::memcpy(copy.data(), vm.memory().data() + args[4], len);
+        }
+        {
+          std::lock_guard<std::mutex> lock(state_->mutex);
+          state_->table[slot] = std::move(copy);
+        }
+        // Global tier: synchronize a state descriptor through Redis.
+        uint8_t descriptor[16];
+        std::memset(descriptor, 0, sizeof(descriptor));
+        std::memcpy(descriptor, &len, sizeof(len));
+        return kv_->Set("state:" + slot, descriptor).ok()
+                   ? 0
+                   : -1;
+      });
+  table_.Register(
+      "access_buffer2", 6,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string base,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string slot = SlotName(base, args[2], args[3]);
+        // Consult the global tier first (scheduler/state lookup).
+        auto descriptor = kv_->Get("state:" + slot);
+        if (!descriptor.ok()) {
+          return asbase::NotFound("faasm: no state for " + slot);
+        }
+        std::vector<uint8_t> data;
+        {
+          std::lock_guard<std::mutex> lock(state_->mutex);
+          auto it = state_->table.find(slot);
+          if (it == state_->table.end()) {
+            return asbase::NotFound("faasm: local state missing for " + slot);
+          }
+          data = std::move(it->second);
+          state_->table.erase(it);
+        }
+        const size_t n =
+            std::min<size_t>(data.size(), static_cast<size_t>(args[5]));
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[4]), n));
+        ChargePageFaults(n);  // mapping the region into the Faaslet
+        if (n > 0) {
+          std::memcpy(vm.memory().data() + args[4], data.data(), n);
+        }
+        kv_->Del("state:" + slot);
+        return static_cast<int64_t>(n);
+      });
+}
+
+}  // namespace
+
+FaasmRuntime::FaasmRuntime(Options options) : options_(std::move(options)) {
+  kv_ = std::make_unique<KvServer>();
+  AS_CHECK(kv_->Start().ok()) << "faasm global state tier failed to start";
+}
+
+FaasmRuntime::~FaasmRuntime() = default;
+
+asbase::Result<BaselineRunStats> FaasmRuntime::Run(
+    const aswl::VmWorkflowSpec& workflow, const asbase::Json& params) {
+  BaselineRunStats stats;
+  const int64_t start = asbase::MonoNanos();
+
+  // Worker cold start: Faaslets are threads in a warm worker; the first
+  // invocation instantiates the module (WAVM-style).
+  size_t image_bytes = 0;
+  for (const auto& stage : workflow.stages) {
+    image_bytes = std::max(image_bytes, stage.module->ImageBytes());
+  }
+  {
+    const int64_t boot_start = asbase::MonoNanos();
+    SimulateBoot(WasmerThreadProfile(image_bytes));
+    stats.cold_start_nanos = asbase::MonoNanos() - boot_start;
+  }
+
+  LocalState state;
+
+  for (size_t stage_index = 0; stage_index < workflow.stages.size();
+       ++stage_index) {
+    const auto& stage = workflow.stages[stage_index];
+    // Control plane: the distributed scheduler plans this stage's Faaslets
+    // (modeled; the per-instance KV round trips below are real).
+    asbase::SpinFor(SimCostModel::Global().Scaled(
+        SimCostModel::Global().faasm_stage_dispatch_nanos));
+    std::vector<std::thread> threads;
+    std::vector<asbase::Status> outcomes(
+        static_cast<size_t>(stage.instances), asbase::OkStatus());
+
+    for (int instance = 0; instance < stage.instances; ++instance) {
+      threads.emplace_back([&, instance, stage_index] {
+        // Control plane: every dispatch goes through the distributed
+        // scheduler state (one round trip against the global tier).
+        auto kv = KvClient::Connect(kv_->port());
+        if (!kv.ok()) {
+          outcomes[static_cast<size_t>(instance)] = kv.status();
+          return;
+        }
+        const std::string dispatch_key =
+            "sched:" + workflow.name + ":" + std::to_string(stage_index) +
+            ":" + std::to_string(instance);
+        uint8_t token = 1;
+        (*kv)->Set(dispatch_key, std::span<const uint8_t>(&token, 1));
+        (*kv)->Get(dispatch_key);
+
+        if (options_.python) {
+          // CPython runtime init: stream the stdlib image from the worker's
+          // filesystem and checksum it.
+          const std::string stdlib =
+              options_.input_dir + "/python_stdlib.img";
+          int fd = ::open(stdlib.c_str(), O_RDONLY);
+          if (fd >= 0) {
+            std::vector<uint8_t> buffer(1 << 20);
+            uint64_t checksum = 0;
+            ssize_t n;
+            while ((n = ::read(fd, buffer.data(), buffer.size())) > 0) {
+              for (ssize_t k = 0; k < n; k += 64) {
+                checksum += buffer[static_cast<size_t>(k)];
+              }
+            }
+            ::close(fd);
+            volatile uint64_t sink = checksum;
+            (void)sink;
+          }
+          asbase::SpinFor(SimCostModel::Global().Scaled(
+              SimCostModel::Global().cpython_bootstrap_nanos));
+        }
+
+        FaasmHost host(&options_, &state, kv->get(),
+                       static_cast<int>(stage_index), instance,
+                       stage.instances, &params);
+        asvm::Vm vm(stage.module.get(), &host.table(),
+                    options_.python ? asvm::VmMode::kBoxed
+                                    : asvm::VmMode::kAot);
+        auto result = vm.Run();
+        if (!result.ok()) {
+          outcomes[static_cast<size_t>(instance)] = result.status();
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok()) {
+        return outcome;
+      }
+    }
+  }
+
+  stats.end_to_end_nanos = asbase::MonoNanos() - start;
+  stats.result = state.result;
+  return stats;
+}
+
+}  // namespace asbl

@@ -1,0 +1,51 @@
+// Faasm baseline runtime (§8.1, §8.5).
+//
+// Faasm executes WASM functions as threads ("Faaslets") inside a worker
+// process. Intermediate data lives in its two-tier state architecture: a
+// worker-local shared region (accessed via mremap'd pages, paying page
+// faults) synchronized with a global Redis tier. Its control plane
+// schedules every function invocation through the distributed state.
+//
+// Mapping here (DESIGN.md §1):
+//   - guests are AsVM modules (the same ones AlloyStack-C/Py runs),
+//   - the local state tier is an in-process table; every transfer pays the
+//     modeled per-page fault cost on both the write and the read side,
+//   - every transfer also writes a state descriptor to the mini-redis
+//     server (global tier sync), and every function dispatch performs a
+//     scheduler round trip against it,
+//   - WAVM executes AOT mode without AlloyStack's Cranelift penalty.
+
+#ifndef SRC_BASELINES_FAASM_H_
+#define SRC_BASELINES_FAASM_H_
+
+#include <memory>
+
+#include "src/baselines/kvstore.h"
+#include "src/baselines/runtimes.h"
+#include "src/workloads/vm_apps.h"
+
+namespace asbl {
+
+class FaasmRuntime {
+ public:
+  struct Options {
+    // Host directory with workflow inputs (guest path_open resolves here).
+    std::string input_dir = "/tmp";
+    // Run guests in the boxed (CPython-model) interpreter.
+    bool python = false;
+  };
+
+  explicit FaasmRuntime(Options options);
+  ~FaasmRuntime();
+
+  asbase::Result<BaselineRunStats> Run(const aswl::VmWorkflowSpec& workflow,
+                                       const asbase::Json& params);
+
+ private:
+  Options options_;
+  std::unique_ptr<KvServer> kv_;
+};
+
+}  // namespace asbl
+
+#endif  // SRC_BASELINES_FAASM_H_

@@ -1,0 +1,269 @@
+#include "src/baselines/kvstore.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace asbl {
+namespace {
+
+// op codes
+constexpr uint8_t kOpSet = 1;
+constexpr uint8_t kOpGet = 2;
+constexpr uint8_t kOpDel = 3;
+constexpr uint8_t kOpTake = 4;
+// response status
+constexpr uint8_t kOk = 0;
+constexpr uint8_t kMissing = 1;
+
+bool ReadExact(int fd, void* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd, static_cast<char*>(buffer) + done, len - done, 0);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const void* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd, static_cast<const char*>(buffer) + done,
+                       len - done, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+KvServer::~KvServer() { Stop(); }
+
+asbase::Status KvServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return asbase::Internal("socket() failed");
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return asbase::Unavailable("kv server cannot bind");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return asbase::OkStatus();
+}
+
+void KvServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+size_t KvServer::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+void KvServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load()) {
+        continue;
+      }
+      break;
+    }
+    int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void KvServer::ServeConnection(int fd) {
+  while (true) {
+    uint8_t op;
+    uint32_t key_len, value_len;
+    if (!ReadExact(fd, &op, 1) || !ReadExact(fd, &key_len, 4)) {
+      break;
+    }
+    std::string key(key_len, '\0');
+    if (key_len > 0 && !ReadExact(fd, key.data(), key_len)) {
+      break;
+    }
+    if (!ReadExact(fd, &value_len, 4)) {
+      break;
+    }
+    std::vector<uint8_t> value(value_len);
+    if (value_len > 0 && !ReadExact(fd, value.data(), value_len)) {
+      break;
+    }
+
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    uint8_t status = kOk;
+    std::vector<uint8_t> reply;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      switch (op) {
+        case kOpSet:
+          table_[key] = std::move(value);
+          break;
+        case kOpGet: {
+          auto it = table_.find(key);
+          if (it == table_.end()) {
+            status = kMissing;
+          } else {
+            reply = it->second;
+          }
+          break;
+        }
+        case kOpDel:
+          if (table_.erase(key) == 0) {
+            status = kMissing;
+          }
+          break;
+        case kOpTake: {
+          auto it = table_.find(key);
+          if (it == table_.end()) {
+            status = kMissing;
+          } else {
+            reply = std::move(it->second);
+            table_.erase(it);
+          }
+          break;
+        }
+        default:
+          status = 255;
+      }
+    }
+    const uint32_t reply_len = static_cast<uint32_t>(reply.size());
+    if (!WriteExact(fd, &status, 1) || !WriteExact(fd, &reply_len, 4) ||
+        (reply_len > 0 && !WriteExact(fd, reply.data(), reply_len))) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+asbase::Result<std::unique_ptr<KvClient>> KvClient::Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return asbase::Internal("socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return asbase::Unavailable("cannot reach kv server on port " +
+                               std::to_string(port));
+  }
+  int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return std::unique_ptr<KvClient>(new KvClient(fd));
+}
+
+KvClient::~KvClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+asbase::Result<std::vector<uint8_t>> KvClient::Call(
+    uint8_t op, const std::string& key, std::span<const uint8_t> value) {
+  const uint32_t key_len = static_cast<uint32_t>(key.size());
+  const uint32_t value_len = static_cast<uint32_t>(value.size());
+  if (!WriteExact(fd_, &op, 1) || !WriteExact(fd_, &key_len, 4) ||
+      !WriteExact(fd_, key.data(), key.size()) ||
+      !WriteExact(fd_, &value_len, 4) ||
+      (value_len > 0 && !WriteExact(fd_, value.data(), value.size()))) {
+    return asbase::Unavailable("kv connection lost (send)");
+  }
+  uint8_t status;
+  uint32_t reply_len;
+  if (!ReadExact(fd_, &status, 1) || !ReadExact(fd_, &reply_len, 4)) {
+    return asbase::Unavailable("kv connection lost (recv)");
+  }
+  std::vector<uint8_t> reply(reply_len);
+  if (reply_len > 0 && !ReadExact(fd_, reply.data(), reply_len)) {
+    return asbase::Unavailable("kv connection lost (recv body)");
+  }
+  if (status == kMissing) {
+    return asbase::NotFound("key '" + key + "' not in store");
+  }
+  if (status != kOk) {
+    return asbase::Internal("kv protocol error");
+  }
+  return reply;
+}
+
+asbase::Status KvClient::Set(const std::string& key,
+                             std::span<const uint8_t> value) {
+  return Call(kOpSet, key, value).status();
+}
+
+asbase::Result<std::vector<uint8_t>> KvClient::Get(const std::string& key) {
+  return Call(kOpGet, key, {});
+}
+
+asbase::Status KvClient::Del(const std::string& key) {
+  return Call(kOpDel, key, {}).status();
+}
+
+asbase::Result<std::vector<uint8_t>> KvClient::Take(const std::string& key) {
+  return Call(kOpTake, key, {});
+}
+
+asbase::Result<std::vector<uint8_t>> KvClient::WaitGet(
+    const std::string& key, std::chrono::nanoseconds timeout) {
+  const int64_t deadline = asbase::MonoNanos() + timeout.count();
+  while (true) {
+    auto value = Get(key);
+    if (value.ok() ||
+        value.status().code() != asbase::ErrorCode::kNotFound) {
+      return value;
+    }
+    if (asbase::MonoNanos() > deadline) {
+      return asbase::Unavailable("timed out waiting for key '" + key + "'");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace asbl

@@ -1,0 +1,82 @@
+// Mini-Redis: the external storage service OpenFaaS-style platforms move
+// intermediate data through (§2, §8.3), and the global state tier of the
+// Faasm model.
+//
+// A real in-memory KV server over host loopback TCP with a length-prefixed
+// binary protocol (RESP-lite): every transfer through it pays genuine
+// serialize + syscall + kernel-TCP + copy costs, which is exactly the
+// "third-party forwarding" overhead the paper attributes to OpenFaaS.
+
+#ifndef SRC_BASELINES_KVSTORE_H_
+#define SRC_BASELINES_KVSTORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <span>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asbl {
+
+class KvServer {
+ public:
+  KvServer() = default;
+  ~KvServer();
+
+  // Binds 127.0.0.1:<port> (0 picks a free port; see port()).
+  asbase::Status Start(uint16_t port = 0);
+  void Stop();
+  uint16_t port() const { return port_; }
+
+  size_t keys() const;
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<uint8_t>> table_;
+  std::atomic<uint64_t> ops_{0};
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+// One TCP connection to a KvServer. Not thread-safe; use one per thread.
+class KvClient {
+ public:
+  static asbase::Result<std::unique_ptr<KvClient>> Connect(uint16_t port);
+  ~KvClient();
+
+  asbase::Status Set(const std::string& key, std::span<const uint8_t> value);
+  asbase::Result<std::vector<uint8_t>> Get(const std::string& key);
+  asbase::Status Del(const std::string& key);
+  // Atomic get-and-delete (single-consumer transfer take).
+  asbase::Result<std::vector<uint8_t>> Take(const std::string& key);
+  // Blocking Get that retries until the key appears (consumer waiting on a
+  // producer) or the deadline passes.
+  asbase::Result<std::vector<uint8_t>> WaitGet(
+      const std::string& key,
+      std::chrono::nanoseconds timeout = std::chrono::seconds(10));
+
+ private:
+  explicit KvClient(int fd) : fd_(fd) {}
+  asbase::Result<std::vector<uint8_t>> Call(uint8_t op, const std::string& key,
+                                            std::span<const uint8_t> value);
+  int fd_;
+};
+
+}  // namespace asbl
+
+#endif  // SRC_BASELINES_KVSTORE_H_

@@ -1,0 +1,173 @@
+#include "src/baselines/sim_profiles.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace asbl {
+namespace {
+
+using asbase::SimCostModel;
+
+// Guest memory allocation + touch (one write per page): the real part of VM
+// memory setup.
+void TouchGuestMemory(size_t bytes) {
+  std::vector<uint8_t> memory(bytes);
+  for (size_t offset = 0; offset < bytes; offset += 4096) {
+    memory[offset] = 1;
+  }
+}
+
+// "Load a kernel image": generate-once static image, then copy + checksum it
+// the way a loader streams and verifies a file.
+void LoadImage(size_t bytes) {
+  static const std::vector<uint8_t>* kImage = [] {
+    auto* image = new std::vector<uint8_t>(8u << 20);
+    asbase::Rng rng(42);
+    for (auto& byte : *image) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    return image;
+  }();
+  const size_t n = std::min(bytes, kImage->size());
+  std::vector<uint8_t> copy(n);
+  std::memcpy(copy.data(), kImage->data(), n);
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < n; i += 64) {
+    checksum += copy[i];
+  }
+  volatile uint64_t sink = checksum;
+  (void)sink;
+}
+
+// Build a page-table-like radix index over the guest address range.
+void BuildMappings(size_t entries) {
+  std::vector<uint32_t> table(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    table[i] = static_cast<uint32_t>(i * 2654435761u);
+  }
+  volatile uint32_t sink = table[entries / 2];
+  (void)sink;
+}
+
+}  // namespace
+
+int64_t SimulateBoot(const BootProfile& profile) {
+  const auto& model = SimCostModel::Global();
+  const int64_t start = asbase::MonoNanos();
+  for (const auto& stage : profile.stages) {
+    if (stage.work) {
+      stage.work();
+    }
+    asbase::SpinFor(model.Scaled(stage.model_nanos));
+  }
+  return asbase::MonoNanos() - start;
+}
+
+BootProfile FirecrackerMicroVmProfile() {
+  const auto& model = SimCostModel::Global();
+  BootProfile profile;
+  profile.name = "firecracker";
+  profile.guest_kernel = true;
+  profile.stages = {
+      {"vmm+device-model", model.firecracker_vmm_init_nanos,
+       [] { BuildMappings(64 * 1024); }},
+      {"guest-memory", 0, [] { TouchGuestMemory(32u << 20); }},
+      {"kernel-image", 0, [] { LoadImage(8u << 20); }},
+      {"guest-kernel-boot", model.firecracker_guest_boot_nanos, {}},
+  };
+  return profile;
+}
+
+BootProfile KataContainerProfile() {
+  BootProfile profile = FirecrackerMicroVmProfile();
+  const auto& model = SimCostModel::Global();
+  profile.name = "kata";
+  profile.stages.push_back(
+      {"kata-agent+oci", model.kata_agent_nanos,
+       [] { BuildMappings(16 * 1024); }});
+  return profile;
+}
+
+BootProfile VirtinesProfile() {
+  const auto& model = SimCostModel::Global();
+  BootProfile profile;
+  profile.name = "virtines";
+  profile.guest_kernel = false;  // syscalls hit the host kernel directly
+  profile.stages = {
+      {"kvm-vcpu+ept", model.virtines_kvm_setup_nanos,
+       [] { BuildMappings(8 * 1024); }},
+      {"snapshot-restore", 0, [] { TouchGuestMemory(2u << 20); }},
+  };
+  return profile;
+}
+
+BootProfile UnikraftProfile() {
+  const auto& model = SimCostModel::Global();
+  BootProfile profile;
+  profile.name = "unikraft";
+  profile.guest_kernel = true;
+  profile.stages = {
+      {"vmm+device-model", model.firecracker_vmm_init_nanos,
+       [] { BuildMappings(32 * 1024); }},
+      {"unikernel-image", 0, [] { LoadImage(2u << 20); }},  // ~1.6MB image
+      {"unikernel-boot", model.unikraft_boot_nanos, {}},
+  };
+  return profile;
+}
+
+BootProfile GvisorProfile() {
+  const auto& model = SimCostModel::Global();
+  BootProfile profile;
+  profile.name = "gvisor";
+  profile.guest_kernel = true;  // user-space kernel (sentry)
+  profile.stages = {
+      {"oci+namespaces", model.container_setup_nanos,
+       [] { BuildMappings(8 * 1024); }},
+      {"go-runtime+sentry", model.gvisor_sentry_boot_nanos,
+       [] { TouchGuestMemory(16u << 20); }},
+  };
+  return profile;
+}
+
+BootProfile ContainerProfile() {
+  const auto& model = SimCostModel::Global();
+  BootProfile profile;
+  profile.name = "container";
+  profile.guest_kernel = false;
+  profile.stages = {
+      {"namespaces+cgroups+rootfs", model.container_setup_nanos,
+       [] { TouchGuestMemory(4u << 20); }},
+  };
+  return profile;
+}
+
+BootProfile WasmerProcessProfile(size_t module_image_bytes) {
+  BootProfile profile;
+  profile.name = "wasmer";
+  profile.guest_kernel = false;
+  profile.stages = {
+      // Process spawn + runtime init + module load/validate. The image load
+      // and validation are real work over the module size.
+      {"process-spawn", 4'000'000, [] { TouchGuestMemory(2u << 20); }},
+      {"module-load+validate", 2'000'000,
+       [module_image_bytes] { LoadImage(module_image_bytes * 8); }},
+  };
+  return profile;
+}
+
+BootProfile WasmerThreadProfile(size_t module_image_bytes) {
+  BootProfile profile;
+  profile.name = "wasmer-thread";
+  profile.guest_kernel = false;
+  profile.stages = {
+      // Thread in a warm runtime: instantiate the module (memory + tables).
+      {"module-instantiate", 500'000,
+       [module_image_bytes] { LoadImage(module_image_bytes); }},
+  };
+  return profile;
+}
+
+}  // namespace asbl

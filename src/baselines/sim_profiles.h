@@ -1,0 +1,55 @@
+// Sandbox boot simulators for the comparison systems (Fig 2 / Fig 10).
+//
+// This machine cannot run Firecracker, Kata, gVisor or KVM, so cold starts
+// of those sandboxes are *modeled*: every profile is a pipeline of boot
+// stages, each combining (a) real work executed here — allocating and
+// touching guest memory, loading a kernel/runtime image buffer, building
+// page-table-like index structures — with (b) a calibrated stage latency
+// from the published numbers collected in asbase::SimCostModel, scaled by
+// the model's `scale` factor (printed by every bench). See DESIGN.md §1.
+
+#ifndef SRC_BASELINES_SIM_PROFILES_H_
+#define SRC_BASELINES_SIM_PROFILES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asbl {
+
+struct BootStage {
+  std::string name;
+  // Modeled latency (nanoseconds, unscaled; SimCostModel.scale applies).
+  int64_t model_nanos = 0;
+  // Real work executed for this stage (may be empty).
+  std::function<void()> work;
+};
+
+struct BootProfile {
+  std::string name;
+  std::vector<BootStage> stages;
+  // Whether the platform gives the function a guest kernel (isolation class
+  // annotation used in bench output).
+  bool guest_kernel = false;
+};
+
+// Executes the profile; returns total boot nanoseconds (work + scaled model).
+int64_t SimulateBoot(const BootProfile& profile);
+
+// --- profiles (§2.2, §8.2) ---
+BootProfile FirecrackerMicroVmProfile();   // VMM + guest Linux boot
+BootProfile KataContainerProfile();        // Firecracker + kata agent + OCI
+BootProfile VirtinesProfile();             // KVM setup, no guest kernel
+BootProfile UnikraftProfile();             // Firecracker + unikernel boot
+BootProfile GvisorProfile();               // Go runtime + sentry + OCI
+BootProfile ContainerProfile();            // namespaces/cgroups (OpenFaaS)
+// WASM runtimes: process-level init + module load/validation (real work on
+// `module_image_bytes` of bytecode).
+BootProfile WasmerProcessProfile(size_t module_image_bytes);
+BootProfile WasmerThreadProfile(size_t module_image_bytes);
+
+}  // namespace asbl
+
+#endif  // SRC_BASELINES_SIM_PROFILES_H_

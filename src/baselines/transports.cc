@@ -1,0 +1,369 @@
+#include "src/baselines/transports.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/kvstore.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/netstack/stack.h"
+
+namespace asbl {
+namespace {
+
+uint64_t WalkChecksum(const uint8_t* data, size_t len) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < len; ++i) {
+    sum += data[i];
+  }
+  return sum;
+}
+
+void FillData(uint8_t* data, size_t len) {
+  asbase::Rng rng(7);
+  for (size_t i = 0; i < len; ++i) {
+    data[i] = static_cast<uint8_t>(rng.Next());
+  }
+}
+
+bool ReadExact(int fd, void* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::read(fd, static_cast<char*>(buffer) + done, len - done);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const void* buffer, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, static_cast<const char*>(buffer) + done,
+                        len - done);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- function call
+
+asbase::Result<int64_t> FunctionCall(size_t bytes) {
+  std::vector<uint8_t> buffer(bytes);
+  FillData(buffer.data(), bytes);
+  // "The sender immediately calls the receiver function" — the receiver
+  // accesses the data through plain loads in the shared address space.
+  auto receiver = [](const uint8_t* data, size_t len) {
+    return WalkChecksum(data, len);
+  };
+  const int64_t start = asbase::MonoNanos();
+  volatile uint64_t sink = receiver(buffer.data(), buffer.size());
+  const int64_t elapsed = asbase::MonoNanos() - start;
+  (void)sink;
+  return elapsed;
+}
+
+// ---------------------------------------------------------- shared memory
+
+asbase::Result<int64_t> SharedMemory(size_t bytes) {
+  void* region = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (region == MAP_FAILED) {
+    return asbase::Internal("mmap failed");
+  }
+  int doorbell[2], done[2];
+  if (::pipe(doorbell) != 0 || ::pipe(done) != 0) {
+    ::munmap(region, bytes);
+    return asbase::Internal("pipe failed");
+  }
+
+  pid_t child = ::fork();
+  if (child < 0) {
+    ::munmap(region, bytes);
+    return asbase::Internal("fork failed");
+  }
+  if (child == 0) {
+    // Receiver process: wait for the doorbell, traverse the mapping, ack.
+    char byte;
+    if (ReadExact(doorbell[0], &byte, 1)) {
+      volatile uint64_t sink =
+          WalkChecksum(static_cast<uint8_t*>(region), bytes);
+      (void)sink;
+      WriteExact(done[1], "k", 1);
+    }
+    ::_exit(0);
+  }
+
+  FillData(static_cast<uint8_t*>(region), bytes);  // data initialization
+  const int64_t start = asbase::MonoNanos();
+  if (!WriteExact(doorbell[1], "!", 1)) {
+    return asbase::Internal("doorbell write failed");
+  }
+  char ack;
+  if (!ReadExact(done[0], &ack, 1)) {
+    return asbase::Internal("receiver died");
+  }
+  const int64_t elapsed = asbase::MonoNanos() - start;
+
+  ::waitpid(child, nullptr, 0);
+  ::close(doorbell[0]);
+  ::close(doorbell[1]);
+  ::close(done[0]);
+  ::close(done[1]);
+  ::munmap(region, bytes);
+  return elapsed;
+}
+
+// ------------------------------------------------------ inter-process TCP
+
+asbase::Result<int64_t> InterProcessTcp(size_t bytes) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return asbase::Internal("socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd, 1) != 0) {
+    ::close(listen_fd);
+    return asbase::Internal("bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  pid_t child = ::fork();
+  if (child < 0) {
+    ::close(listen_fd);
+    return asbase::Internal("fork failed");
+  }
+  if (child == 0) {
+    // Receiver: accept, drain all bytes, walk them, ack, exit.
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      std::vector<uint8_t> data(bytes);
+      if (ReadExact(fd, data.data(), bytes)) {
+        volatile uint64_t sink = WalkChecksum(data.data(), bytes);
+        (void)sink;
+        WriteExact(fd, "k", 1);
+      }
+      ::close(fd);
+    }
+    ::_exit(0);
+  }
+
+  std::vector<uint8_t> data(bytes);
+  FillData(data.data(), bytes);
+
+  // Timed from connection establishment (§2.3).
+  const int64_t start = asbase::MonoNanos();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      !WriteExact(fd, data.data(), bytes)) {
+    ::close(fd);
+    ::close(listen_fd);
+    ::waitpid(child, nullptr, 0);
+    return asbase::Internal("tcp send failed");
+  }
+  char ack;
+  if (!ReadExact(fd, &ack, 1)) {
+    ::close(fd);
+    ::close(listen_fd);
+    ::waitpid(child, nullptr, 0);
+    return asbase::Internal("receiver died");
+  }
+  const int64_t elapsed = asbase::MonoNanos() - start;
+
+  ::close(fd);
+  ::close(listen_fd);
+  ::waitpid(child, nullptr, 0);
+  return elapsed;
+}
+
+// ----------------------------------------------------------- inter-VM TCP
+
+asbase::Result<int64_t> InterVmTcp(size_t bytes) {
+  // Two "MicroVMs" on the virtual switch; every packet pays the modeled
+  // virtio/vmexit crossing cost.
+  asnet::LinkModel model;
+  model.latency_nanos = asbase::SimCostModel::Global().Scaled(
+      asbase::SimCostModel::Global().inter_vm_packet_nanos);
+  asnet::VirtualSwitch fabric(model);
+  auto server_port = fabric.Attach(asnet::MakeAddr(10, 1, 0, 1));
+  auto client_port = fabric.Attach(asnet::MakeAddr(10, 1, 0, 2));
+  asnet::NetStack server_stack(server_port);
+  asnet::NetStack client_stack(client_port);
+
+  auto listener = server_stack.Listen(9000);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  asbase::Status receiver_status = asbase::OkStatus();
+  std::thread receiver([&] {
+    auto connection = (*listener)->Accept(std::chrono::seconds(60));
+    if (!connection.ok()) {
+      receiver_status = connection.status();
+      return;
+    }
+    std::vector<uint8_t> data(bytes);
+    auto n = (*connection)->RecvAll(data);
+    if (!n.ok() || *n != bytes) {
+      receiver_status = asbase::Internal("short inter-vm receive");
+      return;
+    }
+    volatile uint64_t sink = WalkChecksum(data.data(), bytes);
+    (void)sink;
+    (*connection)->Send(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>("k"), 1));
+    (*connection)->Close();
+  });
+
+  std::vector<uint8_t> data(bytes);
+  FillData(data.data(), bytes);
+
+  const int64_t start = asbase::MonoNanos();
+  auto connection =
+      client_stack.Connect(server_stack.addr(), 9000, std::chrono::seconds(60));
+  if (!connection.ok()) {
+    receiver.join();
+    return connection.status();
+  }
+  auto sent = (*connection)->Send(data);
+  if (!sent.ok()) {
+    receiver.join();
+    return sent.status();
+  }
+  uint8_t ack;
+  auto got = (*connection)->Recv(std::span<uint8_t>(&ack, 1));
+  const int64_t elapsed = asbase::MonoNanos() - start;
+  receiver.join();
+  if (!got.ok() || !receiver_status.ok()) {
+    return asbase::Internal("inter-vm receiver failed");
+  }
+  return elapsed;
+}
+
+// ---------------------------------------------------------------- pipe IPC
+
+asbase::Result<int64_t> PipeIpc(size_t bytes) {
+  int data_pipe[2], done_pipe[2];
+  if (::pipe(data_pipe) != 0 || ::pipe(done_pipe) != 0) {
+    return asbase::Internal("pipe failed");
+  }
+  pid_t child = ::fork();
+  if (child < 0) {
+    return asbase::Internal("fork failed");
+  }
+  if (child == 0) {
+    std::vector<uint8_t> data(bytes);
+    if (ReadExact(data_pipe[0], data.data(), bytes)) {
+      volatile uint64_t sink = WalkChecksum(data.data(), bytes);
+      (void)sink;
+      WriteExact(done_pipe[1], "k", 1);
+    }
+    ::_exit(0);
+  }
+  std::vector<uint8_t> data(bytes);
+  FillData(data.data(), bytes);
+
+  const int64_t start = asbase::MonoNanos();
+  if (!WriteExact(data_pipe[1], data.data(), bytes)) {
+    ::waitpid(child, nullptr, 0);
+    return asbase::Internal("pipe write failed");
+  }
+  char ack;
+  if (!ReadExact(done_pipe[0], &ack, 1)) {
+    ::waitpid(child, nullptr, 0);
+    return asbase::Internal("receiver died");
+  }
+  const int64_t elapsed = asbase::MonoNanos() - start;
+  ::waitpid(child, nullptr, 0);
+  for (int fd : {data_pipe[0], data_pipe[1], done_pipe[0], done_pipe[1]}) {
+    ::close(fd);
+  }
+  return elapsed;
+}
+
+// ------------------------------------------------------------------ redis
+
+asbase::Result<int64_t> Redis(size_t bytes) {
+  KvServer server;
+  AS_RETURN_IF_ERROR(server.Start());
+  auto sender = KvClient::Connect(server.port());
+  auto receiver = KvClient::Connect(server.port());
+  if (!sender.ok() || !receiver.ok()) {
+    return asbase::Internal("kv clients failed to connect");
+  }
+  std::vector<uint8_t> data(bytes);
+  FillData(data.data(), bytes);
+
+  const int64_t start = asbase::MonoNanos();
+  AS_RETURN_IF_ERROR((*sender)->Set("xfer", data));
+  AS_ASSIGN_OR_RETURN(std::vector<uint8_t> got, (*receiver)->Get("xfer"));
+  volatile uint64_t sink = WalkChecksum(got.data(), got.size());
+  (void)sink;
+  const int64_t elapsed = asbase::MonoNanos() - start;
+  if (got.size() != bytes) {
+    return asbase::DataLoss("redis returned wrong size");
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kFunctionCall:
+      return "function-call";
+    case TransportKind::kSharedMemory:
+      return "shared-memory";
+    case TransportKind::kInterProcessTcp:
+      return "inter-process-tcp";
+    case TransportKind::kInterVmTcp:
+      return "inter-vm-tcp";
+    case TransportKind::kPipeIpc:
+      return "pipe-ipc";
+    case TransportKind::kRedis:
+      return "redis";
+  }
+  return "?";
+}
+
+asbase::Result<int64_t> MeasureTransfer(TransportKind kind, size_t bytes) {
+  switch (kind) {
+    case TransportKind::kFunctionCall:
+      return FunctionCall(bytes);
+    case TransportKind::kSharedMemory:
+      return SharedMemory(bytes);
+    case TransportKind::kInterProcessTcp:
+      return InterProcessTcp(bytes);
+    case TransportKind::kInterVmTcp:
+      return InterVmTcp(bytes);
+    case TransportKind::kPipeIpc:
+      return PipeIpc(bytes);
+    case TransportKind::kRedis:
+      return Redis(bytes);
+  }
+  return asbase::InvalidArgument("unknown transport");
+}
+
+}  // namespace asbl

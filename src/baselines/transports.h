@@ -1,0 +1,44 @@
+// The four communication primitives of Fig 3, as measurable code paths, plus
+// the platform transports used by baseline runtimes (pipes, redis).
+//
+//   kFunctionCall    direct call between threads in one address space —
+//                    the receiver walks the sender's buffer in place.
+//   kSharedMemory    two processes (fork), a MAP_SHARED region, and a pipe
+//                    byte for the doorbell — the mmap method of §2.3.
+//   kInterProcessTcp kernel loopback TCP between two processes.
+//   kInterVmTcp      the user-space stack between two "VMs" on the virtual
+//                    switch, each packet paying the virtio/vmexit cost from
+//                    SimCostModel (two MicroVMs cannot be booted here).
+//   kPipeIpc         kernel pipe between processes (Faastlane-IPC mode).
+//   kRedis           through the mini-redis server (OpenFaaS data passing).
+
+#ifndef SRC_BASELINES_TRANSPORTS_H_
+#define SRC_BASELINES_TRANSPORTS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace asbl {
+
+enum class TransportKind {
+  kFunctionCall,
+  kSharedMemory,
+  kInterProcessTcp,
+  kInterVmTcp,
+  kPipeIpc,
+  kRedis,
+};
+
+const char* TransportKindName(TransportKind kind);
+
+// Transfers `bytes` of initialized data from a sender to a receiver over the
+// given primitive and returns the transfer latency in nanoseconds: from just
+// before the sender hands the data off until the receiver has walked all of
+// it (checksum), matching the §2.3 measurement methodology. On failure the
+// Status explains which leg failed.
+asbase::Result<int64_t> MeasureTransfer(TransportKind kind, size_t bytes);
+
+}  // namespace asbl
+
+#endif  // SRC_BASELINES_TRANSPORTS_H_

@@ -1,0 +1,107 @@
+#include "src/blockdev/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace asblk {
+
+asbase::Status BlockDevice::ValidateRange(uint64_t lba, size_t bytes) const {
+  if (bytes == 0 || bytes % kBlockSize != 0) {
+    return asbase::InvalidArgument("I/O size must be a multiple of 512");
+  }
+  const uint64_t blocks = bytes / kBlockSize;
+  if (lba + blocks > block_count()) {
+    return asbase::OutOfRange("I/O past end of device");
+  }
+  return asbase::OkStatus();
+}
+
+MemDisk::MemDisk(uint64_t block_count)
+    : blocks_(block_count), data_(block_count * kBlockSize, 0) {}
+
+asbase::Status MemDisk::Read(uint64_t lba, std::span<uint8_t> out) {
+  AS_RETURN_IF_ERROR(ValidateRange(lba, out.size()));
+  std::memcpy(out.data(), data_.data() + lba * kBlockSize, out.size());
+  CountRead(out.size());
+  return asbase::OkStatus();
+}
+
+asbase::Status MemDisk::Write(uint64_t lba, std::span<const uint8_t> data) {
+  AS_RETURN_IF_ERROR(ValidateRange(lba, data.size()));
+  std::memcpy(data_.data() + lba * kBlockSize, data.data(), data.size());
+  CountWrite(data.size());
+  return asbase::OkStatus();
+}
+
+asbase::Result<std::unique_ptr<FileDisk>> FileDisk::Create(
+    const std::string& path, uint64_t block_count) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return asbase::Internal("cannot open disk image " + path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(block_count * kBlockSize)) != 0) {
+    ::close(fd);
+    return asbase::Internal("cannot size disk image " + path);
+  }
+  return std::unique_ptr<FileDisk>(new FileDisk(fd, block_count));
+}
+
+FileDisk::~FileDisk() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+asbase::Status FileDisk::Read(uint64_t lba, std::span<uint8_t> out) {
+  AS_RETURN_IF_ERROR(ValidateRange(lba, out.size()));
+  ssize_t n = ::pread(fd_, out.data(), out.size(),
+                      static_cast<off_t>(lba * kBlockSize));
+  if (n != static_cast<ssize_t>(out.size())) {
+    return asbase::DataLoss("short read from disk image");
+  }
+  CountRead(out.size());
+  return asbase::OkStatus();
+}
+
+asbase::Status FileDisk::Write(uint64_t lba, std::span<const uint8_t> data) {
+  AS_RETURN_IF_ERROR(ValidateRange(lba, data.size()));
+  ssize_t n = ::pwrite(fd_, data.data(), data.size(),
+                       static_cast<off_t>(lba * kBlockSize));
+  if (n != static_cast<ssize_t>(data.size())) {
+    return asbase::DataLoss("short write to disk image");
+  }
+  CountWrite(data.size());
+  return asbase::OkStatus();
+}
+
+LatencyDisk::LatencyDisk(std::unique_ptr<BlockDevice> inner,
+                         int64_t per_op_nanos, int64_t nanos_per_kib)
+    : inner_(std::move(inner)),
+      per_op_nanos_(per_op_nanos),
+      nanos_per_kib_(nanos_per_kib) {}
+
+void LatencyDisk::Charge(size_t bytes) {
+  asbase::SpinFor(per_op_nanos_ +
+                  nanos_per_kib_ * static_cast<int64_t>(bytes) / 1024);
+}
+
+asbase::Status LatencyDisk::Read(uint64_t lba, std::span<uint8_t> out) {
+  Charge(out.size());
+  AS_RETURN_IF_ERROR(inner_->Read(lba, out));
+  CountRead(out.size());
+  return asbase::OkStatus();
+}
+
+asbase::Status LatencyDisk::Write(uint64_t lba,
+                                  std::span<const uint8_t> data) {
+  Charge(data.size());
+  AS_RETURN_IF_ERROR(inner_->Write(lba, data));
+  CountWrite(data.size());
+  return asbase::OkStatus();
+}
+
+}  // namespace asblk

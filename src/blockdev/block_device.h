@@ -1,0 +1,118 @@
+// Block device abstraction under the FAT filesystem (§7.1: each WFD gets a
+// virtual disk image).
+//
+// Three implementations:
+//   MemDisk     RAM-backed; the default WFD disk image.
+//   FileDisk    pread/pwrite on a host file; persistent images.
+//   LatencyDisk decorator charging a per-op + per-byte cost, used to model a
+//               real SSD so fatfs-vs-ext4 comparisons (Table 4) are not
+//               comparing RAM against media.
+
+#ifndef SRC_BLOCKDEV_BLOCK_DEVICE_H_
+#define SRC_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asblk {
+
+class BlockDevice {
+ public:
+  static constexpr size_t kBlockSize = 512;
+
+  virtual ~BlockDevice() = default;
+
+  // out.size() must be a multiple of kBlockSize; reads out.size()/kBlockSize
+  // consecutive blocks starting at `lba`.
+  virtual asbase::Status Read(uint64_t lba, std::span<uint8_t> out) = 0;
+  virtual asbase::Status Write(uint64_t lba,
+                               std::span<const uint8_t> data) = 0;
+  virtual uint64_t block_count() const = 0;
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  Stats stats() const {
+    return Stats{reads_.load(), writes_.load(), bytes_read_.load(),
+                 bytes_written_.load()};
+  }
+
+ protected:
+  asbase::Status ValidateRange(uint64_t lba, size_t bytes) const;
+  void CountRead(size_t bytes) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void CountWrite(size_t bytes) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+class MemDisk : public BlockDevice {
+ public:
+  explicit MemDisk(uint64_t block_count);
+
+  asbase::Status Read(uint64_t lba, std::span<uint8_t> out) override;
+  asbase::Status Write(uint64_t lba, std::span<const uint8_t> data) override;
+  uint64_t block_count() const override { return blocks_; }
+
+ private:
+  uint64_t blocks_;
+  std::vector<uint8_t> data_;
+};
+
+class FileDisk : public BlockDevice {
+ public:
+  // Creates/opens `path` and sizes it to block_count blocks.
+  static asbase::Result<std::unique_ptr<FileDisk>> Create(
+      const std::string& path, uint64_t block_count);
+  ~FileDisk() override;
+
+  asbase::Status Read(uint64_t lba, std::span<uint8_t> out) override;
+  asbase::Status Write(uint64_t lba, std::span<const uint8_t> data) override;
+  uint64_t block_count() const override { return blocks_; }
+
+ private:
+  FileDisk(int fd, uint64_t blocks) : fd_(fd), blocks_(blocks) {}
+  int fd_;
+  uint64_t blocks_;
+};
+
+// Decorator adding a seek latency per operation and a transfer cost per byte
+// (defaults model a SATA SSD: ~60us access, ~500MB/s throughput).
+class LatencyDisk : public BlockDevice {
+ public:
+  LatencyDisk(std::unique_ptr<BlockDevice> inner, int64_t per_op_nanos = 60'000,
+              int64_t nanos_per_kib = 2'000);
+
+  asbase::Status Read(uint64_t lba, std::span<uint8_t> out) override;
+  asbase::Status Write(uint64_t lba, std::span<const uint8_t> data) override;
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+ private:
+  void Charge(size_t bytes);
+
+  std::unique_ptr<BlockDevice> inner_;
+  int64_t per_op_nanos_;
+  int64_t nanos_per_kib_;
+};
+
+}  // namespace asblk
+
+#endif  // SRC_BLOCKDEV_BLOCK_DEVICE_H_

@@ -1,0 +1,35 @@
+#include "src/common/clock.h"
+
+#include <time.h>
+
+namespace asbase {
+
+int64_t MonoNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+int64_t WallMicros() {
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1000;
+}
+
+void SpinFor(int64_t nanos) {
+  if (nanos <= 0) {
+    return;
+  }
+  const int64_t deadline = MonoNanos() + nanos;
+  while (MonoNanos() < deadline) {
+    // Busy-wait: the modeled cost should occupy the CPU the way the real
+    // work (boot, vmexit, WRPKRU serialization) would.
+  }
+}
+
+SimCostModel& SimCostModel::Global() {
+  static SimCostModel model;
+  return model;
+}
+
+}  // namespace asbase

@@ -1,0 +1,113 @@
+// Time sources.
+//
+// `MonoNanos()` is the raw monotonic clock every latency measurement uses.
+// `SimCostModel` holds the calibrated constants used where this repository
+// substitutes a model for hardware it does not have (MicroVM boot stages,
+// hardware WRPKRU cost). Centralizing them here keeps every substitution
+// auditable in one place; see DESIGN.md §1.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace asbase {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+int64_t MonoNanos();
+
+// Wall-clock microseconds since the Unix epoch (the LibOS `time` module's
+// gettimeofday() source).
+int64_t WallMicros();
+
+// Spin (not sleep) for the given duration. Used by latency models so the
+// modeled cost consumes CPU like the real work would, instead of yielding.
+void SpinFor(int64_t nanos);
+
+// Measures the lifetime of a scope in nanoseconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* out) : out_(out), start_(MonoNanos()) {}
+  ~ScopedTimer() { *out_ += MonoNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* out_;
+  int64_t start_;
+};
+
+// Calibrated constants for behaviour this machine cannot produce natively.
+// All values are in nanoseconds unless noted, and are scaled by `scale`
+// (default 1.0 = published numbers; benches may scale down to keep the suite
+// fast — the scale used is printed in every bench header).
+struct SimCostModel {
+  double scale = 1.0;
+
+  // One hardware WRPKRU instruction (ERIM, USENIX Security'19: 11-26 cycles
+  // ~= 25ns at 2GHz when serialized). Paid by the emulated-MPK backend on
+  // every trampoline switch so AS-IFI overhead is representable.
+  int64_t wrpkru_nanos = 25;
+
+  // MicroVM boot stages (Firecracker NSDI'20 ~125ms guest boot on their
+  // hardware; Kata adds agent+runtime overhead; Virtines EuroSys'22 ~23us
+  // hardware floor scaled up by their 22.8ms cold start including KVM).
+  int64_t firecracker_vmm_init_nanos = 30'000'000;   // VMM + device model
+  int64_t firecracker_guest_boot_nanos = 95'000'000; // guest kernel boot
+  int64_t kata_agent_nanos = 75'000'000;             // kata-agent + OCI
+  int64_t virtines_kvm_setup_nanos = 8'000'000;      // vCPU + EPT setup
+  int64_t unikraft_boot_nanos = 3'000'000;           // unikernel boot proper
+  int64_t gvisor_sentry_boot_nanos = 120'000'000;    // Go runtime + sentry
+  int64_t container_setup_nanos = 60'000'000;        // namespaces + cgroups
+
+  // Per-syscall interception penalty for the gVisor(ptrace) profile.
+  int64_t ptrace_intercept_nanos = 12'000;
+
+  // Extra per-packet cost of crossing a virtualized NIC (virtio + vmexit).
+  int64_t inter_vm_packet_nanos = 9'000;
+
+  // Plain process spawn for thread/process runtimes without a guest kernel.
+  int64_t process_spawn_nanos = 3'500'000;
+
+  // CPython interpreter bootstrap (Py_Initialize + importlib + site) on a
+  // WASM runtime, beyond the stdlib-image read this repo performs for real.
+  int64_t cpython_bootstrap_nanos = 200'000'000;
+
+  // dlmopen() of one as-libos module: mapping the shared object, resolving
+  // symbols, running initializers (§7.1 find_hostcall; the dominant share of
+  // the paper's 88.1ms load-all cost). Charged per module load on top of
+  // the real image-relocation work.
+  int64_t dlmopen_per_module_nanos = 6'000'000;
+
+  // virtio-blk toll on guest file reads (vs host page-cache reads).
+  int64_t virtio_blk_nanos_per_kib = 500;
+
+  // Nested-paging / hardware-virtualization compute overhead fraction
+  // (Fig 16 discussion; [65]).
+  double hw_virt_compute_fraction = 0.04;
+
+  // Faasm shared-region page-fault cost per 4 KiB page (mremap + fault).
+  int64_t faasm_page_fault_nanos = 1'800;
+
+  // Faasm control plane: scheduling one workflow stage through the
+  // distributed coordinator (§8.5: "as the function length increases, Faasm
+  // spends more time on the control plane").
+  int64_t faasm_stage_dispatch_nanos = 150'000'000;
+
+  // Wasmtime (Cranelift) vs WAVM (LLVM) code-quality gap: extra compute
+  // fraction charged to AlloyStack's AOT VM runs (§8.5: "Wasmtime is 30.0%
+  // slower than WAVM").
+  double wasmtime_cranelift_penalty = 0.30;
+
+  int64_t Scaled(int64_t nanos) const {
+    return static_cast<int64_t>(static_cast<double>(nanos) * scale);
+  }
+
+  // Process-wide instance used by baselines; tests may swap it.
+  static SimCostModel& Global();
+};
+
+}  // namespace asbase
+
+#endif  // SRC_COMMON_CLOCK_H_

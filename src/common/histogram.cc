@@ -1,0 +1,113 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace asbase {
+
+void Histogram::Record(int64_t value_nanos) {
+  samples_.push_back(value_nanos);
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    auto* self = const_cast<Histogram*>(this);
+    std::sort(self->samples_.begin(), self->samples_.end());
+    self->sorted_ = true;
+  }
+}
+
+int64_t Histogram::min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return samples_.front();
+}
+
+int64_t Histogram::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (int64_t s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank > 0) {
+    rank -= 1;
+  }
+  rank = std::min(rank, samples_.size() - 1);
+  return samples_[rank];
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%s p50=%s p99=%s max=%s",
+                count(), FormatNanos(static_cast<int64_t>(mean())).c_str(),
+                FormatNanos(Percentile(0.5)).c_str(),
+                FormatNanos(Percentile(0.99)).c_str(),
+                FormatNanos(max()).c_str());
+  return buf;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+std::string FormatNanos(int64_t nanos) {
+  char buf[64];
+  double v = static_cast<double>(nanos);
+  if (nanos < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  } else if (nanos < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+  } else if (nanos < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else if (bytes < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fGB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace asbase

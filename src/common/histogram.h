@@ -1,0 +1,49 @@
+// Latency histogram with exact percentiles (stores samples; the bench suite
+// records at most a few hundred thousand samples per series, so exactness is
+// cheaper than HDR bucketing and avoids quantization questions in the tables).
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asbase {
+
+class Histogram {
+ public:
+  void Record(int64_t value_nanos);
+
+  size_t count() const { return samples_.size(); }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  // q in [0, 1]; Percentile(0.99) is P99. Exact (nearest-rank) on the sorted
+  // sample set.
+  int64_t Percentile(double q) const;
+
+  // "n=100 mean=1.23ms p50=1.1ms p99=4.2ms"
+  std::string Summary() const;
+
+  void Clear() { samples_.clear(); sorted_ = true; }
+
+  // Merge another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Pretty-prints a nanosecond quantity with an adaptive unit ("1.3ms").
+std::string FormatNanos(int64_t nanos);
+
+// Pretty-prints a byte quantity ("16MB", "4KB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace asbase
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

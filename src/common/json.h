@@ -1,0 +1,121 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The gateway triggers workflows from JSON configuration files (§7.1), and the
+// watchdog's HTTP API exchanges JSON bodies. This is a strict parser for that
+// traffic: UTF-8 in/out, \uXXXX escapes (BMP only), no comments, no trailing
+// commas, 128-level depth limit.
+
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asbase {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic for golden tests.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}              // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Json(int v) : type_(Type::kInt), int_(v) {}               // NOLINT
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}           // NOLINT
+  Json(uint64_t v) : type_(Type::kInt),                     // NOLINT
+                     int_(static_cast<int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}      // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {} // NOLINT
+  Json(std::string s)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a)                                         // NOLINT
+      : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o)                                        // NOLINT
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  int64_t as_int(int64_t fallback = 0) const {
+    if (type_ == Type::kInt) {
+      return int_;
+    }
+    if (type_ == Type::kDouble) {
+      return static_cast<int64_t>(double_);
+    }
+    return fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    if (type_ == Type::kDouble) {
+      return double_;
+    }
+    if (type_ == Type::kInt) {
+      return static_cast<double>(int_);
+    }
+    return fallback;
+  }
+  const std::string& as_string() const { return string_; }
+
+  const JsonArray& array() const { return array_; }
+  JsonArray& array() { return array_; }
+  const JsonObject& object() const { return object_; }
+  JsonObject& object() { return object_; }
+
+  // Object lookup; returns a shared null sentinel when missing or not an
+  // object, so chained lookups are safe: doc["a"]["b"].as_int(7).
+  const Json& operator[](std::string_view key) const;
+  // Array index; null sentinel when out of range.
+  const Json& operator[](size_t index) const;
+
+  bool contains(std::string_view key) const {
+    return is_object() && object_.count(std::string(key)) > 0;
+  }
+
+  // Mutating accessors for building documents.
+  Json& Set(std::string key, Json value);
+  Json& Append(Json value);
+
+  // Serialize. `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace asbase
+
+#endif  // SRC_COMMON_JSON_H_

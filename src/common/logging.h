@@ -1,0 +1,66 @@
+// Leveled logging for the whole stack.
+//
+// Logging goes to stderr so benchmark/table output on stdout stays parseable.
+// The level is process-global and defaults to kWarn so benches stay quiet;
+// tests and examples raise it explicitly.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace asbase {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line; called by the LOG macro, not directly.
+void LogMessage(LogLevel level, std::string_view file, int line,
+                std::string_view message);
+
+// Stream-collecting helper; logs (and aborts for kFatal) in the destructor.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace asbase
+
+#define AS_LOG(level)                                                  \
+  if (::asbase::LogLevel::level < ::asbase::GetLogLevel()) {           \
+  } else                                                               \
+    ::asbase::LogLine(::asbase::LogLevel::level, __FILE__, __LINE__)
+
+// Check that aborts in all build modes (kernel-ish code should not limp on).
+#define AS_CHECK(cond)                                        \
+  if (cond) {                                                 \
+  } else                                                      \
+    ::asbase::LogLine(::asbase::LogLevel::kFatal, __FILE__,   \
+                      __LINE__)                               \
+        << "check failed: " #cond " "
+
+#endif  // SRC_COMMON_LOGGING_H_

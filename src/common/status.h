@@ -1,0 +1,146 @@
+// Error model shared by every AlloyStack library.
+//
+// The LibOS boundary (as-std -> as-libos) mirrors the paper's Rust `Result<T>`
+// return values: every fallible call returns `Result<T>`, a value-or-`Status`
+// sum type. `Status` carries a coarse `ErrorCode` (stable, switchable) and a
+// human-readable message (diagnostic only, never matched on).
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace asbase {
+
+// Stable error codes. Values intentionally mirror the coarse categories a
+// LibOS syscall layer needs; they are not errno values.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // slot / path / fd / key does not exist
+  kAlreadyExists,     // create collided with an existing entity
+  kPermissionDenied,  // MPK / isolation policy rejected the access
+  kResourceExhausted, // out of heap, fds, ports, disk clusters, ...
+  kFailedPrecondition,// object in the wrong state for this call
+  kOutOfRange,        // offset/length outside the object
+  kUnimplemented,     // module compiled out or API not provided
+  kUnavailable,       // transient: peer closed, would-block timeout, retry ok
+  kDataLoss,          // corruption detected (bad checksum, bad FAT chain)
+  kInternal,          // invariant violation inside the library
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such slot 'Conference'"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status PermissionDenied(std::string message);
+Status ResourceExhausted(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Unavailable(std::string message);
+Status DataLoss(std::string message);
+Status Internal(std::string message);
+
+// Value-or-Status. Minimal `std::expected` equivalent (the toolchain's
+// libstdc++ predates C++23 `<expected>`).
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from Status so `return value;` / `return
+  // NotFound(...)` both work, matching absl/Rust ergonomics.
+  Result(T value) : rep_(std::move(value)) {}           // NOLINT
+  Result(Status status) : rep_(std::move(status)) {     // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "cannot construct Result<T> from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace asbase
+
+// Propagate an error Status from an expression that yields Status.
+#define AS_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::asbase::Status as_status_ = (expr);          \
+    if (!as_status_.ok()) {                        \
+      return as_status_;                           \
+    }                                              \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on success bind the value to
+// `lhs`, on error propagate the Status.
+#define AS_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto AS_CONCAT_(as_result_, __LINE__) = (expr);  \
+  if (!AS_CONCAT_(as_result_, __LINE__).ok()) {    \
+    return AS_CONCAT_(as_result_, __LINE__).status(); \
+  }                                                \
+  lhs = std::move(AS_CONCAT_(as_result_, __LINE__)).value()
+
+#define AS_CONCAT_INNER_(a, b) a##b
+#define AS_CONCAT_(a, b) AS_CONCAT_INNER_(a, b)
+
+#endif  // SRC_COMMON_STATUS_H_

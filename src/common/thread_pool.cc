@@ -1,0 +1,46 @@
+#include "src/common/thread_pool.h"
+
+#include "src/common/logging.h"
+
+namespace asbase {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  AS_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.Close();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    ++inflight_;
+  }
+  bool pushed = tasks_.Push(std::move(task));
+  AS_CHECK(pushed) << "Submit() after destruction";
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (--inflight_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace asbase

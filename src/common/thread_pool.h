@@ -1,0 +1,44 @@
+// Fixed-size worker pool. Used by the orchestrator for stage fan-out and by
+// benches that drive open-loop load.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/queue.h"
+
+namespace asbase {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Tasks run in FIFO order across the workers.
+  void Submit(std::function<void()> task);
+
+  // Block until every task submitted so far has finished executing.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  size_t inflight_ = 0;  // queued + running
+};
+
+}  // namespace asbase
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

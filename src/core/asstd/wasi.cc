@@ -1,0 +1,495 @@
+#include "src/core/asstd/wasi.h"
+
+#include <cstring>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/vm/assembler.h"
+
+namespace alloy {
+namespace {
+
+// Scoped phase marker: hostcalls attribute their time to the right Fig 15
+// bucket and return the function to compute time afterwards.
+class ScopedPhase {
+ public:
+  ScopedPhase(FunctionContext* context, Phase phase) : context_(context) {
+    context_->BeginPhase(phase);
+  }
+  ~ScopedPhase() { context_->BeginPhase(Phase::kCompute); }
+
+ private:
+  FunctionContext* context_;
+};
+
+std::string SlotName(const std::string& base, int64_t i, int64_t j) {
+  std::string slot = base;
+  if (i >= 0) {
+    slot += "-" + std::to_string(i);
+  }
+  if (j >= 0) {
+    slot += "-" + std::to_string(j);
+  }
+  return slot;
+}
+
+asfat::OpenFlags DecodeOpenFlags(int64_t oflags) {
+  asfat::OpenFlags flags;
+  flags.read = true;
+  if (oflags & 1) {
+    flags = asfat::OpenFlags::WriteCreate();
+  }
+  if (oflags & 2) {
+    flags = asfat::OpenFlags::Append();
+  }
+  return flags;
+}
+
+}  // namespace
+
+WasiEnv::WasiEnv(FunctionContext* context) : context_(context) {
+  RegisterAll();
+}
+
+void WasiEnv::RegisterAll() {
+  AsStd& as = context_->as();
+
+  // ---- the 15 WASI interfaces (§7.2) ----
+  table_.Register(
+      "fd_write", 3,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        const int64_t fd = args[0];
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[1]),
+                                         static_cast<uint64_t>(args[2])));
+        std::span<const uint8_t> data(
+            vm.memory().data() + args[1], static_cast<size_t>(args[2]));
+        if (fd == 1 || fd == 2) {
+          AS_RETURN_IF_ERROR(as.Print(std::string_view(
+              reinterpret_cast<const char*>(data.data()), data.size())));
+          return args[2];
+        }
+        auto it = open_files_.find(fd);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("wasi: bad fd");
+        }
+        AS_ASSIGN_OR_RETURN(size_t n, it->second.Write(data));
+        return static_cast<int64_t>(n);
+      });
+
+  table_.Register(
+      "fd_read", 3,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kReadInput);
+        auto it = open_files_.find(args[0]);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("wasi: bad fd");
+        }
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[1]),
+                                         static_cast<uint64_t>(args[2])));
+        std::span<uint8_t> dest(vm.memory().data() + args[1],
+                                static_cast<size_t>(args[2]));
+        AS_ASSIGN_OR_RETURN(size_t n, it->second.Read(dest));
+        return static_cast<int64_t>(n);
+      });
+
+  table_.Register(
+      "fd_close", 1,
+      [this](asvm::Vm&,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        auto it = open_files_.find(args[0]);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("wasi: bad fd");
+        }
+        AS_RETURN_IF_ERROR(it->second.Close());
+        open_files_.erase(it);
+        return 0;
+      });
+
+  table_.Register(
+      "fd_seek", 3,
+      [this](asvm::Vm&,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        auto it = open_files_.find(args[0]);
+        if (it == open_files_.end()) {
+          return asbase::InvalidArgument("wasi: bad fd");
+        }
+        auto whence = static_cast<asfat::Whence>(args[2]);
+        AS_ASSIGN_OR_RETURN(uint64_t pos, it->second.Seek(args[1], whence));
+        return static_cast<int64_t>(pos);
+      });
+
+  table_.Register(
+      "path_open", 3,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kReadInput);
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        AS_ASSIGN_OR_RETURN(AsFile file,
+                            as.Open(path, DecodeOpenFlags(args[2])));
+        const int64_t fd = next_fd_++;
+        open_files_[fd] = std::move(file);
+        return fd;
+      });
+
+  table_.Register(
+      "path_create_directory", 2,
+      [&as](asvm::Vm& vm,
+            std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        AS_RETURN_IF_ERROR(as.Mkdir(path));
+        return 0;
+      });
+
+  table_.Register(
+      "path_unlink_file", 2,
+      [&as](asvm::Vm& vm,
+            std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        AS_RETURN_IF_ERROR(as.Remove(path));
+        return 0;
+      });
+
+  table_.Register(
+      "path_filestat_get", 2,
+      [&as](asvm::Vm& vm,
+            std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        AS_ASSIGN_OR_RETURN(asfat::FileInfo info, as.Stat(path));
+        return static_cast<int64_t>(info.size);
+      });
+
+  table_.Register(
+      "fd_readdir", 2,
+      [&as](asvm::Vm& vm,
+            std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        // Simplified: returns the number of entries in the directory named
+        // by the guest string.
+        AS_ASSIGN_OR_RETURN(std::string path,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        auto listing = as.wfd().libos().ReadDir(path);
+        if (!listing.ok()) {
+          return listing.status();
+        }
+        return static_cast<int64_t>(listing->size());
+      });
+
+  table_.Register(
+      "clock_time_get", 1,
+      [&as](asvm::Vm&,
+            std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return as.NowMicros();
+      });
+
+  table_.Register(
+      "proc_exit", 1,
+      [this](asvm::Vm&,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        exit_code_ = args[0];
+        return args[0];
+      });
+
+  table_.Register(
+      "random_get", 2,
+      [](asvm::Vm& vm,
+         std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[0]),
+                                         static_cast<uint64_t>(args[1])));
+        asbase::Rng rng(static_cast<uint64_t>(asbase::MonoNanos()));
+        for (int64_t i = 0; i < args[1]; ++i) {
+          vm.memory()[static_cast<size_t>(args[0] + i)] =
+              static_cast<uint8_t>(rng.Next());
+        }
+        return 0;
+      });
+
+  table_.Register("sched_yield", 0,
+                  [](asvm::Vm&, std::span<const int64_t>)
+                      -> asbase::Result<int64_t> {
+                    std::this_thread::yield();
+                    return 0;
+                  });
+
+  table_.Register(
+      "args_sizes_get", 0,
+      [this](asvm::Vm&, std::span<const int64_t>) -> asbase::Result<int64_t> {
+        return static_cast<int64_t>(
+            context_->params()["vm_arg"].as_string().size());
+      });
+
+  table_.Register(
+      "args_get", 1,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        const std::string& arg = context_->params()["vm_arg"].as_string();
+        AS_RETURN_IF_ERROR(vm.WriteGuestBytes(
+            static_cast<uint64_t>(args[0]),
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(arg.data()), arg.size())));
+        return static_cast<int64_t>(arg.size());
+      });
+
+  // ---- the two customized intermediate-data interfaces (§7.2) ----
+  table_.Register(
+      "buffer_register", 4,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kTransfer);
+        AS_ASSIGN_OR_RETURN(std::string slot,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[2]),
+                                         static_cast<uint64_t>(args[3])));
+        // C/Python transfer is string-typed (§7.2).
+        const uint64_t fingerprint = asalloc::FingerprintName("wasm-string");
+        AS_ASSIGN_OR_RETURN(
+            RawBuffer buffer,
+            as.AllocBuffer(slot, static_cast<size_t>(args[3]), fingerprint));
+        auto guard = as.BufferAccess();
+        std::memcpy(buffer.bytes.data(), vm.memory().data() + args[2],
+                    static_cast<size_t>(args[3]));
+        return 0;
+      });
+
+  table_.Register(
+      "access_buffer", 4,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kTransfer);
+        AS_ASSIGN_OR_RETURN(std::string slot,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const uint64_t fingerprint = asalloc::FingerprintName("wasm-string");
+        AS_ASSIGN_OR_RETURN(RawBuffer buffer,
+                            as.AcquireBuffer(slot, fingerprint));
+        const size_t n =
+            std::min<size_t>(buffer.bytes.size(), static_cast<size_t>(args[3]));
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[2]), n));
+        {
+          auto guard = as.BufferAccess();
+          std::memcpy(vm.memory().data() + args[2], buffer.bytes.data(), n);
+        }
+        AS_RETURN_IF_ERROR(as.FreeBuffer(buffer));
+        return static_cast<int64_t>(n);
+      });
+
+  // Indexed variants: slot = base[-i][-j] (i/j = -1 omits the suffix).
+  // Saves guests from integer-to-string formatting in bytecode.
+  table_.Register(
+      "buffer_register2", 6,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kTransfer);
+        AS_ASSIGN_OR_RETURN(std::string base,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string slot = SlotName(base, args[2], args[3]);
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[4]),
+                                         static_cast<uint64_t>(args[5])));
+        const uint64_t fingerprint = asalloc::FingerprintName("wasm-string");
+        AS_ASSIGN_OR_RETURN(
+            RawBuffer buffer,
+            as.AllocBuffer(slot, static_cast<size_t>(args[5]), fingerprint));
+        auto guard = as.BufferAccess();
+        if (args[5] > 0) {
+          std::memcpy(buffer.bytes.data(), vm.memory().data() + args[4],
+                      static_cast<size_t>(args[5]));
+        }
+        return 0;
+      });
+
+  table_.Register(
+      "access_buffer2", 6,
+      [this, &as](asvm::Vm& vm,
+                  std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        ScopedPhase phase(context_, Phase::kTransfer);
+        AS_ASSIGN_OR_RETURN(std::string base,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string slot = SlotName(base, args[2], args[3]);
+        const uint64_t fingerprint = asalloc::FingerprintName("wasm-string");
+        AS_ASSIGN_OR_RETURN(RawBuffer buffer,
+                            as.AcquireBuffer(slot, fingerprint));
+        const size_t n =
+            std::min<size_t>(buffer.bytes.size(), static_cast<size_t>(args[5]));
+        AS_RETURN_IF_ERROR(vm.CheckRange(static_cast<uint64_t>(args[4]), n));
+        {
+          auto guard = as.BufferAccess();
+          if (n > 0) {
+            std::memcpy(vm.memory().data() + args[4], buffer.bytes.data(), n);
+          }
+        }
+        AS_RETURN_IF_ERROR(as.FreeBuffer(buffer));
+        return static_cast<int64_t>(n);
+      });
+
+  // ---- context accessors for workflow-aware guests ----
+  table_.Register("ctx_stage", 0,
+                  [this](asvm::Vm&, std::span<const int64_t>)
+                      -> asbase::Result<int64_t> {
+                    return context_->stage();
+                  });
+  table_.Register("ctx_set_result_int", 1,
+                  [this](asvm::Vm&, std::span<const int64_t> args)
+                      -> asbase::Result<int64_t> {
+                    context_->SetResult("vm=" + std::to_string(args[0]));
+                    return 0;
+                  });
+  table_.Register("ctx_instance", 0,
+                  [this](asvm::Vm&, std::span<const int64_t>)
+                      -> asbase::Result<int64_t> {
+                    return context_->instance();
+                  });
+  table_.Register("ctx_instances", 0,
+                  [this](asvm::Vm&, std::span<const int64_t>)
+                      -> asbase::Result<int64_t> {
+                    return context_->instance_count();
+                  });
+  table_.Register(
+      "ctx_param_int", 2,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string name,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        return context_->params()[name].as_int();
+      });
+  table_.Register(
+      "ctx_param_str", 4,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string name,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        const std::string& value = context_->params()[name].as_string();
+        const size_t n =
+            std::min<size_t>(value.size(), static_cast<size_t>(args[3]));
+        AS_RETURN_IF_ERROR(vm.WriteGuestBytes(
+            static_cast<uint64_t>(args[2]),
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(value.data()), n)));
+        return static_cast<int64_t>(n);
+      });
+  table_.Register(
+      "ctx_set_result", 2,
+      [this](asvm::Vm& vm,
+             std::span<const int64_t> args) -> asbase::Result<int64_t> {
+        AS_ASSIGN_OR_RETURN(std::string result,
+                            vm.ReadGuestString(
+                                static_cast<uint64_t>(args[0]),
+                                static_cast<uint64_t>(args[1])));
+        context_->SetResult(std::move(result));
+        return 0;
+      });
+}
+
+asbase::Status EnsurePythonStdlib(AsStd& as) {
+  auto stat = as.Stat(kPythonStdlibPath);
+  if (stat.ok() && stat->size == kPythonStdlibBytes) {
+    return asbase::OkStatus();
+  }
+  asbase::Status mkdir_status = as.Mkdir("/lib");
+  if (!mkdir_status.ok() &&
+      mkdir_status.code() != asbase::ErrorCode::kAlreadyExists) {
+    return mkdir_status;
+  }
+  std::vector<uint8_t> image(kPythonStdlibBytes);
+  asbase::Rng rng(20250704);
+  for (auto& byte : image) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  return as.WriteWholeFile(kPythonStdlibPath, image);
+}
+
+UserFunction MakeVmFunction(std::shared_ptr<const asvm::VmModule> module,
+                            VmFunctionOptions options) {
+  return [module, options](FunctionContext& context) -> asbase::Status {
+    context.BeginPhase(Phase::kCompute);
+    if (options.python_runtime) {
+      // CPython runtime initialization: pull the stdlib image through the
+      // LibOS filesystem and checksum it (import machinery model). This is
+      // the dominant AS-Py / Faasm-Py cold-start cost in Fig 10.
+      context.BeginPhase(Phase::kReadInput);
+      auto image = context.as().ReadWholeFile(kPythonStdlibPath);
+      if (!image.ok()) {
+        AS_RETURN_IF_ERROR(EnsurePythonStdlib(context.as()));
+        image = context.as().ReadWholeFile(kPythonStdlibPath);
+        if (!image.ok()) {
+          return image.status();
+        }
+      }
+      uint64_t checksum = 0xcbf29ce484222325ULL;
+      for (uint8_t byte : *image) {
+        checksum = (checksum ^ byte) * 0x100000001b3ULL;
+      }
+      if (checksum == 0) {
+        return asbase::Internal("stdlib image corrupt");
+      }
+      context.BeginPhase(Phase::kCompute);
+      // Interpreter bootstrap beyond the image read (modeled; DESIGN.md §1).
+      asbase::SpinFor(asbase::SimCostModel::Global().Scaled(
+          asbase::SimCostModel::Global().cpython_bootstrap_nanos));
+    }
+
+    WasiEnv env(&context);
+    const asvm::VmMode mode =
+        options.python_runtime ? asvm::VmMode::kBoxed : options.mode;
+    asvm::Vm vm(module.get(), &env.host(), mode);
+    if (options.fuel != 0) {
+      vm.set_fuel(options.fuel);
+    }
+    const int64_t vm_start = asbase::MonoNanos();
+    auto result = vm.Run();
+    if (mode == asvm::VmMode::kAot) {
+      // Wasmtime's Cranelift code generator is ~30% slower than WAVM's LLVM
+      // backend (§8.5); both runtimes here share one interpreter, so
+      // AlloyStack's side carries the calibrated penalty explicitly.
+      const auto& model = asbase::SimCostModel::Global();
+      asbase::SpinFor(static_cast<int64_t>(
+          static_cast<double>(asbase::MonoNanos() - vm_start) *
+          model.wasmtime_cranelift_penalty * model.scale));
+    }
+    if (!result.ok()) {
+      return result.status();
+    }
+    if (env.exit_code() != 0) {
+      return asbase::Internal("guest exited with code " +
+                              std::to_string(env.exit_code()));
+    }
+    return asbase::OkStatus();
+  };
+}
+
+asbase::Status RegisterVmFunction(const std::string& name,
+                                  const std::string& source,
+                                  VmFunctionOptions options) {
+  AS_ASSIGN_OR_RETURN(asvm::VmModule module, asvm::Assemble(source));
+  auto shared = std::make_shared<const asvm::VmModule>(std::move(module));
+  FunctionRegistry::Global().Register(name,
+                                      MakeVmFunction(shared, options));
+  return asbase::OkStatus();
+}
+
+}  // namespace alloy

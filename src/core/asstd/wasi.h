@@ -1,0 +1,74 @@
+// WASI adaptation layer (§7.2): bridges AsVM hostcalls to as-std.
+//
+// The paper runs C and Python functions by compiling them to WASM and
+// executing them under Wasmtime, with a thin layer connecting WASI imports
+// to as-std. Here AsVM plays Wasmtime's role: `WasiEnv` exposes the 15 WASI
+// interfaces plus the two customized intermediate-data interfaces
+// (`buffer_register` / `access_buffer`) and a few context accessors, all
+// routed through this WFD's as-std (and so through the MPK trampoline into
+// as-libos).
+//
+// `MakeVmFunction` wraps an assembled module as a regular registry function
+// — "disguising the WASM runtime as a regular Rust user function".
+// `python_runtime = true` models the CPython-on-WASM path: the boxed
+// interpreter mode plus a synthetic stdlib image that must be read (through
+// the LibOS filesystem) and checksummed before execution, reproducing the
+// Python cold-start behaviour of Fig 10.
+
+#ifndef SRC_CORE_ASSTD_WASI_H_
+#define SRC_CORE_ASSTD_WASI_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/visor/orchestrator.h"
+#include "src/vm/vm.h"
+
+namespace alloy {
+
+class WasiEnv {
+ public:
+  explicit WasiEnv(FunctionContext* context);
+
+  const asvm::HostTable& host() const { return table_; }
+
+  // proc_exit code, if the guest called it (guest halts right after).
+  int64_t exit_code() const { return exit_code_; }
+
+ private:
+  void RegisterAll();
+
+  FunctionContext* context_;
+  asvm::HostTable table_;
+  std::map<int64_t, AsFile> open_files_;
+  int64_t next_fd_ = 3;
+  int64_t exit_code_ = 0;
+};
+
+struct VmFunctionOptions {
+  asvm::VmMode mode = asvm::VmMode::kAot;
+  // CPython model: boxed interpreter + stdlib image load at startup.
+  bool python_runtime = false;
+  uint64_t fuel = 0;  // 0 = unlimited
+};
+
+// Size of the synthetic Python stdlib image written to the WFD filesystem.
+constexpr size_t kPythonStdlibBytes = 4u << 20;
+constexpr const char* kPythonStdlibPath = "/lib/python_stdlib.img";
+
+// Writes the stdlib image if it is not already on this WFD's filesystem.
+asbase::Status EnsurePythonStdlib(AsStd& as);
+
+// Wraps an assembled AsVM module as a registry-compatible user function.
+// The module must outlive every invocation.
+UserFunction MakeVmFunction(std::shared_ptr<const asvm::VmModule> module,
+                            VmFunctionOptions options = {});
+
+// Assembles `source` and registers it under `name` in the global registry.
+asbase::Status RegisterVmFunction(const std::string& name,
+                                  const std::string& source,
+                                  VmFunctionOptions options = {});
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_ASSTD_WASI_H_

@@ -1,0 +1,198 @@
+// as-libos: the kernel-functionality layer of a WFD (§3.4, Table 2).
+//
+// One Libos instance per WFD; functions from different workflows go through
+// different instances, which is what isolates their kernel state (§3.1).
+// Modules are constructed on demand: nothing is instantiated at WFD creation
+// until a syscall needs a module (Figure 7's slow path); later calls find the
+// module present (fast path). `Options::load_all` disables this for the
+// AS-load-all ablation, constructing every module at boot.
+//
+// Each module's construction does the real work its Rust counterpart does —
+// the mm module maps and initializes the heap, the fatfs module formats and
+// mounts the FAT volume, the socket module attaches a TUN port and starts
+// the stack's poller thread — so cold-start measurements (Fig 10/14) time
+// genuine initialization, not sleeps.
+
+#ifndef SRC_CORE_LIBOS_LIBOS_H_
+#define SRC_CORE_LIBOS_LIBOS_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/alloc/arena.h"
+#include "src/alloc/linked_list_allocator.h"
+#include "src/alloc/slot_registry.h"
+#include "src/blockdev/block_device.h"
+#include "src/common/status.h"
+#include "src/core/libos/module.h"
+#include "src/fatfs/fat_volume.h"
+#include "src/fatfs/ram_filesystem.h"
+#include "src/mpk/pkey_runtime.h"
+#include "src/netstack/stack.h"
+
+namespace alloy {
+
+class Libos {
+ public:
+  struct Options {
+    // Disable on-demand loading: construct every module in the constructor
+    // (the paper's "AS-load-all" configuration).
+    bool load_all = false;
+    // Back the filesystem with ramfs instead of fatfs (Fig 16).
+    bool use_ramfs = false;
+    size_t heap_bytes = 64u << 20;
+    uint64_t disk_blocks = 128 * 1024;  // 64 MiB virtual disk
+    // Optional virtual network; without it the socket module is unavailable.
+    asnet::VirtualSwitch* fabric = nullptr;
+    asnet::Ipv4Addr addr = 0;
+    // Optional pre-existing disk image (e.g. shared input data); the libos
+    // does not take ownership. When null, the fatfs module creates and
+    // formats a fresh MemDisk.
+    asblk::BlockDevice* disk = nullptr;
+    // MPK runtime + key protecting the user heap; may be null in tests.
+    asmpk::PkeyRuntime* mpk = nullptr;
+    asmpk::ProtKey heap_key = 0;
+  };
+
+  explicit Libos(Options options);
+  ~Libos();
+
+  Libos(const Libos&) = delete;
+  Libos& operator=(const Libos&) = delete;
+
+  // ---- module lifecycle (the as-visor loader calls this; as-std reaches it
+  // through the trampoline) ----
+  asbase::Status EnsureLoaded(ModuleKind kind);
+  bool IsLoaded(ModuleKind kind) const;
+  std::vector<ModuleKind> LoadedModules() const;
+  int64_t ModuleLoadNanos(ModuleKind kind) const;
+  int64_t TotalLoadNanos() const;
+
+  // ---- mm ----
+  // Allocates a buffer on the WFD heap and registers it under `slot`.
+  asbase::Result<void*> AllocBuffer(const std::string& slot, size_t size,
+                                    size_t align, uint64_t fingerprint);
+  // Transfers ownership of the slot's buffer to the caller (removes the
+  // slot; single-consumer semantics, §7.1).
+  asbase::Result<asalloc::BufferRecord> AcquireBuffer(const std::string& slot,
+                                                      uint64_t fingerprint);
+  // Re-registers a heap buffer the caller already owns (obtained from
+  // AllocBuffer/AcquireBuffer) under a new slot: ownership transfer along a
+  // chain without copying.
+  asbase::Status RegisterBuffer(const std::string& slot, void* addr,
+                                size_t size, uint64_t fingerprint);
+  asbase::Result<void*> HeapAllocate(size_t size, size_t align = 16);
+  asbase::Status HeapFree(void* ptr);
+  asbase::Result<asalloc::LinkedListAllocator::Stats> HeapStats();
+  size_t PendingSlots() const;
+
+  // ---- fdtab (+ fatfs / ramfs underneath) ----
+  asbase::Result<int> Open(const std::string& path, asfat::OpenFlags flags);
+  asbase::Status CloseFd(int fd);
+  asbase::Result<size_t> Read(int fd, std::span<uint8_t> out);
+  asbase::Result<size_t> Write(int fd, std::span<const uint8_t> data);
+  asbase::Result<uint64_t> Seek(int fd, int64_t offset, asfat::Whence whence);
+  asbase::Result<asfat::FileInfo> Stat(const std::string& path);
+  asbase::Status Mkdir(const std::string& path);
+  asbase::Status Remove(const std::string& path);
+  asbase::Result<std::vector<asfat::FileInfo>> ReadDir(const std::string& path);
+  // Direct filesystem handle for bulk setup (input generation in benches).
+  asbase::Result<asfat::Filesystem*> Filesystem();
+
+  // ---- stdio ----
+  asbase::Result<size_t> HostStdout(std::span<const uint8_t> data);
+
+  // ---- time ----
+  asbase::Result<int64_t> GettimeofdayMicros();
+
+  // ---- socket ----
+  asbase::Result<std::unique_ptr<asnet::TcpListener>> SmolBind(uint16_t port);
+  asbase::Result<std::unique_ptr<asnet::TcpConnection>> SmolConnect(
+      asnet::Ipv4Addr dst, uint16_t port);
+  asbase::Result<asnet::NetStack*> Stack();
+
+  // ---- mmap_file_backend ----
+  // Maps a filesystem file into WFD heap memory with user-space paging: the
+  // content is faulted in from the filesystem in page-sized chunks on first
+  // touch of each page (userfaultfd equivalent).
+  asbase::Result<std::span<uint8_t>> MmapFile(const std::string& path);
+  // Faults-in [offset, offset+len) of a mapped region; returns pages read.
+  asbase::Result<size_t> EnsureResident(void* base, size_t offset, size_t len);
+  asbase::Status Munmap(void* base);
+
+  // Heap arena pages (for MPK binding by the WFD). Null until mm is loaded.
+  asalloc::Arena* heap_arena();
+
+  // Total bytes of resident heap (resource accounting, Fig 17b).
+  size_t ResidentHeapBytes() const;
+
+ private:
+  // ---- module state ----
+  struct MmModule {
+    asalloc::Arena heap;
+    asalloc::LinkedListAllocator allocator;
+    asalloc::SlotRegistry slots;
+    std::mutex mutex;
+  };
+  struct FsModule {
+    std::unique_ptr<asblk::BlockDevice> owned_disk;
+    std::unique_ptr<asfat::Filesystem> fs;
+  };
+  struct FdEntry {
+    enum class Kind { kFree, kFile, kListener, kConnection, kStdio } kind =
+        Kind::kFree;
+    int fs_handle = -1;
+    std::unique_ptr<asnet::TcpListener> listener;
+    std::unique_ptr<asnet::TcpConnection> connection;
+  };
+  struct FdtabModule {
+    std::vector<FdEntry> entries;
+    std::mutex mutex;
+  };
+  struct SocketModule {
+    std::shared_ptr<asnet::TunPort> port;
+    std::unique_ptr<asnet::NetStack> stack;
+  };
+  struct TimeModule {
+    int64_t boot_micros = 0;
+  };
+  struct MmapRegion {
+    std::string path;
+    size_t size = 0;
+    std::vector<bool> resident;  // per page
+    int fs_handle = -1;
+  };
+  struct MmapModule {
+    std::map<uintptr_t, MmapRegion> regions;
+    std::mutex mutex;
+  };
+
+  asbase::Status LoadLocked(ModuleKind kind);
+  asbase::Result<FsModule*> RequireFs();
+  asbase::Result<MmModule*> RequireMm();
+  asbase::Result<FdtabModule*> RequireFdtab();
+
+  Options options_;
+
+  mutable std::mutex load_mutex_;
+  std::array<std::atomic<bool>, kNumModuleKinds> loaded_{};
+  std::array<int64_t, kNumModuleKinds> load_nanos_{};
+
+  std::unique_ptr<MmModule> mm_;
+  std::unique_ptr<FsModule> fs_;
+  std::unique_ptr<FdtabModule> fdtab_;
+  std::unique_ptr<SocketModule> socket_;
+  std::unique_ptr<TimeModule> time_;
+  std::unique_ptr<MmapModule> mmap_;
+  bool stdio_ready_ = false;
+  std::mutex stdio_mutex_;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_LIBOS_LIBOS_H_

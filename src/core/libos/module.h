@@ -1,0 +1,38 @@
+// as-libos module identities (Table 2).
+//
+// Each kind names one on-demand loadable kernel-functionality module. The
+// mapping from module to substrate:
+//   mm                 WFD heap (linked-list allocator) + AsBuffer slot table
+//   fdtab              file-descriptor table (files, sockets, stdio)
+//   fatfs              FAT32 volume over the WFD's virtual disk image
+//   ramfs              in-memory filesystem (Fig 16 variant)
+//   socket             user-space TCP/IP stack on a TUN port
+//   stdio              host console passthrough
+//   time               host clock access
+//   mmap_file_backend  user-space paging of file-backed regions
+
+#ifndef SRC_CORE_LIBOS_MODULE_H_
+#define SRC_CORE_LIBOS_MODULE_H_
+
+#include <cstdint>
+
+namespace alloy {
+
+enum class ModuleKind : uint8_t {
+  kMm = 0,
+  kFdtab,
+  kFatfs,
+  kRamfs,
+  kSocket,
+  kStdio,
+  kTime,
+  kMmapFileBackend,
+};
+
+constexpr int kNumModuleKinds = 8;
+
+const char* ModuleKindName(ModuleKind kind);
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_LIBOS_MODULE_H_

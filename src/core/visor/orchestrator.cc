@@ -1,0 +1,206 @@
+#include "src/core/visor/orchestrator.h"
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace alloy {
+
+void FunctionContext::BeginPhase(Phase phase) {
+  const int64_t now = asbase::MonoNanos();
+  if (timing_started_) {
+    const int64_t elapsed = now - phase_start_nanos_;
+    switch (current_phase_) {
+      case Phase::kReadInput:
+        timings_.read_input_nanos += elapsed;
+        break;
+      case Phase::kCompute:
+        timings_.compute_nanos += elapsed;
+        break;
+      case Phase::kTransfer:
+        timings_.transfer_nanos += elapsed;
+        break;
+    }
+  }
+  current_phase_ = phase;
+  phase_start_nanos_ = now;
+  timing_started_ = true;
+}
+
+void FunctionContext::FinishTiming() {
+  if (timing_started_) {
+    BeginPhase(current_phase_);  // flush the open phase
+    timing_started_ = false;
+  }
+}
+
+void FunctionContext::SetResult(std::string result) {
+  result_ = std::move(result);
+}
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static auto* registry = new FunctionRegistry();
+  return *registry;
+}
+
+void FunctionRegistry::Register(const std::string& name, UserFunction fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  functions_[name] = std::move(fn);
+}
+
+asbase::Result<UserFunction> FunctionRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return asbase::NotFound("no function named '" + name +
+                            "' in the registry");
+  }
+  return it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : functions_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+asbase::Result<WorkflowSpec> WorkflowSpec::FromJson(
+    const asbase::Json& config) {
+  WorkflowSpec spec;
+  if (!config["name"].is_string()) {
+    return asbase::InvalidArgument("workflow config needs a 'name'");
+  }
+  spec.name = config["name"].as_string();
+  if (!config["stages"].is_array()) {
+    return asbase::InvalidArgument("workflow config needs 'stages'");
+  }
+  for (const auto& stage_json : config["stages"].array()) {
+    StageSpec stage;
+    if (!stage_json["functions"].is_array()) {
+      return asbase::InvalidArgument("stage needs 'functions'");
+    }
+    for (const auto& fn_json : stage_json["functions"].array()) {
+      FunctionSpec fn;
+      fn.name = fn_json["name"].as_string();
+      if (fn.name.empty()) {
+        return asbase::InvalidArgument("function needs a 'name'");
+      }
+      fn.instances = static_cast<int>(fn_json["instances"].as_int(1));
+      fn.max_retries = static_cast<int>(fn_json["max_retries"].as_int(0));
+      if (fn.instances < 1) {
+        return asbase::InvalidArgument("instances must be >= 1");
+      }
+      stage.functions.push_back(std::move(fn));
+    }
+    if (stage.functions.empty()) {
+      return asbase::InvalidArgument("stage has no functions");
+    }
+    spec.stages.push_back(std::move(stage));
+  }
+  if (spec.stages.empty()) {
+    return asbase::InvalidArgument("workflow has no stages");
+  }
+  return spec;
+}
+
+asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
+                                           const asbase::Json& params) {
+  RunStats stats;
+  const int64_t run_start = asbase::MonoNanos();
+  const uint64_t enters_before = wfd_->trampoline().enter_count();
+  const uint64_t switches_before = wfd_->mpk().switch_count();
+
+  AsStd as(wfd_);
+
+  for (size_t stage_index = 0; stage_index < workflow.stages.size();
+       ++stage_index) {
+    const StageSpec& stage = workflow.stages[stage_index];
+
+    struct InstanceRun {
+      FunctionContext context;
+      asbase::Status status = asbase::OkStatus();
+      int64_t finished_at = 0;
+      size_t retries = 0;
+    };
+    std::vector<std::unique_ptr<InstanceRun>> runs;
+    std::vector<std::thread> threads;
+
+    for (const FunctionSpec& fn_spec : stage.functions) {
+      AS_ASSIGN_OR_RETURN(UserFunction fn,
+                          FunctionRegistry::Global().Find(fn_spec.name));
+      for (int instance = 0; instance < fn_spec.instances; ++instance) {
+        auto run = std::make_unique<InstanceRun>(InstanceRun{
+            FunctionContext(&as, fn_spec.name,
+                            static_cast<int>(stage_index), instance,
+                            fn_spec.instances, &params)});
+        InstanceRun* run_ptr = run.get();
+        runs.push_back(std::move(run));
+
+        const int max_retries = fn_spec.max_retries;
+        threads.emplace_back([this, run_ptr, fn, max_retries,
+                              fn_name = fn_spec.name] {
+          auto fn_key = wfd_->RegisterFunctionInstance(fn_name);
+          const uint32_t user_pkru =
+              wfd_->UserPkru(fn_key.ok() ? *fn_key : wfd_->user_key());
+          // Run with user permissions; functions regain system access only
+          // through the as-std trampoline.
+          wfd_->mpk().WritePkru(user_pkru);
+          run_ptr->context.BeginPhase(Phase::kCompute);
+          asbase::Status status = asbase::OkStatus();
+          for (int attempt = 0; attempt <= max_retries; ++attempt) {
+            if (attempt > 0) {
+              ++run_ptr->retries;
+            }
+            // Retry-based fault tolerance (§3.1): user exceptions poison
+            // only this function, which can re-run if idempotent.
+            try {
+              status = fn(run_ptr->context);
+            } catch (const std::exception& error) {
+              status = asbase::Internal(std::string("function crashed: ") +
+                                        error.what());
+            }
+            if (status.ok()) {
+              break;
+            }
+          }
+          run_ptr->context.FinishTiming();
+          run_ptr->status = status;
+          run_ptr->finished_at = asbase::MonoNanos();
+          wfd_->mpk().WritePkru(0);  // leave the thread fully open again
+        });
+      }
+    }
+
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    const int64_t barrier_at = asbase::MonoNanos();
+
+    for (auto& run : runs) {
+      run->context.timings().wait_nanos = barrier_at - run->finished_at;
+      stats.phases += run->context.timings();
+      stats.retries += run->retries;
+      ++stats.instances_run;
+      if (!run->context.result().empty()) {
+        stats.result = run->context.result();
+      }
+      if (!run->status.ok()) {
+        return asbase::Status(run->status.code(),
+                              "function '" + run->context.function_name() +
+                                  "' failed: " + run->status.message());
+      }
+    }
+  }
+
+  stats.total_nanos = asbase::MonoNanos() - run_start;
+  stats.trampoline_enters = wfd_->trampoline().enter_count() - enters_before;
+  stats.pkru_switches = wfd_->mpk().switch_count() - switches_before;
+  return stats;
+}
+
+}  // namespace alloy

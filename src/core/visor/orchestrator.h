@@ -1,0 +1,147 @@
+// as-visor's orchestrator (§3.3): runs a workflow's DAG as parallel thread
+// stages inside one WFD.
+//
+// A workflow is a sequence of stages; each stage is a set of function
+// instances that run concurrently on their own threads; stages are separated
+// by barriers (the fan-in wait the Fig 15 breakdown measures). Functions are
+// looked up by name in the process-global FunctionRegistry, so JSON workflow
+// configurations (§7.1) can reference them.
+//
+// Each instance thread drops to user MPK permissions before running the
+// function body and regains nothing until the function's as-std calls
+// trampoline back into the LibOS.
+
+#ifndef SRC_CORE_VISOR_ORCHESTRATOR_H_
+#define SRC_CORE_VISOR_ORCHESTRATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/core/asstd/asstd.h"
+
+namespace alloy {
+
+// Execution phases a function reports for the latency breakdown (Fig 15).
+enum class Phase { kReadInput, kCompute, kTransfer };
+
+struct PhaseTimings {
+  int64_t read_input_nanos = 0;
+  int64_t compute_nanos = 0;
+  int64_t transfer_nanos = 0;
+  int64_t wait_nanos = 0;  // fan-in: finished-to-barrier time
+
+  PhaseTimings& operator+=(const PhaseTimings& other) {
+    read_input_nanos += other.read_input_nanos;
+    compute_nanos += other.compute_nanos;
+    transfer_nanos += other.transfer_nanos;
+    wait_nanos += other.wait_nanos;
+    return *this;
+  }
+};
+
+class FunctionContext {
+ public:
+  FunctionContext(AsStd* as, std::string function_name, int stage,
+                  int instance, int instance_count, const asbase::Json* params)
+      : as_(as), function_name_(std::move(function_name)), stage_(stage),
+        instance_(instance), instance_count_(instance_count),
+        params_(params) {}
+
+  AsStd& as() { return *as_; }
+  const std::string& function_name() const { return function_name_; }
+  int stage() const { return stage_; }
+  int instance() const { return instance_; }
+  int instance_count() const { return instance_count_; }
+  const asbase::Json& params() const { return *params_; }
+
+  // Phase accounting. A function marks transitions; un-marked time counts as
+  // compute.
+  void BeginPhase(Phase phase);
+  PhaseTimings& timings() { return timings_; }
+  void FinishTiming();
+
+  // Sets the workflow's result payload (visible in InvokeResult). Last
+  // writer wins; typically only the final stage writes it.
+  void SetResult(std::string result);
+  const std::string& result() const { return result_; }
+
+ private:
+  friend class Orchestrator;
+  AsStd* as_;
+  std::string function_name_;
+  int stage_;
+  int instance_;
+  int instance_count_;
+  const asbase::Json* params_;
+
+  PhaseTimings timings_;
+  Phase current_phase_ = Phase::kCompute;
+  int64_t phase_start_nanos_ = 0;
+  bool timing_started_ = false;
+  std::string result_;
+};
+
+using UserFunction = std::function<asbase::Status(FunctionContext&)>;
+
+// Process-global function registry; workloads register at startup.
+class FunctionRegistry {
+ public:
+  static FunctionRegistry& Global();
+
+  void Register(const std::string& name, UserFunction fn);
+  asbase::Result<UserFunction> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, UserFunction> functions_;
+};
+
+struct FunctionSpec {
+  std::string name;       // registry lookup key
+  int instances = 1;
+  int max_retries = 0;    // retry-based fault tolerance (§3.1)
+};
+
+struct StageSpec {
+  std::vector<FunctionSpec> functions;
+};
+
+struct WorkflowSpec {
+  std::string name;
+  std::vector<StageSpec> stages;
+
+  // Parses {"name": ..., "stages":[{"functions":[{"name","instances"}]}]}.
+  static asbase::Result<WorkflowSpec> FromJson(const asbase::Json& config);
+};
+
+struct RunStats {
+  int64_t total_nanos = 0;
+  PhaseTimings phases;       // summed over every instance
+  size_t instances_run = 0;
+  size_t retries = 0;
+  std::string result;
+  uint64_t trampoline_enters = 0;
+  uint64_t pkru_switches = 0;
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(Wfd* wfd) : wfd_(wfd) {}
+
+  // Runs the workflow to completion. Any function failure beyond its retry
+  // budget aborts the run with that function's status.
+  asbase::Result<RunStats> Run(const WorkflowSpec& workflow,
+                               const asbase::Json& params);
+
+ private:
+  Wfd* wfd_;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_VISOR_ORCHESTRATOR_H_

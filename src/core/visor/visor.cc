@@ -1,0 +1,166 @@
+#include "src/core/visor/visor.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace alloy {
+
+AsVisor::~AsVisor() { StopWatchdog(); }
+
+void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
+                               WorkflowOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.spec = spec;
+  entry.options = std::move(options);
+  workflows_[spec.name] = std::move(entry);
+}
+
+asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
+  AS_ASSIGN_OR_RETURN(WorkflowSpec spec, WorkflowSpec::FromJson(config));
+  WorkflowOptions options;
+  const asbase::Json& opts = config["options"];
+  if (opts.is_object()) {
+    options.wfd.use_ramfs = opts["ramfs"].as_bool(false);
+    options.wfd.on_demand = !opts["load_all"].as_bool(false);
+    options.wfd.reference_passing = opts["reference_passing"].as_bool(true);
+    options.wfd.inter_function_isolation =
+        opts["inter_function_isolation"].as_bool(false);
+    if (opts["heap_mb"].is_number()) {
+      options.wfd.heap_bytes =
+          static_cast<size_t>(opts["heap_mb"].as_int()) << 20;
+    }
+    if (opts["disk_mb"].is_number()) {
+      options.wfd.disk_blocks =
+          static_cast<uint64_t>(opts["disk_mb"].as_int()) * 2048;
+    }
+  }
+  options.wfd.name = spec.name;
+  RegisterWorkflow(spec, std::move(options));
+  return asbase::OkStatus();
+}
+
+asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
+                                             const asbase::Json& params) {
+  WorkflowSpec spec;
+  WfdOptions wfd_options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return asbase::NotFound("no workflow named '" + workflow_name + "'");
+    }
+    spec = it->second.spec;
+    wfd_options = it->second.options.wfd;
+  }
+
+  const int64_t received_at = asbase::MonoNanos();
+  InvokeResult result;
+
+  // Step 1 (Fig 4): instantiate the WFD for this invocation.
+  AS_ASSIGN_OR_RETURN(std::unique_ptr<Wfd> wfd, Wfd::Create(wfd_options));
+  result.wfd_create_nanos = wfd->creation_nanos();
+
+  // Steps 2-6: run the workflow; modules load on demand inside.
+  Orchestrator orchestrator(wfd.get());
+  AS_ASSIGN_OR_RETURN(result.run, orchestrator.Run(spec, params));
+
+  result.module_load_nanos = wfd->libos().TotalLoadNanos();
+  result.cold_start_nanos = result.wfd_create_nanos + result.module_load_nanos;
+  result.modules_loaded = wfd->libos().LoadedModules();
+  result.resident_bytes = wfd->ResidentBytes();
+  result.end_to_end_nanos = asbase::MonoNanos() - received_at;
+
+  // Step 7: destroy the WFD and reclaim resources (wfd goes out of scope).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it != workflows_.end()) {
+      it->second.latency.Record(result.end_to_end_nanos);
+    }
+  }
+  return result;
+}
+
+asbase::Result<InvokeResult> AsVisor::InvokeFromConfig(
+    const std::string& config_json, const asbase::Json& params) {
+  AS_ASSIGN_OR_RETURN(asbase::Json config, asbase::Json::Parse(config_json));
+  AS_RETURN_IF_ERROR(RegisterWorkflowFromJson(config));
+  return Invoke(config["name"].as_string(), params);
+}
+
+asbase::Status AsVisor::StartWatchdog(uint16_t port) {
+  if (watchdog_ != nullptr) {
+    return asbase::FailedPrecondition("watchdog already running");
+  }
+  watchdog_ = std::make_unique<ashttp::HttpServer>(
+      [this](const ashttp::HttpRequest& request) {
+        ashttp::HttpResponse response;
+        if (request.method == "GET" && request.target == "/health") {
+          response.body = "ok";
+          return response;
+        }
+        const std::string prefix = "/invoke/";
+        if (request.method != "POST" ||
+            request.target.rfind(prefix, 0) != 0) {
+          response.status = 404;
+          response.reason = "Not Found";
+          response.body = "unknown endpoint";
+          return response;
+        }
+        const std::string name = request.target.substr(prefix.size());
+        asbase::Json params;
+        if (!request.body.empty()) {
+          auto parsed = asbase::Json::Parse(request.body);
+          if (!parsed.ok()) {
+            response.status = 400;
+            response.reason = "Bad Request";
+            response.body = parsed.status().ToString();
+            return response;
+          }
+          params = *parsed;
+        }
+        auto invoked = Invoke(name, params);
+        if (!invoked.ok()) {
+          response.status =
+              invoked.status().code() == asbase::ErrorCode::kNotFound ? 404
+                                                                      : 500;
+          response.reason = "Error";
+          response.body = invoked.status().ToString();
+          return response;
+        }
+        asbase::Json body;
+        body.Set("workflow", name);
+        body.Set("cold_start_nanos", invoked->cold_start_nanos);
+        body.Set("end_to_end_nanos", invoked->end_to_end_nanos);
+        body.Set("instances", static_cast<int64_t>(invoked->run.instances_run));
+        body.Set("result", invoked->run.result);
+        response.headers["content-type"] = "application/json";
+        response.body = body.Dump();
+        return response;
+      });
+  return watchdog_->Start(port);
+}
+
+uint16_t AsVisor::watchdog_port() const {
+  return watchdog_ == nullptr ? 0 : watchdog_->port();
+}
+
+void AsVisor::StopWatchdog() {
+  if (watchdog_ != nullptr) {
+    watchdog_->Stop();
+    watchdog_.reset();
+  }
+}
+
+asbase::Result<asbase::Histogram> AsVisor::LatencyHistogram(
+    const std::string& workflow_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = workflows_.find(workflow_name);
+  if (it == workflows_.end()) {
+    return asbase::NotFound("no workflow named '" + workflow_name + "'");
+  }
+  return it->second.latency;
+}
+
+}  // namespace alloy

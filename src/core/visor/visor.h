@@ -1,0 +1,86 @@
+// as-visor: the global runtime layer (§3.3).
+//
+// Owns workflow definitions, instantiates a fresh WFD per invocation,
+// orchestrates the run, destroys the WFD and reclaims resources (§3.2), and
+// exposes the watchdog — an HTTP endpoint (host socket) through which
+// external events trigger workflows. A CLI-style entry (`InvokeFromConfig`)
+// executes workflows straight from JSON configurations (§7.1).
+
+#ifndef SRC_CORE_VISOR_VISOR_H_
+#define SRC_CORE_VISOR_VISOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/core/visor/orchestrator.h"
+#include "src/http/http.h"
+
+namespace alloy {
+
+struct InvokeResult {
+  // Cold start: WFD instantiation + LibOS modules loaded during the run.
+  int64_t cold_start_nanos = 0;
+  int64_t wfd_create_nanos = 0;
+  int64_t module_load_nanos = 0;
+  RunStats run;
+  // End-to-end: invocation receipt to workflow completion.
+  int64_t end_to_end_nanos = 0;
+  std::vector<ModuleKind> modules_loaded;
+  size_t resident_bytes = 0;
+};
+
+class AsVisor {
+ public:
+  struct WorkflowOptions {
+    WfdOptions wfd;
+  };
+
+  AsVisor() = default;
+  ~AsVisor();
+
+  AsVisor(const AsVisor&) = delete;
+  AsVisor& operator=(const AsVisor&) = delete;
+
+  // Registers a workflow under spec.name; overwrites an existing entry.
+  void RegisterWorkflow(const WorkflowSpec& spec, WorkflowOptions options = {});
+
+  // Full JSON configuration: workflow spec (+"options": {"ramfs", "load_all",
+  // "reference_passing", "inter_function_isolation", "heap_mb"}).
+  asbase::Status RegisterWorkflowFromJson(const asbase::Json& config);
+
+  // Cold-start invocation: new WFD, run, destroy.
+  asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
+                                      const asbase::Json& params);
+
+  // One-shot CLI gateway: parse config, register, invoke once.
+  asbase::Result<InvokeResult> InvokeFromConfig(const std::string& config_json,
+                                                const asbase::Json& params);
+
+  // Watchdog: POST /invoke/<workflow> with a JSON params body; responds with
+  // the run result and latency. GET /health answers "ok".
+  asbase::Status StartWatchdog(uint16_t port = 0);
+  uint16_t watchdog_port() const;
+  void StopWatchdog();
+
+  // Per-workflow end-to-end latency samples (P99 analysis, Fig 17a).
+  asbase::Result<asbase::Histogram> LatencyHistogram(
+      const std::string& workflow_name) const;
+
+ private:
+  struct Entry {
+    WorkflowSpec spec;
+    WorkflowOptions options;
+    asbase::Histogram latency;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> workflows_;
+  std::unique_ptr<ashttp::HttpServer> watchdog_;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_VISOR_VISOR_H_

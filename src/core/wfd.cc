@@ -1,0 +1,85 @@
+#include "src/core/wfd.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace alloy {
+
+asbase::Result<std::unique_ptr<Wfd>> Wfd::Create(WfdOptions options) {
+  const int64_t start = asbase::MonoNanos();
+  auto wfd = std::unique_ptr<Wfd>(new Wfd());
+  wfd->options_ = options;
+  wfd->mpk_ = std::make_unique<asmpk::PkeyRuntime>(options.mpk_backend);
+
+  AS_ASSIGN_OR_RETURN(wfd->system_key_, wfd->mpk_->AllocateKey());
+  AS_ASSIGN_OR_RETURN(wfd->user_key_, wfd->mpk_->AllocateKey());
+
+  // System PKRU: everything open (system code may touch user buffers to
+  // service syscalls). User PKRU: only the user key (plus default key 0).
+  const uint32_t user_pkru = asmpk::PkeyRuntime::AllowKey(
+      asmpk::PkeyRuntime::kDenyAll, wfd->user_key_);
+  wfd->trampoline_ =
+      std::make_unique<asmpk::Trampoline>(wfd->mpk_.get(), user_pkru,
+                                          /*system_pkru=*/0u);
+
+  Libos::Options libos_options;
+  libos_options.load_all = !options.on_demand;
+  libos_options.use_ramfs = options.use_ramfs;
+  libos_options.heap_bytes = options.heap_bytes;
+  libos_options.disk_blocks = options.disk_blocks;
+  libos_options.fabric = options.fabric;
+  libos_options.addr = options.addr;
+  libos_options.disk = options.disk;
+  libos_options.mpk = wfd->mpk_.get();
+  libos_options.heap_key = wfd->user_key_;
+  wfd->libos_ = std::make_unique<Libos>(std::move(libos_options));
+
+  wfd->creation_nanos_ = asbase::MonoNanos() - start;
+  return wfd;
+}
+
+Wfd::~Wfd() {
+  // Destruction order handles reclaim: libos (heap arena, disk, netstack
+  // poller) first, then the trampoline and key runtime. Matches as-visor
+  // "destroys the WFD and reclaims the associated resources" (§3.2 step 7).
+  if (libos_ != nullptr && mpk_ != nullptr) {
+    asalloc::Arena* heap = libos_->heap_arena();
+    if (heap != nullptr && heap->valid()) {
+      // Re-open and unbind the heap pages before the arena unmaps them.
+      mpk_->WritePkru(0);
+      mpk_->UnbindRegion(heap->data(), heap->size());
+    }
+  }
+}
+
+asbase::Result<asmpk::ProtKey> Wfd::RegisterFunctionInstance(
+    const std::string& function_name) {
+  if (!options_.inter_function_isolation) {
+    return user_key_;
+  }
+  auto key = mpk_->AllocateKey();
+  if (!key.ok()) {
+    // Keys are a finite hardware resource (15); fall back to the shared
+    // user key when a workflow has more instances than keys, like the
+    // paper's default (shared MPK permissions) mode.
+    AS_LOG(kDebug) << "out of pkeys for " << function_name
+                   << "; sharing the WFD user key";
+    return user_key_;
+  }
+  return *key;
+}
+
+uint32_t Wfd::UserPkru(asmpk::ProtKey function_key) const {
+  uint32_t pkru = asmpk::PkeyRuntime::AllowKey(asmpk::PkeyRuntime::kDenyAll,
+                                               user_key_);
+  if (function_key != user_key_) {
+    pkru = asmpk::PkeyRuntime::AllowKey(pkru, function_key);
+  }
+  return pkru;
+}
+
+size_t Wfd::ResidentBytes() const {
+  return libos_ == nullptr ? 0 : libos_->ResidentHeapBytes();
+}
+
+}  // namespace alloy

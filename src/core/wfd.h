@@ -1,0 +1,101 @@
+// The WorkFlow Domain (WFD) abstraction (§3.1).
+//
+// A WFD is the unit of workflow deployment: one shared address space holding
+// the user functions, the as-libos instance, the heap, and the MPK partition
+// layout. Strong isolation exists *between* WFDs (separate LibOS instances,
+// separate heaps, separate keys); functions *inside* a WFD share the address
+// space so intermediate data moves by reference (§5).
+//
+// MPK layout (§3.3): the WFD allocates a *system* key (as-libos/as-visor
+// state) and a *user* key (heap + user data). User code runs under a PKRU
+// that denies the system key; the as-std trampoline raises permissions
+// around every LibOS call. With `inter_function_isolation` (AS-IFI), each
+// registered function instance additionally gets its own key and pays a PKRU
+// switch around intermediate-buffer accesses.
+
+#ifndef SRC_CORE_WFD_H_
+#define SRC_CORE_WFD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/libos/libos.h"
+#include "src/mpk/trampoline.h"
+
+namespace alloy {
+
+struct WfdOptions {
+  std::string name = "wfd";
+
+  // On-demand module loading (§4). false == the AS-load-all ablation.
+  bool on_demand = true;
+  // Reference passing for intermediate data (§5). false == the ablation that
+  // moves intermediate data through fatfs files (AWS-recommended pattern).
+  bool reference_passing = true;
+  // AS-IFI: a protection key per function instance (§3.3, FINRA-style).
+  bool inter_function_isolation = false;
+  // Back the filesystem with ramfs instead of a FAT disk image (Fig 16).
+  bool use_ramfs = false;
+
+  size_t heap_bytes = 64u << 20;
+  uint64_t disk_blocks = 128 * 1024;  // 64 MiB virtual disk
+
+  // Virtual network attachment (optional).
+  asnet::VirtualSwitch* fabric = nullptr;
+  asnet::Ipv4Addr addr = 0;
+  // Optional pre-populated disk image (not owned).
+  asblk::BlockDevice* disk = nullptr;
+
+  asmpk::MpkBackend mpk_backend = asmpk::PkeyRuntime::DefaultBackend();
+};
+
+class Wfd {
+ public:
+  // Instantiates the WFD: MPK keys + trampoline + (empty or full) LibOS.
+  // The time this takes *is* the WFD part of cold start (Fig 10).
+  static asbase::Result<std::unique_ptr<Wfd>> Create(WfdOptions options);
+
+  ~Wfd();
+
+  Wfd(const Wfd&) = delete;
+  Wfd& operator=(const Wfd&) = delete;
+
+  Libos& libos() { return *libos_; }
+  asmpk::PkeyRuntime& mpk() { return *mpk_; }
+  asmpk::Trampoline& trampoline() { return *trampoline_; }
+  const WfdOptions& options() const { return options_; }
+
+  // Nanoseconds spent inside Create() — the WFD instantiation part of the
+  // cold-start budget. Module load time accrues separately in the LibOS.
+  int64_t creation_nanos() const { return creation_nanos_; }
+
+  // Under AS-IFI, allocates a dedicated key for a function instance.
+  // Returns the WFD user key otherwise.
+  asbase::Result<asmpk::ProtKey> RegisterFunctionInstance(
+      const std::string& function_name);
+
+  asmpk::ProtKey system_key() const { return system_key_; }
+  asmpk::ProtKey user_key() const { return user_key_; }
+
+  // PKRU for user code: everything denied except the given function key and
+  // the shared user key.
+  uint32_t UserPkru(asmpk::ProtKey function_key) const;
+
+  // Resident memory attributable to this WFD (Fig 17b).
+  size_t ResidentBytes() const;
+
+ private:
+  Wfd() = default;
+
+  WfdOptions options_;
+  std::unique_ptr<asmpk::PkeyRuntime> mpk_;
+  asmpk::ProtKey system_key_ = 0;
+  asmpk::ProtKey user_key_ = 0;
+  std::unique_ptr<asmpk::Trampoline> trampoline_;
+  std::unique_ptr<Libos> libos_;
+  int64_t creation_nanos_ = 0;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_WFD_H_

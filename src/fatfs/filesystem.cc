@@ -1,0 +1,80 @@
+#include "src/fatfs/filesystem.h"
+
+namespace asfat {
+
+asbase::Status Filesystem::WriteFile(const std::string& path,
+                                     std::span<const uint8_t> data) {
+  AS_ASSIGN_OR_RETURN(int handle, Open(path, OpenFlags::WriteCreate()));
+  size_t written = 0;
+  while (written < data.size()) {
+    auto n = Write(handle, data.subspan(written));
+    if (!n.ok()) {
+      Close(handle);
+      return n.status();
+    }
+    if (*n == 0) {
+      Close(handle);
+      return asbase::ResourceExhausted("filesystem full writing " + path);
+    }
+    written += *n;
+  }
+  return Close(handle);
+}
+
+asbase::Status Filesystem::WriteFile(const std::string& path,
+                                     const std::string& text) {
+  return WriteFile(path,
+                   std::span<const uint8_t>(
+                       reinterpret_cast<const uint8_t*>(text.data()),
+                       text.size()));
+}
+
+asbase::Result<std::vector<uint8_t>> Filesystem::ReadFile(
+    const std::string& path) {
+  AS_ASSIGN_OR_RETURN(FileInfo info, Stat(path));
+  if (info.is_directory) {
+    return asbase::InvalidArgument(path + " is a directory");
+  }
+  AS_ASSIGN_OR_RETURN(int handle, Open(path, OpenFlags::ReadOnly()));
+  std::vector<uint8_t> data(info.size);
+  size_t done = 0;
+  while (done < data.size()) {
+    auto n = Read(handle, std::span<uint8_t>(data).subspan(done));
+    if (!n.ok()) {
+      Close(handle);
+      return n.status();
+    }
+    if (*n == 0) {
+      break;  // truncated concurrently; return what we saw
+    }
+    done += *n;
+  }
+  data.resize(done);
+  AS_RETURN_IF_ERROR(Close(handle));
+  return data;
+}
+
+asbase::Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return asbase::InvalidArgument("path must be absolute: '" + path + "'");
+  }
+  std::vector<std::string> parts;
+  size_t pos = 1;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      next = path.size();
+    }
+    if (next == pos) {
+      if (pos == path.size()) {
+        break;  // trailing slash
+      }
+      return asbase::InvalidArgument("empty path component in '" + path + "'");
+    }
+    parts.push_back(path.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return parts;
+}
+
+}  // namespace asfat

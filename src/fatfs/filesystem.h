@@ -1,0 +1,82 @@
+// Filesystem interface consumed by the as-libos `fatfs` module.
+//
+// Two implementations ship: `FatFilesystem` (the from-scratch FAT32 volume,
+// the default WFD image format, §7.1) and `RamFilesystem` (the in-memory fs
+// used for the Fig 16 "run on ramfs" comparison, and as the reference model
+// in FAT property tests).
+//
+// Paths are absolute, '/'-separated, UTF-8. Handles are small integers local
+// to the filesystem instance.
+
+#ifndef SRC_FATFS_FILESYSTEM_H_
+#define SRC_FATFS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asfat {
+
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool append = false;
+
+  static OpenFlags ReadOnly() { return {}; }
+  static OpenFlags WriteCreate() {
+    return {.read = false, .write = true, .create = true, .truncate = true};
+  }
+  static OpenFlags ReadWrite() { return {.read = true, .write = true}; }
+  static OpenFlags Append() {
+    return {.read = false, .write = true, .create = true, .append = true};
+  }
+};
+
+enum class Whence { kSet, kCurrent, kEnd };
+
+struct FileInfo {
+  std::string name;
+  uint64_t size = 0;
+  bool is_directory = false;
+};
+
+class Filesystem {
+ public:
+  virtual ~Filesystem() = default;
+
+  virtual asbase::Result<int> Open(const std::string& path,
+                                   OpenFlags flags) = 0;
+  virtual asbase::Status Close(int handle) = 0;
+  virtual asbase::Result<size_t> Read(int handle, std::span<uint8_t> out) = 0;
+  virtual asbase::Result<size_t> Write(int handle,
+                                       std::span<const uint8_t> data) = 0;
+  virtual asbase::Result<uint64_t> Seek(int handle, int64_t offset,
+                                        Whence whence) = 0;
+  virtual asbase::Result<FileInfo> Stat(const std::string& path) = 0;
+  virtual asbase::Status Mkdir(const std::string& path) = 0;
+  // Removes a file or an empty directory.
+  virtual asbase::Status Remove(const std::string& path) = 0;
+  virtual asbase::Result<std::vector<FileInfo>> ReadDir(
+      const std::string& path) = 0;
+  // Flush any caches to the backing device.
+  virtual asbase::Status Sync() = 0;
+
+  // Convenience wrappers used everywhere in workloads and tests.
+  asbase::Status WriteFile(const std::string& path,
+                           std::span<const uint8_t> data);
+  asbase::Status WriteFile(const std::string& path, const std::string& text);
+  asbase::Result<std::vector<uint8_t>> ReadFile(const std::string& path);
+};
+
+// Splits "/a/b/c" into {"a","b","c"}; rejects empty components and
+// non-absolute paths.
+asbase::Result<std::vector<std::string>> SplitPath(const std::string& path);
+
+}  // namespace asfat
+
+#endif  // SRC_FATFS_FILESYSTEM_H_

@@ -1,0 +1,240 @@
+#include "src/fatfs/ram_filesystem.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asfat {
+
+RamFilesystem::RamFilesystem() { root_.is_directory = true; }
+
+RamFilesystem::Node* RamFilesystem::Lookup(
+    const std::vector<std::string>& parts) {
+  Node* node = &root_;
+  for (const auto& part : parts) {
+    if (!node->is_directory) {
+      return nullptr;
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+RamFilesystem::Node* RamFilesystem::LookupParent(
+    const std::vector<std::string>& parts) {
+  std::vector<std::string> parent_parts(parts.begin(), parts.end() - 1);
+  Node* parent = Lookup(parent_parts);
+  if (parent == nullptr || !parent->is_directory) {
+    return nullptr;
+  }
+  return parent;
+}
+
+asbase::Result<int> RamFilesystem::Open(const std::string& path,
+                                        OpenFlags flags) {
+  AS_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  if (parts.empty()) {
+    return asbase::InvalidArgument("cannot open the root directory");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = Lookup(parts);
+  if (node == nullptr) {
+    if (!flags.create) {
+      return asbase::NotFound(path + " does not exist");
+    }
+    Node* parent = LookupParent(parts);
+    if (parent == nullptr) {
+      return asbase::NotFound("parent directory of " + path +
+                              " does not exist");
+    }
+    auto child = std::make_unique<Node>();
+    node = child.get();
+    parent->children[parts.back()] = std::move(child);
+  } else if (node->is_directory) {
+    return asbase::InvalidArgument(path + " is a directory");
+  } else if (flags.truncate) {
+    node->content.clear();
+  }
+  int handle = next_handle_++;
+  open_files_[handle] =
+      OpenFile{node, flags.append ? node->content.size() : 0, flags};
+  return handle;
+}
+
+asbase::Status RamFilesystem::Close(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_files_.erase(handle) == 0) {
+    return asbase::InvalidArgument("bad handle");
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Result<size_t> RamFilesystem::Read(int handle,
+                                           std::span<uint8_t> out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return asbase::InvalidArgument("bad handle");
+  }
+  OpenFile& file = it->second;
+  if (!file.flags.read) {
+    return asbase::PermissionDenied("handle not open for reading");
+  }
+  const auto& content = file.node->content;
+  if (file.offset >= content.size()) {
+    return size_t{0};
+  }
+  size_t n = std::min(out.size(), content.size() - file.offset);
+  std::memcpy(out.data(), content.data() + file.offset, n);
+  file.offset += n;
+  return n;
+}
+
+asbase::Result<size_t> RamFilesystem::Write(int handle,
+                                            std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return asbase::InvalidArgument("bad handle");
+  }
+  OpenFile& file = it->second;
+  if (!file.flags.write) {
+    return asbase::PermissionDenied("handle not open for writing");
+  }
+  auto& content = file.node->content;
+  if (file.flags.append) {
+    file.offset = content.size();
+  }
+  if (file.offset + data.size() > content.size()) {
+    content.resize(file.offset + data.size());
+  }
+  std::memcpy(content.data() + file.offset, data.data(), data.size());
+  file.offset += data.size();
+  return data.size();
+}
+
+asbase::Result<uint64_t> RamFilesystem::Seek(int handle, int64_t offset,
+                                             Whence whence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return asbase::InvalidArgument("bad handle");
+  }
+  OpenFile& file = it->second;
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCurrent:
+      base = static_cast<int64_t>(file.offset);
+      break;
+    case Whence::kEnd:
+      base = static_cast<int64_t>(file.node->content.size());
+      break;
+  }
+  int64_t target = base + offset;
+  if (target < 0) {
+    return asbase::OutOfRange("seek before start of file");
+  }
+  file.offset = static_cast<uint64_t>(target);
+  return file.offset;
+}
+
+asbase::Result<FileInfo> RamFilesystem::Stat(const std::string& path) {
+  AS_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = Lookup(parts);
+  if (node == nullptr) {
+    return asbase::NotFound(path + " does not exist");
+  }
+  FileInfo info;
+  info.name = parts.empty() ? "/" : parts.back();
+  info.is_directory = node->is_directory;
+  info.size = node->content.size();
+  return info;
+}
+
+asbase::Status RamFilesystem::Mkdir(const std::string& path) {
+  AS_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  if (parts.empty()) {
+    return asbase::AlreadyExists("/ exists");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Lookup(parts) != nullptr) {
+    return asbase::AlreadyExists(path + " exists");
+  }
+  Node* parent = LookupParent(parts);
+  if (parent == nullptr) {
+    return asbase::NotFound("parent directory of " + path + " does not exist");
+  }
+  auto node = std::make_unique<Node>();
+  node->is_directory = true;
+  parent->children[parts.back()] = std::move(node);
+  return asbase::OkStatus();
+}
+
+asbase::Status RamFilesystem::Remove(const std::string& path) {
+  AS_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  if (parts.empty()) {
+    return asbase::InvalidArgument("cannot remove /");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = Lookup(parts);
+  if (node == nullptr) {
+    return asbase::NotFound(path + " does not exist");
+  }
+  if (node->is_directory && !node->children.empty()) {
+    return asbase::FailedPrecondition(path + " is not empty");
+  }
+  for (const auto& [handle, file] : open_files_) {
+    if (file.node == node) {
+      return asbase::FailedPrecondition(path + " is open");
+    }
+  }
+  Node* parent = LookupParent(parts);
+  parent->children.erase(parts.back());
+  return asbase::OkStatus();
+}
+
+asbase::Result<std::vector<FileInfo>> RamFilesystem::ReadDir(
+    const std::string& path) {
+  AS_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = Lookup(parts);
+  if (node == nullptr) {
+    return asbase::NotFound(path + " does not exist");
+  }
+  if (!node->is_directory) {
+    return asbase::InvalidArgument(path + " is not a directory");
+  }
+  std::vector<FileInfo> entries;
+  for (const auto& [name, child] : node->children) {
+    FileInfo info;
+    info.name = name;
+    info.is_directory = child->is_directory;
+    info.size = child->content.size();
+    entries.push_back(std::move(info));
+  }
+  return entries;
+}
+
+size_t RamFilesystem::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  std::vector<const Node*> stack = {&root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    total += node->content.size();
+    for (const auto& [name, child] : node->children) {
+      stack.push_back(child.get());
+    }
+  }
+  return total;
+}
+
+}  // namespace asfat

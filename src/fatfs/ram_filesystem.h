@@ -1,0 +1,69 @@
+// In-memory filesystem (the as-libos `ramfs` backing, Fig 16).
+//
+// Simple tree of nodes with std::string file contents. Also serves as the
+// reference model in the FAT32 property tests: the same random operation
+// sequence is applied to both filesystems and the observable state must
+// match.
+
+#ifndef SRC_FATFS_RAM_FILESYSTEM_H_
+#define SRC_FATFS_RAM_FILESYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fatfs/filesystem.h"
+
+namespace asfat {
+
+class RamFilesystem : public Filesystem {
+ public:
+  RamFilesystem();
+  ~RamFilesystem() override = default;
+
+  asbase::Result<int> Open(const std::string& path, OpenFlags flags) override;
+  asbase::Status Close(int handle) override;
+  asbase::Result<size_t> Read(int handle, std::span<uint8_t> out) override;
+  asbase::Result<size_t> Write(int handle,
+                               std::span<const uint8_t> data) override;
+  asbase::Result<uint64_t> Seek(int handle, int64_t offset,
+                                Whence whence) override;
+  asbase::Result<FileInfo> Stat(const std::string& path) override;
+  asbase::Status Mkdir(const std::string& path) override;
+  asbase::Status Remove(const std::string& path) override;
+  asbase::Result<std::vector<FileInfo>> ReadDir(
+      const std::string& path) override;
+  asbase::Status Sync() override { return asbase::OkStatus(); }
+
+  // Total bytes held by files (memory accounting for Fig 17b).
+  size_t TotalBytes() const;
+
+ private:
+  struct Node {
+    bool is_directory = false;
+    std::vector<uint8_t> content;                     // files
+    std::map<std::string, std::unique_ptr<Node>> children;  // directories
+  };
+  struct OpenFile {
+    Node* node;
+    uint64_t offset;
+    OpenFlags flags;
+  };
+
+  // Returns the node at `parts`, or nullptr.
+  Node* Lookup(const std::vector<std::string>& parts);
+  // Returns the parent directory of `parts` (which must be non-empty).
+  Node* LookupParent(const std::vector<std::string>& parts);
+
+  mutable std::mutex mutex_;
+  Node root_;
+  std::unordered_map<int, OpenFile> open_files_;
+  int next_handle_ = 3;
+};
+
+}  // namespace asfat
+
+#endif  // SRC_FATFS_RAM_FILESYSTEM_H_

@@ -1,0 +1,346 @@
+#include "src/http/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace ashttp {
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// Reads until "\r\n\r\n"; returns {head, leftover-body-bytes-already-read}.
+asbase::Result<std::pair<std::string, std::string>> ReadHead(
+    ByteStream& stream) {
+  std::string data;
+  uint8_t buffer[2048];
+  while (true) {
+    size_t scan_from = data.size() >= 3 ? data.size() - 3 : 0;
+    AS_ASSIGN_OR_RETURN(size_t n, stream.Read(buffer));
+    if (n == 0) {
+      return asbase::Unavailable("connection closed before headers complete");
+    }
+    data.append(reinterpret_cast<char*>(buffer), n);
+    size_t end = data.find("\r\n\r\n", scan_from);
+    if (end != std::string::npos) {
+      return std::make_pair(data.substr(0, end),
+                            data.substr(end + 4));
+    }
+    if (data.size() > 1 << 20) {
+      return asbase::InvalidArgument("headers too large");
+    }
+  }
+}
+
+asbase::Status ParseHeaders(const std::string& head, size_t first_line_end,
+                            std::map<std::string, std::string>* headers) {
+  size_t pos = first_line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      eol = head.size();
+    }
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return asbase::InvalidArgument("malformed header line: " + line);
+    }
+    std::string key = ToLower(line.substr(0, colon));
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    (*headers)[key] = line.substr(value_start);
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Status ReadBody(ByteStream& stream,
+                        const std::map<std::string, std::string>& headers,
+                        std::string leftover, std::string* body) {
+  size_t content_length = 0;
+  auto it = headers.find("content-length");
+  if (it != headers.end()) {
+    content_length = static_cast<size_t>(std::stoull(it->second));
+  }
+  *body = std::move(leftover);
+  if (body->size() > content_length) {
+    body->resize(content_length);  // next message's bytes are not our problem
+  }
+  uint8_t buffer[8192];
+  while (body->size() < content_length) {
+    AS_ASSIGN_OR_RETURN(size_t n, stream.Read(buffer));
+    if (n == 0) {
+      return asbase::Unavailable("connection closed mid-body");
+    }
+    body->append(reinterpret_cast<char*>(buffer),
+                 std::min(n, content_length - body->size()));
+  }
+  return asbase::OkStatus();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- streams
+
+HostStream::~HostStream() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+asbase::Result<size_t> HostStream::Read(std::span<uint8_t> out) {
+  ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+  if (n < 0) {
+    return asbase::Unavailable("recv failed");
+  }
+  return static_cast<size_t>(n);
+}
+
+asbase::Status HostStream::Write(std::span<const uint8_t> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      return asbase::Unavailable("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Result<size_t> AsnetStream::Read(std::span<uint8_t> out) {
+  return connection_->Recv(out);
+}
+
+asbase::Status AsnetStream::Write(std::span<const uint8_t> data) {
+  return asnet::SendAll(*connection_, data);
+}
+
+// --------------------------------------------------------------- messages
+
+std::string Serialize(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  bool has_length = false;
+  for (const auto& [key, value] : request.headers) {
+    out += key + ": " + value + "\r\n";
+    if (ToLower(key) == "content-length") {
+      has_length = true;
+    }
+  }
+  if (!has_length && !request.body.empty()) {
+    out += "content-length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string Serialize(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    response.reason + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "content-length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+asbase::Result<HttpRequest> ReadRequest(ByteStream& stream) {
+  AS_ASSIGN_OR_RETURN(auto head_pair, ReadHead(stream));
+  auto& [head, leftover] = head_pair;
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  HttpRequest request;
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return asbase::InvalidArgument("malformed request line");
+  }
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (line_end != std::string::npos) {
+    AS_RETURN_IF_ERROR(ParseHeaders(head, line_end, &request.headers));
+  }
+  AS_RETURN_IF_ERROR(
+      ReadBody(stream, request.headers, std::move(leftover), &request.body));
+  return request;
+}
+
+asbase::Result<HttpResponse> ReadResponse(ByteStream& stream) {
+  AS_ASSIGN_OR_RETURN(auto head_pair, ReadHead(stream));
+  auto& [head, leftover] = head_pair;
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  HttpResponse response;
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return asbase::InvalidArgument("malformed status line");
+  }
+  response.status = std::atoi(status_line.c_str() + sp1 + 1);
+  const size_t sp2 = status_line.find(' ', sp1 + 1);
+  response.reason =
+      sp2 == std::string::npos ? "" : status_line.substr(sp2 + 1);
+  if (line_end != std::string::npos) {
+    AS_RETURN_IF_ERROR(ParseHeaders(head, line_end, &response.headers));
+  }
+  AS_RETURN_IF_ERROR(
+      ReadBody(stream, response.headers, std::move(leftover), &response.body));
+  return response;
+}
+
+// --------------------------------------------------------------- server
+
+HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+asbase::Status HttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return asbase::Internal("socket() failed");
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return asbase::Unavailable("bind failed on port " + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return asbase::Internal("listen failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return asbase::OkStatus();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load()) {
+        continue;
+      }
+      break;
+    }
+    int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] {
+      HostStream stream(fd);  // closes fd on destruction
+      while (true) {
+        auto request = ReadRequest(stream);
+        if (!request.ok()) {
+          break;  // closed or malformed; drop the connection
+        }
+        HttpResponse response = handler_(*request);
+        std::string wire = Serialize(response);
+        if (!stream
+                 .Write(std::span<const uint8_t>(
+                     reinterpret_cast<const uint8_t*>(wire.data()),
+                     wire.size()))
+                 .ok()) {
+          break;
+        }
+        auto connection_header = request->headers.find("connection");
+        if (connection_header != request->headers.end() &&
+            connection_header->second == "close") {
+          break;
+        }
+      }
+    });
+  }
+}
+
+// --------------------------------------------------------------- client
+
+asbase::Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                                      const HttpRequest& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return asbase::Internal("socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return asbase::InvalidArgument("bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return asbase::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + " failed");
+  }
+  int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  HostStream stream(fd);
+  HttpRequest to_send = request;
+  to_send.headers["connection"] = "close";
+  std::string wire = Serialize(to_send);
+  AS_RETURN_IF_ERROR(stream.Write(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(wire.data()), wire.size())));
+  return ReadResponse(stream);
+}
+
+asbase::Result<HttpResponse> HttpCallOver(asnet::TcpConnection& connection,
+                                          const HttpRequest& request) {
+  AsnetStream stream(&connection);
+  std::string wire = Serialize(request);
+  AS_RETURN_IF_ERROR(stream.Write(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(wire.data()), wire.size())));
+  return ReadResponse(stream);
+}
+
+}  // namespace ashttp

@@ -1,0 +1,118 @@
+// Minimal HTTP/1.1 for the as-visor watchdog and gateway (§3.3) and the
+// `http-server` synthetic benchmark.
+//
+// The message layer is transport-agnostic via `ByteStream`, so the same
+// parser serves (a) host TCP sockets — the watchdog listens on the host — and
+// (b) asnet::TcpConnection — the LibOS `http-server` workload answers through
+// the user-space stack, exactly like Figure 5's as-std HTTP client.
+//
+// Supported subset: request line + headers + Content-Length bodies,
+// Connection: close semantics, status lines on responses. No chunked
+// encoding, no pipelining.
+
+#ifndef SRC_HTTP_HTTP_H_
+#define SRC_HTTP_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/netstack/stack.h"
+
+namespace ashttp {
+
+// Transport the HTTP layer reads/writes.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  virtual asbase::Result<size_t> Read(std::span<uint8_t> out) = 0;
+  virtual asbase::Status Write(std::span<const uint8_t> data) = 0;
+};
+
+// Host-kernel TCP socket stream.
+class HostStream : public ByteStream {
+ public:
+  explicit HostStream(int fd) : fd_(fd) {}
+  ~HostStream() override;
+  asbase::Result<size_t> Read(std::span<uint8_t> out) override;
+  asbase::Status Write(std::span<const uint8_t> data) override;
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+// Stream over a user-space netstack connection.
+class AsnetStream : public ByteStream {
+ public:
+  explicit AsnetStream(asnet::TcpConnection* connection)
+      : connection_(connection) {}
+  asbase::Result<size_t> Read(std::span<uint8_t> out) override;
+  asbase::Status Write(std::span<const uint8_t> data) override;
+
+ private:
+  asnet::TcpConnection* connection_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::map<std::string, std::string> headers;  // lowercase keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+std::string Serialize(const HttpRequest& request);
+std::string Serialize(const HttpResponse& response);
+
+// Reads one message from the stream (blocking).
+asbase::Result<HttpRequest> ReadRequest(ByteStream& stream);
+asbase::Result<HttpResponse> ReadResponse(ByteStream& stream);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Thread-per-connection server on a host TCP port (127.0.0.1).
+class HttpServer {
+ public:
+  // port 0 picks a free port; see port() after Start().
+  explicit HttpServer(HttpHandler handler);
+  ~HttpServer();
+
+  asbase::Status Start(uint16_t port = 0);
+  void Stop();
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+// One-shot client against a host TCP server.
+asbase::Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                                      const HttpRequest& request);
+
+// One-shot client over an established asnet connection.
+asbase::Result<HttpResponse> HttpCallOver(asnet::TcpConnection& connection,
+                                          const HttpRequest& request);
+
+}  // namespace ashttp
+
+#endif  // SRC_HTTP_HTTP_H_

@@ -1,0 +1,134 @@
+// Protection-key runtime: the isolation substrate for WFDs (§3.3, §7.1).
+//
+// Real AlloyStack binds Intel MPK keys to the system/user partitions with
+// pkey_mprotect and flips the per-thread PKRU register in trampoline code.
+// This machine may or may not expose MPK, so the same API is served by three
+// backends (DESIGN.md §1):
+//
+//   kHardware  pkey_alloc/pkey_mprotect + RDPKRU/WRPKRU. Chosen automatically
+//              when the CPU and kernel support it.
+//   kMprotect  Genuine software enforcement: WritePkru() mprotect()s every
+//              region whose key the new PKRU denies. Process-wide (mprotect
+//              has no per-thread granularity), so it is used by the
+//              single-threaded security tests.
+//   kEmulated  Per-thread software PKRU + region bookkeeping. Access guards
+//              (CheckAccess) give testable semantics; WritePkru charges the
+//              calibrated WRPKRU cost so latency benches see the hardware
+//              switch price.
+//
+// PKRU layout matches the SDM: 2 bits per key, bit 2k = AD (access disable),
+// bit 2k+1 = WD (write disable). Key 0 is the default key and stays
+// accessible.
+
+#ifndef SRC_MPK_PKEY_RUNTIME_H_
+#define SRC_MPK_PKEY_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace asmpk {
+
+using ProtKey = int;  // 0..15
+
+enum class MpkBackend {
+  kHardware,
+  kMprotect,
+  kEmulated,
+};
+
+const char* MpkBackendName(MpkBackend backend);
+
+class PkeyRuntime {
+ public:
+  // True when pkey_alloc succeeds on this kernel/CPU.
+  static bool HardwareAvailable();
+
+  // Picks kHardware when available, else kEmulated.
+  static MpkBackend DefaultBackend();
+
+  explicit PkeyRuntime(MpkBackend backend = DefaultBackend());
+  ~PkeyRuntime();
+
+  PkeyRuntime(const PkeyRuntime&) = delete;
+  PkeyRuntime& operator=(const PkeyRuntime&) = delete;
+
+  MpkBackend backend() const { return backend_; }
+
+  // Allocates a key (1..15); kResourceExhausted when all are taken.
+  asbase::Result<ProtKey> AllocateKey();
+  asbase::Status FreeKey(ProtKey key);
+
+  // Tags [addr, addr+len) (page-aligned) with `key`. prot is the PROT_*
+  // bitmask the region has when its key is enabled.
+  asbase::Status BindRegion(void* addr, size_t len, ProtKey key, int prot);
+  asbase::Status UnbindRegion(void* addr, size_t len);
+
+  // Per-thread PKRU value (software copy in all backends; also written to the
+  // hardware register under kHardware and applied via mprotect under
+  // kMprotect).
+  uint32_t ReadPkru() const;
+  void WritePkru(uint32_t pkru);
+
+  // PKRU bit helpers.
+  static uint32_t AllowKey(uint32_t pkru, ProtKey key) {
+    return pkru & ~(3u << (2 * key));
+  }
+  static uint32_t DenyKey(uint32_t pkru, ProtKey key) {
+    return pkru | (3u << (2 * key));
+  }
+  static uint32_t DenyWrite(uint32_t pkru, ProtKey key) {
+    return (pkru & ~(3u << (2 * key))) | (2u << (2 * key));
+  }
+  static bool KeyAllowed(uint32_t pkru, ProtKey key, bool write) {
+    uint32_t bits = (pkru >> (2 * key)) & 3u;
+    if (bits & 1u) {
+      return false;  // AD
+    }
+    if (write && (bits & 2u)) {
+      return false;  // WD
+    }
+    return true;
+  }
+
+  // PKRU with every allocated key denied (the value user code runs under
+  // before its own key is re-enabled).
+  static constexpr uint32_t kDenyAll = 0xFFFFFFFCu;  // key 0 stays open
+
+  // Software access check against the bound regions and the current thread's
+  // PKRU. Under kEmulated this is the enforcement mechanism (as-std calls it
+  // on the buffer paths); under the other backends it mirrors what the MMU
+  // would decide.
+  asbase::Status CheckAccess(const void* addr, size_t len, bool write) const;
+
+  // Key a given address is bound to; 0 when unbound.
+  ProtKey KeyOf(const void* addr) const;
+
+  // Number of WritePkru() calls (trampoline switch count for benches).
+  uint64_t switch_count() const {
+    return switch_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Region {
+    size_t len;
+    ProtKey key;
+    int prot;
+  };
+
+  void ApplyMprotect(uint32_t pkru);
+
+  const MpkBackend backend_;
+  mutable std::mutex mutex_;
+  std::map<uintptr_t, Region> regions_;  // keyed by start address
+  uint16_t keys_in_use_ = 1;             // bit per key; key 0 reserved
+  std::map<ProtKey, int> hw_keys_;       // our key -> kernel pkey
+  std::atomic<uint64_t> switch_count_{0};
+};
+
+}  // namespace asmpk
+
+#endif  // SRC_MPK_PKEY_RUNTIME_H_

@@ -1,0 +1,85 @@
+#include "src/netstack/channel.h"
+
+#include "src/common/clock.h"
+
+namespace asnet {
+
+void TunPort::Send(Packet packet) {
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  fabric_->Route(std::move(packet));
+}
+
+std::optional<Packet> TunPort::Receive(std::chrono::nanoseconds timeout) {
+  const int64_t deadline = asbase::MonoNanos() + timeout.count();
+  while (true) {
+    const int64_t now = asbase::MonoNanos();
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    auto timed = rx_.PopWithTimeout(std::chrono::nanoseconds(deadline - now));
+    if (!timed.has_value()) {
+      return std::nullopt;
+    }
+    // Honor the modeled one-way latency.
+    const int64_t remaining = timed->deliver_at_nanos - asbase::MonoNanos();
+    if (remaining > 0) {
+      asbase::SpinFor(remaining);
+    }
+    received_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(timed->packet);
+  }
+}
+
+void TunPort::Detach() { rx_.Close(); }
+
+std::shared_ptr<TunPort> VirtualSwitch::Attach(Ipv4Addr addr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto port = std::make_shared<TunPort>(addr, this);
+  ports_[addr] = port;
+  return port;
+}
+
+void VirtualSwitch::Detach(Ipv4Addr addr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ports_.find(addr);
+  if (it != ports_.end()) {
+    it->second->Detach();
+    ports_.erase(it);
+  }
+}
+
+void VirtualSwitch::Route(Packet packet) {
+  Ipv4Header header;
+  auto payload = ParseIpv4(packet, &header);
+  if (!payload.ok()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::shared_ptr<TunPort> target;
+  int copies = 1;
+  int64_t deliver_at = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ports_.find(header.dst);
+    if (it == ports_.end()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    target = it->second;
+    if (model_.drop_rate > 0 && rng_.NextDouble() < model_.drop_rate) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (model_.duplicate_rate > 0 &&
+        rng_.NextDouble() < model_.duplicate_rate) {
+      copies = 2;
+    }
+    deliver_at = asbase::MonoNanos() + model_.latency_nanos;
+  }
+  for (int i = 0; i < copies; ++i) {
+    target->rx_.Push(TunPort::Timed{packet, deliver_at});
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace asnet

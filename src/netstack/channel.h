@@ -1,0 +1,103 @@
+// Virtual network fabric.
+//
+// Real AlloyStack creates a Linux TAP device per WFD and lets the host bridge
+// frames (§7.1). Here the equivalent is a `VirtualSwitch` that registered
+// `TunPort`s attach to: a port's Send() looks up the destination IP and
+// delivers the raw IPv4 packet to that port's receive queue. A per-switch
+// `LinkModel` can drop, delay or duplicate packets so the TCP layer's
+// retransmission machinery is actually exercised (property tests run with
+// loss turned on).
+
+#ifndef SRC_NETSTACK_CHANNEL_H_
+#define SRC_NETSTACK_CHANNEL_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/common/rng.h"
+#include "src/netstack/wire.h"
+
+namespace asnet {
+
+using Packet = std::vector<uint8_t>;
+
+// Fault/latency model applied to every delivered packet.
+struct LinkModel {
+  double drop_rate = 0.0;       // probability a packet silently vanishes
+  double duplicate_rate = 0.0;  // probability a packet is delivered twice
+  int64_t latency_nanos = 0;    // fixed one-way delay (applied by receiver)
+  uint64_t seed = 1;
+};
+
+class VirtualSwitch;
+
+// One WFD's network attachment. Owns the receive queue.
+class TunPort {
+ public:
+  TunPort(Ipv4Addr addr, VirtualSwitch* fabric)
+      : addr_(addr), fabric_(fabric) {}
+
+  Ipv4Addr addr() const { return addr_; }
+
+  // Hands a raw IPv4 packet to the switch for routing.
+  void Send(Packet packet);
+
+  // Blocks up to `timeout`; nullopt on timeout or detached switch.
+  std::optional<Packet> Receive(std::chrono::nanoseconds timeout);
+
+  void Detach();
+
+  uint64_t packets_sent() const { return sent_.load(); }
+  uint64_t packets_received() const { return received_.load(); }
+
+ private:
+  friend class VirtualSwitch;
+  struct Timed {
+    Packet packet;
+    int64_t deliver_at_nanos;
+  };
+
+  Ipv4Addr addr_;
+  VirtualSwitch* fabric_;
+  asbase::BlockingQueue<Timed> rx_;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> received_{0};
+};
+
+// Routes packets between attached ports by destination IP.
+class VirtualSwitch {
+ public:
+  explicit VirtualSwitch(LinkModel model = {})
+      : model_(model), rng_(model.seed) {}
+
+  // Attaches a new port with the given address. The switch must outlive it.
+  std::shared_ptr<TunPort> Attach(Ipv4Addr addr);
+  void Detach(Ipv4Addr addr);
+
+  void set_model(LinkModel model) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = model;
+  }
+
+  uint64_t packets_routed() const { return routed_.load(); }
+  uint64_t packets_dropped() const { return dropped_.load(); }
+
+ private:
+  friend class TunPort;
+  void Route(Packet packet);
+
+  std::mutex mutex_;
+  LinkModel model_;
+  asbase::Rng rng_;
+  std::map<Ipv4Addr, std::shared_ptr<TunPort>> ports_;
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace asnet
+
+#endif  // SRC_NETSTACK_CHANNEL_H_

@@ -1,0 +1,773 @@
+#include "src/netstack/stack.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace asnet {
+namespace {
+
+// Seq number of the first byte held in the send buffer.
+// (Stored per-tcb as `data_base`; helper docs only.)
+
+constexpr std::chrono::nanoseconds kPollTick = std::chrono::milliseconds(1);
+
+}  // namespace
+
+// `data_base` lives in the Tcb as snd_una trimming state; declared here to
+// keep the header compact.
+struct TcbExtra {};
+
+NetStack::NetStack(std::shared_ptr<TunPort> port) : port_(std::move(port)) {
+  poller_ = std::thread([this] { PollerLoop(); });
+}
+
+NetStack::~NetStack() {
+  running_.store(false);
+  port_->Detach();
+  poller_.join();
+}
+
+NetStack::Stats NetStack::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// ------------------------------------------------------------- public API
+
+asbase::Result<std::unique_ptr<TcpListener>> NetStack::Listen(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (port == 0) {
+    return asbase::InvalidArgument("cannot listen on port 0");
+  }
+  auto [it, inserted] = listeners_.emplace(port, Listener{});
+  if (!inserted) {
+    return asbase::AlreadyExists("port " + std::to_string(port) +
+                                 " already has a listener");
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(this, port));
+}
+
+asbase::Result<std::unique_ptr<TcpConnection>> NetStack::Connect(
+    Ipv4Addr dst, uint16_t dst_port, std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint16_t local_port = AllocatePortLocked();
+  const uint64_t id = next_tcb_id_++;
+  auto tcb = std::make_unique<Tcb>();
+  tcb->id = id;
+  tcb->state = TcpState::kSynSent;
+  tcb->remote_ip = dst;
+  tcb->remote_port = dst_port;
+  tcb->local_port = local_port;
+  const uint32_t iss = next_iss_;
+  next_iss_ += 64000;
+  tcb->snd_una = iss;
+  tcb->snd_nxt = iss + 1;
+  tcb->rcv_nxt = 0;
+  Tcb& ref = *tcb;
+  tcbs_[id] = std::move(tcb);
+  tcb_index_[{dst, dst_port, local_port}] = id;
+
+  SendSegmentLocked(ref, kTcpSyn, iss, {});
+  ArmTimerLocked(ref);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+  cv_.wait_until(lock, deadline, [&] {
+    return ref.synchronized || ref.aborted ||
+           ref.state == TcpState::kClosed;
+  });
+  if (!ref.synchronized || ref.aborted) {
+    DestroyTcbLocked(id);
+    return asbase::Unavailable("connect to " + AddrToString(dst) + ":" +
+                               std::to_string(dst_port) +
+                               " failed (timeout or reset)");
+  }
+  return std::unique_ptr<TcpConnection>(
+      new TcpConnection(this, id, dst, dst_port, local_port));
+}
+
+asbase::Result<std::unique_ptr<UdpSocket>> NetStack::UdpBind(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (port == 0) {
+    port = AllocatePortLocked();
+  }
+  auto [it, inserted] = udp_pcbs_.emplace(port, UdpPcb{});
+  if (!inserted) {
+    return asbase::AlreadyExists("UDP port " + std::to_string(port) +
+                                 " is bound");
+  }
+  return std::unique_ptr<UdpSocket>(new UdpSocket(this, port));
+}
+
+asbase::Result<int64_t> NetStack::Ping(Ipv4Addr dst,
+                                       std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint16_t seq = ++ping_seq_;
+  ping_waiters_[seq] = 0;
+  const int64_t start = asbase::MonoNanos();
+  const uint8_t payload[8] = {'a', 'l', 'l', 'o', 'y', 'p', 'n', 'g'};
+  auto icmp = BuildIcmpEcho(false, ping_id_, seq, payload);
+  Ipv4Header ip;
+  ip.src = addr();
+  ip.dst = dst;
+  ip.proto = IpProto::kIcmp;
+  port_->Send(BuildIpv4(ip, icmp));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+  ping_cv_.wait_until(lock, deadline,
+                      [&] { return ping_waiters_[seq] != 0; });
+  const int64_t reply = ping_waiters_[seq];
+  ping_waiters_.erase(seq);
+  if (reply == 0) {
+    return asbase::Unavailable("ping timeout");
+  }
+  return reply - start;
+}
+
+// ---------------------------------------------------------------- helpers
+
+uint16_t NetStack::AllocatePortLocked() {
+  for (int i = 0; i < 20000; ++i) {
+    uint16_t candidate = next_ephemeral_++;
+    if (next_ephemeral_ < 40000) {
+      next_ephemeral_ = 40000;
+    }
+    bool taken = listeners_.count(candidate) > 0;
+    for (const auto& [key, id] : tcb_index_) {
+      if (std::get<2>(key) == candidate) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      return candidate;
+    }
+  }
+  AS_LOG(kError) << "ephemeral port space exhausted";
+  return 0;
+}
+
+NetStack::Tcb* NetStack::FindTcbLocked(Ipv4Addr remote_ip,
+                                       uint16_t remote_port,
+                                       uint16_t local_port) {
+  auto it = tcb_index_.find({remote_ip, remote_port, local_port});
+  if (it == tcb_index_.end()) {
+    return nullptr;
+  }
+  auto tcb_it = tcbs_.find(it->second);
+  return tcb_it == tcbs_.end() ? nullptr : tcb_it->second.get();
+}
+
+void NetStack::DestroyTcbLocked(uint64_t id) {
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return;
+  }
+  Tcb& tcb = *it->second;
+  tcb_index_.erase({tcb.remote_ip, tcb.remote_port, tcb.local_port});
+  tcbs_.erase(it);
+}
+
+void NetStack::SendSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
+                                 std::span<const uint8_t> payload) {
+  TcpHeader header;
+  header.src_port = tcb.local_port;
+  header.dst_port = tcb.remote_port;
+  header.seq = seq;
+  header.ack = tcb.rcv_nxt;
+  header.flags = flags;
+  header.window = static_cast<uint16_t>(kWindow);
+  auto segment = BuildTcp(addr(), tcb.remote_ip, header, payload);
+  Ipv4Header ip;
+  ip.src = addr();
+  ip.dst = tcb.remote_ip;
+  ip.proto = IpProto::kTcp;
+  port_->Send(BuildIpv4(ip, segment));
+  ++stats_.segments_sent;
+}
+
+void NetStack::SendRst(Ipv4Addr dst, uint16_t dst_port, uint16_t src_port,
+                       uint32_t seq, uint32_t ack) {
+  TcpHeader header;
+  header.src_port = src_port;
+  header.dst_port = dst_port;
+  header.seq = seq;
+  header.ack = ack;
+  header.flags = kTcpRst | kTcpAck;
+  header.window = 0;
+  auto segment = BuildTcp(addr(), dst, header, {});
+  Ipv4Header ip;
+  ip.src = addr();
+  ip.dst = dst;
+  ip.proto = IpProto::kTcp;
+  port_->Send(BuildIpv4(ip, segment));
+  ++stats_.segments_sent;
+}
+
+void NetStack::PumpSendLocked(Tcb& tcb) {
+  if (tcb.state != TcpState::kEstablished &&
+      tcb.state != TcpState::kCloseWait && tcb.state != TcpState::kFinWait1 &&
+      tcb.state != TcpState::kLastAck && tcb.state != TcpState::kClosing) {
+    return;
+  }
+  // `data_base` == seq of send_buffer.front() == snd_una (the buffer is
+  // trimmed exactly to snd_una on every ACK).
+  const uint32_t data_base = tcb.snd_una;
+  const uint32_t fin_adjust = tcb.fin_sent ? 1 : 0;
+  while (true) {
+    const uint32_t sent_ahead = tcb.snd_nxt - data_base - fin_adjust;
+    if (sent_ahead >= tcb.send_buffer.size()) {
+      break;  // everything queued has been transmitted at least once
+    }
+    const uint32_t inflight = tcb.snd_nxt - tcb.snd_una;
+    const uint32_t window = std::min<uint32_t>(tcb.snd_wnd, kWindow);
+    if (inflight >= window) {
+      break;
+    }
+    const size_t chunk = std::min<size_t>(
+        {kMss, tcb.send_buffer.size() - sent_ahead,
+         static_cast<size_t>(window - inflight)});
+    std::vector<uint8_t> payload(chunk);
+    std::copy(tcb.send_buffer.begin() + sent_ahead,
+              tcb.send_buffer.begin() + sent_ahead + static_cast<long>(chunk),
+              payload.begin());
+    SendSegmentLocked(tcb, kTcpAck | kTcpPsh, tcb.snd_nxt, payload);
+    tcb.snd_nxt += chunk;
+  }
+
+  const bool all_data_sent =
+      (tcb.snd_nxt - data_base - fin_adjust) >= tcb.send_buffer.size();
+  if (tcb.fin_queued && !tcb.fin_sent && all_data_sent) {
+    SendSegmentLocked(tcb, kTcpFin | kTcpAck, tcb.snd_nxt, {});
+    tcb.fin_sent = true;
+    tcb.snd_nxt += 1;
+    if (tcb.state == TcpState::kEstablished) {
+      tcb.state = TcpState::kFinWait1;
+    } else if (tcb.state == TcpState::kCloseWait) {
+      tcb.state = TcpState::kLastAck;
+    }
+  }
+  ArmTimerLocked(tcb);
+}
+
+void NetStack::ArmTimerLocked(Tcb& tcb) {
+  if (tcb.snd_una == tcb.snd_nxt) {
+    tcb.rto_deadline = 0;  // nothing in flight
+    return;
+  }
+  if (tcb.rto_deadline == 0) {
+    tcb.rto_deadline = asbase::MonoNanos() + kRtoNanos;
+  }
+}
+
+// ----------------------------------------------------------------- poller
+
+void NetStack::PollerLoop() {
+  while (running_.load()) {
+    auto packet = port_->Receive(kPollTick);
+    if (packet.has_value()) {
+      HandlePacket(*packet);
+      // Drain without timer checks while traffic is hot.
+      while (auto more = port_->Receive(std::chrono::nanoseconds(0))) {
+        HandlePacket(*more);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    CheckTimersLocked();
+  }
+}
+
+void NetStack::HandlePacket(const Packet& packet) {
+  Ipv4Header ip;
+  auto l4 = ParseIpv4(packet, &ip);
+  if (!l4.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.checksum_failures;
+    return;
+  }
+  if (ip.dst != addr()) {
+    return;  // not for us (switch shouldn't let this happen)
+  }
+  switch (ip.proto) {
+    case IpProto::kTcp:
+      HandleTcp(ip, *l4);
+      break;
+    case IpProto::kUdp:
+      HandleUdp(ip, *l4);
+      break;
+    case IpProto::kIcmp:
+      HandleIcmp(ip, *l4);
+      break;
+  }
+}
+
+void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+  TcpHeader header;
+  auto payload_or = ParseTcp(ip.src, ip.dst, l4, &header);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!payload_or.ok()) {
+    ++stats_.checksum_failures;
+    return;
+  }
+  auto payload = *payload_or;
+  ++stats_.segments_received;
+
+  Tcb* tcb = FindTcbLocked(ip.src, header.src_port, header.dst_port);
+  if (tcb == nullptr) {
+    // New connection attempt?
+    auto listener_it = listeners_.find(header.dst_port);
+    if ((header.flags & kTcpSyn) && !(header.flags & kTcpAck) &&
+        listener_it != listeners_.end() && listener_it->second.open) {
+      const uint64_t id = next_tcb_id_++;
+      auto fresh = std::make_unique<Tcb>();
+      fresh->id = id;
+      fresh->state = TcpState::kSynRcvd;
+      fresh->remote_ip = ip.src;
+      fresh->remote_port = header.src_port;
+      fresh->local_port = header.dst_port;
+      const uint32_t iss = next_iss_;
+      next_iss_ += 64000;
+      fresh->snd_una = iss;
+      fresh->snd_nxt = iss + 1;
+      fresh->rcv_nxt = header.seq + 1;
+      fresh->snd_wnd = header.window;
+      fresh->parent_listener = header.dst_port;
+      Tcb& ref = *fresh;
+      tcbs_[id] = std::move(fresh);
+      tcb_index_[{ip.src, header.src_port, header.dst_port}] = id;
+      SendSegmentLocked(ref, kTcpSyn | kTcpAck, iss, {});
+      ArmTimerLocked(ref);
+      return;
+    }
+    if (!(header.flags & kTcpRst)) {
+      SendRst(ip.src, header.src_port, header.dst_port, header.ack,
+              header.seq + static_cast<uint32_t>(payload.size()) + 1);
+    }
+    return;
+  }
+
+  if (header.flags & kTcpRst) {
+    tcb->aborted = true;
+    tcb->state = TcpState::kClosed;
+    cv_.notify_all();
+    return;
+  }
+
+  // Handshake progress.
+  if (tcb->state == TcpState::kSynSent) {
+    if ((header.flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck) &&
+        header.ack == tcb->snd_nxt) {
+      tcb->snd_una = header.ack;
+      tcb->rcv_nxt = header.seq + 1;
+      tcb->snd_wnd = header.window;
+      tcb->state = TcpState::kEstablished;
+      tcb->synchronized = true;
+      tcb->rto_deadline = 0;
+      tcb->retries = 0;
+      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+      cv_.notify_all();
+    }
+    return;
+  }
+  if (tcb->state == TcpState::kSynRcvd) {
+    if ((header.flags & kTcpAck) && header.ack == tcb->snd_nxt) {
+      tcb->snd_una = header.ack;
+      tcb->snd_wnd = header.window;
+      tcb->state = TcpState::kEstablished;
+      tcb->synchronized = true;
+      tcb->rto_deadline = 0;
+      tcb->retries = 0;
+      auto listener_it = listeners_.find(tcb->parent_listener);
+      if (listener_it != listeners_.end() && listener_it->second.open) {
+        listener_it->second.pending.push_back(tcb->id);
+      }
+      cv_.notify_all();
+      // Fall through: this segment may also carry data.
+    } else if (header.flags & kTcpSyn) {
+      // Duplicate SYN: re-send the SYN-ACK.
+      SendSegmentLocked(*tcb, kTcpSyn | kTcpAck, tcb->snd_una, {});
+      return;
+    } else {
+      return;
+    }
+  }
+
+  // ACK processing.
+  if (header.flags & kTcpAck) {
+    tcb->snd_wnd = header.window;
+    if (SeqLt(tcb->snd_una, header.ack) && SeqLe(header.ack, tcb->snd_nxt)) {
+      uint32_t acked = header.ack - tcb->snd_una;
+      // The FIN occupies the final sequence slot; data bytes are whatever
+      // remains.
+      uint32_t data_acked = acked;
+      if (tcb->fin_sent && header.ack == tcb->snd_nxt) {
+        data_acked = acked - 1;
+      }
+      data_acked = std::min<uint32_t>(data_acked, tcb->send_buffer.size());
+      tcb->send_buffer.erase(
+          tcb->send_buffer.begin(),
+          tcb->send_buffer.begin() + static_cast<long>(data_acked));
+      tcb->snd_una = header.ack;
+      tcb->retries = 0;
+      tcb->rto_deadline = 0;
+      ArmTimerLocked(*tcb);
+
+      if (tcb->fin_sent && tcb->snd_una == tcb->snd_nxt) {
+        // Our FIN is acknowledged.
+        if (tcb->state == TcpState::kFinWait1) {
+          tcb->state =
+              tcb->peer_fin ? TcpState::kClosed : TcpState::kFinWait2;
+        } else if (tcb->state == TcpState::kLastAck ||
+                   tcb->state == TcpState::kClosing) {
+          tcb->state = TcpState::kClosed;
+        }
+      }
+      cv_.notify_all();
+      PumpSendLocked(*tcb);
+    }
+  }
+
+  // Payload processing (in-order only; go-back-N).
+  if (!payload.empty()) {
+    if (header.seq == tcb->rcv_nxt && !tcb->peer_fin) {
+      tcb->recv_buffer.insert(tcb->recv_buffer.end(), payload.begin(),
+                              payload.end());
+      tcb->rcv_nxt += static_cast<uint32_t>(payload.size());
+      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+      cv_.notify_all();
+    } else {
+      // Duplicate or out-of-order: re-assert the cumulative ACK.
+      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+    }
+  }
+
+  // FIN processing.
+  if (header.flags & kTcpFin) {
+    const uint32_t fin_seq =
+        header.seq + static_cast<uint32_t>(payload.size());
+    if (fin_seq == tcb->rcv_nxt && !tcb->peer_fin) {
+      tcb->peer_fin = true;
+      tcb->rcv_nxt += 1;
+      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+      switch (tcb->state) {
+        case TcpState::kEstablished:
+          tcb->state = TcpState::kCloseWait;
+          break;
+        case TcpState::kFinWait1:
+          // Our FIN not yet acked: simultaneous close.
+          tcb->state = (tcb->snd_una == tcb->snd_nxt) ? TcpState::kClosed
+                                                      : TcpState::kClosing;
+          break;
+        case TcpState::kFinWait2:
+          tcb->state = TcpState::kClosed;
+          break;
+        default:
+          break;
+      }
+      cv_.notify_all();
+    } else if (SeqLt(fin_seq, tcb->rcv_nxt)) {
+      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});  // duplicate FIN
+    }
+  }
+}
+
+void NetStack::HandleUdp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+  UdpHeader header;
+  auto payload = ParseUdp(ip.src, ip.dst, l4, &header);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!payload.ok()) {
+    ++stats_.checksum_failures;
+    return;
+  }
+  auto it = udp_pcbs_.find(header.dst_port);
+  if (it == udp_pcbs_.end() || !it->second.open) {
+    return;  // no ICMP port-unreachable yet
+  }
+  UdpSocket::Datagram datagram;
+  datagram.src = ip.src;
+  datagram.src_port = header.src_port;
+  datagram.payload.assign(payload->begin(), payload->end());
+  it->second.queue.push_back(std::move(datagram));
+  udp_cv_.notify_all();
+}
+
+void NetStack::HandleIcmp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+  if (l4.size() < kIcmpHeaderSize) {
+    return;
+  }
+  const uint8_t type = l4[0];
+  const uint16_t id = static_cast<uint16_t>((l4[4] << 8) | l4[5]);
+  const uint16_t seq = static_cast<uint16_t>((l4[6] << 8) | l4[7]);
+  if (type == 8) {  // echo request: reply
+    auto reply = BuildIcmpEcho(true, id, seq, l4.subspan(kIcmpHeaderSize));
+    Ipv4Header out;
+    out.src = addr();
+    out.dst = ip.src;
+    out.proto = IpProto::kIcmp;
+    port_->Send(BuildIpv4(out, reply));
+  } else if (type == 0) {  // echo reply
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ping_waiters_.find(seq);
+    if (it != ping_waiters_.end()) {
+      it->second = asbase::MonoNanos();
+      ping_cv_.notify_all();
+    }
+  }
+}
+
+void NetStack::CheckTimersLocked() {
+  const int64_t now = asbase::MonoNanos();
+  for (auto& [id, tcb_ptr] : tcbs_) {
+    Tcb& tcb = *tcb_ptr;
+    if (tcb.rto_deadline == 0 || now < tcb.rto_deadline ||
+        tcb.state == TcpState::kClosed) {
+      continue;
+    }
+    if (++tcb.retries > kMaxRetries) {
+      tcb.aborted = true;
+      tcb.state = TcpState::kClosed;
+      cv_.notify_all();
+      continue;
+    }
+    ++stats_.retransmissions;
+    switch (tcb.state) {
+      case TcpState::kSynSent:
+        SendSegmentLocked(tcb, kTcpSyn, tcb.snd_una, {});
+        break;
+      case TcpState::kSynRcvd:
+        SendSegmentLocked(tcb, kTcpSyn | kTcpAck, tcb.snd_una, {});
+        break;
+      default: {
+        const uint32_t unacked_data =
+            std::min<uint32_t>(tcb.snd_nxt - tcb.snd_una,
+                               static_cast<uint32_t>(tcb.send_buffer.size()));
+        if (unacked_data > 0) {
+          const size_t chunk = std::min<size_t>(kMss, unacked_data);
+          std::vector<uint8_t> payload(tcb.send_buffer.begin(),
+                                       tcb.send_buffer.begin() +
+                                           static_cast<long>(chunk));
+          SendSegmentLocked(tcb, kTcpAck | kTcpPsh, tcb.snd_una, payload);
+        } else if (tcb.fin_sent && tcb.snd_una != tcb.snd_nxt) {
+          SendSegmentLocked(tcb, kTcpFin | kTcpAck, tcb.snd_nxt - 1, {});
+        }
+        break;
+      }
+    }
+    const int backoff_shift = std::min(tcb.retries, 6);
+    tcb.rto_deadline = now + (kRtoNanos << backoff_shift);
+  }
+}
+
+// --------------------------------------------------------- handle plumbing
+
+asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return asbase::FailedPrecondition("connection is gone");
+  }
+  Tcb& tcb = *it->second;
+  cv_.wait(lock, [&] {
+    return !tcb.recv_buffer.empty() || tcb.peer_fin || tcb.aborted ||
+           tcb.state == TcpState::kClosed;
+  });
+  if (tcb.aborted) {
+    return asbase::Unavailable("connection reset by peer");
+  }
+  if (tcb.recv_buffer.empty()) {
+    return size_t{0};  // EOF
+  }
+  const size_t n = std::min(out.size(), tcb.recv_buffer.size());
+  std::copy(tcb.recv_buffer.begin(),
+            tcb.recv_buffer.begin() + static_cast<long>(n), out.begin());
+  tcb.recv_buffer.erase(tcb.recv_buffer.begin(),
+                        tcb.recv_buffer.begin() + static_cast<long>(n));
+  return n;
+}
+
+asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
+                                         std::span<const uint8_t> data) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return asbase::FailedPrecondition("connection is gone");
+  }
+  Tcb& tcb = *it->second;
+  size_t queued = 0;
+  while (queued < data.size()) {
+    cv_.wait(lock, [&] {
+      return tcb.send_buffer.size() < kSendBufferCap || tcb.aborted ||
+             tcb.fin_queued || tcb.state == TcpState::kClosed;
+    });
+    if (tcb.fin_queued) {
+      return asbase::FailedPrecondition("send after close");
+    }
+    if (tcb.aborted || tcb.state == TcpState::kClosed) {
+      return asbase::Unavailable("connection reset");
+    }
+    const size_t space = kSendBufferCap - tcb.send_buffer.size();
+    const size_t chunk = std::min(space, data.size() - queued);
+    tcb.send_buffer.insert(tcb.send_buffer.end(), data.begin() + queued,
+                           data.begin() + queued + static_cast<long>(chunk));
+    queued += chunk;
+    PumpSendLocked(tcb);
+  }
+  return queued;
+}
+
+void NetStack::TcpClose(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return;
+  }
+  Tcb& tcb = *it->second;
+  if (tcb.state == TcpState::kSynSent || tcb.state == TcpState::kSynRcvd) {
+    tcb.state = TcpState::kClosed;
+    cv_.notify_all();
+    return;
+  }
+  if (!tcb.fin_queued && (tcb.state == TcpState::kEstablished ||
+                          tcb.state == TcpState::kCloseWait)) {
+    tcb.fin_queued = true;
+    PumpSendLocked(tcb);
+  }
+}
+
+void NetStack::TcpRelease(uint64_t id) {
+  TcpClose(id);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return;
+  }
+  // Give the teardown a moment to finish cleanly, then drop the tcb. The
+  // retransmission machinery keeps running while we wait.
+  Tcb& tcb = *it->second;
+  cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+    return tcb.state == TcpState::kClosed ||
+           (tcb.fin_sent && tcb.snd_una == tcb.snd_nxt);
+  });
+  DestroyTcbLocked(id);
+}
+
+void NetStack::ListenerRelease(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) {
+    return;
+  }
+  // Orphan any un-accepted connections.
+  for (uint64_t id : it->second.pending) {
+    auto tcb_it = tcbs_.find(id);
+    if (tcb_it != tcbs_.end()) {
+      tcb_it->second->fin_queued = true;
+      PumpSendLocked(*tcb_it->second);
+    }
+  }
+  listeners_.erase(it);
+}
+
+void NetStack::UdpRelease(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  udp_pcbs_.erase(port);
+}
+
+// -------------------------------------------------------------- handles
+
+TcpConnection::~TcpConnection() { stack_->TcpRelease(id_); }
+
+asbase::Result<size_t> TcpConnection::Recv(std::span<uint8_t> out) {
+  return stack_->TcpRecv(id_, out);
+}
+
+asbase::Result<size_t> TcpConnection::Send(std::span<const uint8_t> data) {
+  return stack_->TcpSend(id_, data);
+}
+
+asbase::Result<size_t> TcpConnection::RecvAll(std::span<uint8_t> out) {
+  size_t done = 0;
+  while (done < out.size()) {
+    AS_ASSIGN_OR_RETURN(size_t n, Recv(out.subspan(done)));
+    if (n == 0) {
+      break;
+    }
+    done += n;
+  }
+  return done;
+}
+
+void TcpConnection::Close() { stack_->TcpClose(id_); }
+
+TcpListener::~TcpListener() { stack_->ListenerRelease(port_); }
+
+asbase::Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(stack_->mutex_);
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+  auto& listener = stack_->listeners_.at(port_);
+  if (!stack_->cv_.wait_until(lock, deadline,
+                              [&] { return !listener.pending.empty(); })) {
+    return asbase::Unavailable("accept timeout");
+  }
+  const uint64_t id = listener.pending.front();
+  listener.pending.pop_front();
+  auto it = stack_->tcbs_.find(id);
+  if (it == stack_->tcbs_.end()) {
+    return asbase::Unavailable("connection vanished before accept");
+  }
+  NetStack::Tcb& tcb = *it->second;
+  return std::unique_ptr<TcpConnection>(new TcpConnection(
+      stack_, id, tcb.remote_ip, tcb.remote_port, tcb.local_port));
+}
+
+UdpSocket::~UdpSocket() { stack_->UdpRelease(port_); }
+
+asbase::Status UdpSocket::SendTo(Ipv4Addr dst, uint16_t dst_port,
+                                 std::span<const uint8_t> payload) {
+  UdpHeader header;
+  header.src_port = port_;
+  header.dst_port = dst_port;
+  auto datagram = BuildUdp(stack_->addr(), dst, header, payload);
+  Ipv4Header ip;
+  ip.src = stack_->addr();
+  ip.dst = dst;
+  ip.proto = IpProto::kUdp;
+  stack_->port_->Send(BuildIpv4(ip, datagram));
+  return asbase::OkStatus();
+}
+
+asbase::Result<UdpSocket::Datagram> UdpSocket::RecvFrom(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(stack_->mutex_);
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+  auto& pcb = stack_->udp_pcbs_.at(port_);
+  if (!stack_->udp_cv_.wait_until(lock, deadline,
+                                  [&] { return !pcb.queue.empty(); })) {
+    return asbase::Unavailable("recvfrom timeout");
+  }
+  Datagram datagram = std::move(pcb.queue.front());
+  pcb.queue.pop_front();
+  return datagram;
+}
+
+asbase::Status SendAll(TcpConnection& connection,
+                       std::span<const uint8_t> data) {
+  AS_ASSIGN_OR_RETURN(size_t n, connection.Send(data));
+  if (n != data.size()) {
+    return asbase::Internal("short send");
+  }
+  return asbase::OkStatus();
+}
+
+}  // namespace asnet

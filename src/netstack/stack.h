@@ -1,0 +1,263 @@
+// User-space TCP/IP stack (the smoltcp equivalent behind as-libos's `socket`
+// module, §7.1 / Table 2).
+//
+// One NetStack per WFD, attached to a TunPort on the virtual switch. A
+// background poller thread drives packet reception and retransmission
+// timers; user threads block on condition variables for connect / accept /
+// send-space / received-data, mirroring the blocking socket API the LibOS
+// exposes (smol_bind, smol_connect, ...).
+//
+// TCP implementation notes:
+//   * full three-way handshake, FIN teardown in both directions, RST on
+//     unexpected segments,
+//   * go-back-N loss recovery: in-order reassembly only, cumulative ACKs,
+//     single retransmission timer per connection resending from snd_una,
+//   * fixed 64 KiB windows (the advertised window is honored; no congestion
+//     control — links here are queues, not routers),
+//   * MSS 1460.
+
+#ifndef SRC_NETSTACK_STACK_H_
+#define SRC_NETSTACK_STACK_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "src/common/queue.h"
+#include "src/netstack/channel.h"
+#include "src/netstack/wire.h"
+
+namespace asnet {
+
+class NetStack;
+
+// User handle for an established (or in-progress) TCP connection.
+class TcpConnection {
+ public:
+  ~TcpConnection();
+
+  // Blocks until at least one byte is buffered (or returns 0 on EOF).
+  asbase::Result<size_t> Recv(std::span<uint8_t> out);
+  // Blocks until the payload fits in the send buffer; returns bytes queued
+  // (always data.size() on success).
+  asbase::Result<size_t> Send(std::span<const uint8_t> data);
+  // Reads exactly out.size() bytes unless EOF intervenes.
+  asbase::Result<size_t> RecvAll(std::span<uint8_t> out);
+
+  // Graceful shutdown: queues a FIN after pending data. Idempotent.
+  void Close();
+
+  Ipv4Addr remote_addr() const { return remote_addr_; }
+  uint16_t remote_port() const { return remote_port_; }
+  uint16_t local_port() const { return local_port_; }
+
+ private:
+  friend class NetStack;
+  friend class TcpListener;
+  TcpConnection(NetStack* stack, uint64_t id, Ipv4Addr remote_addr,
+                uint16_t remote_port, uint16_t local_port)
+      : stack_(stack), id_(id), remote_addr_(remote_addr),
+        remote_port_(remote_port), local_port_(local_port) {}
+
+  NetStack* stack_;
+  uint64_t id_;
+  Ipv4Addr remote_addr_;
+  uint16_t remote_port_;
+  uint16_t local_port_;
+};
+
+class TcpListener {
+ public:
+  ~TcpListener();
+
+  // Blocks until a connection completes the handshake.
+  asbase::Result<std::unique_ptr<TcpConnection>> Accept(
+      std::chrono::nanoseconds timeout = std::chrono::seconds(10));
+
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class NetStack;
+  TcpListener(NetStack* stack, uint16_t port) : stack_(stack), port_(port) {}
+  NetStack* stack_;
+  uint16_t port_;
+};
+
+class UdpSocket {
+ public:
+  ~UdpSocket();
+
+  asbase::Status SendTo(Ipv4Addr dst, uint16_t dst_port,
+                        std::span<const uint8_t> payload);
+  struct Datagram {
+    Ipv4Addr src;
+    uint16_t src_port;
+    std::vector<uint8_t> payload;
+  };
+  asbase::Result<Datagram> RecvFrom(
+      std::chrono::nanoseconds timeout = std::chrono::seconds(10));
+
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class NetStack;
+  UdpSocket(NetStack* stack, uint16_t port) : stack_(stack), port_(port) {}
+  NetStack* stack_;
+  uint16_t port_;
+};
+
+class NetStack {
+ public:
+  explicit NetStack(std::shared_ptr<TunPort> port);
+  ~NetStack();
+
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  Ipv4Addr addr() const { return port_->addr(); }
+
+  asbase::Result<std::unique_ptr<TcpListener>> Listen(uint16_t port);
+  asbase::Result<std::unique_ptr<TcpConnection>> Connect(
+      Ipv4Addr dst, uint16_t dst_port,
+      std::chrono::nanoseconds timeout = std::chrono::seconds(5));
+  asbase::Result<std::unique_ptr<UdpSocket>> UdpBind(uint16_t port);
+
+  // ICMP echo round trip; returns the RTT.
+  asbase::Result<int64_t> Ping(
+      Ipv4Addr dst, std::chrono::nanoseconds timeout = std::chrono::seconds(2));
+
+  struct Stats {
+    uint64_t segments_sent = 0;
+    uint64_t segments_received = 0;
+    uint64_t retransmissions = 0;
+    uint64_t checksum_failures = 0;
+  };
+  Stats stats() const;
+
+  static constexpr size_t kMss = 1460;
+  static constexpr size_t kWindow = 64 * 1024 - 1;
+  static constexpr size_t kSendBufferCap = 256 * 1024;
+  static constexpr int64_t kRtoNanos = 20'000'000;  // 20 ms
+  static constexpr int kMaxRetries = 10;
+
+ private:
+  friend class TcpConnection;
+  friend class TcpListener;
+  friend class UdpSocket;
+
+  enum class TcpState {
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kLastAck,
+    kClosing,
+    kClosed,
+  };
+
+  struct Tcb {
+    uint64_t id;
+    TcpState state;
+    Ipv4Addr remote_ip;
+    uint16_t remote_port;
+    uint16_t local_port;
+
+    // Send side: send_buffer holds bytes [snd_una, snd_una + size).
+    uint32_t snd_una = 0;
+    uint32_t snd_nxt = 0;
+    uint16_t snd_wnd = kWindow;
+    std::deque<uint8_t> send_buffer;
+    bool fin_queued = false;
+    bool fin_sent = false;
+
+    // Receive side.
+    uint32_t rcv_nxt = 0;
+    std::deque<uint8_t> recv_buffer;
+    bool peer_fin = false;
+
+    // Retransmission.
+    int64_t rto_deadline = 0;
+    int retries = 0;
+
+    // Set when the connection dies abnormally (RST / too many retries).
+    bool aborted = false;
+    // Latched once the three-way handshake completes (the state may move
+    // past kEstablished before a waiter gets to observe it).
+    bool synchronized = false;
+
+    // Listener that spawned this tcb (SYN_RCVD -> accept queue), if any.
+    uint16_t parent_listener = 0;
+  };
+
+  struct Listener {
+    std::deque<uint64_t> pending;  // established tcb ids awaiting Accept
+    bool open = true;
+  };
+
+  struct UdpPcb {
+    std::deque<UdpSocket::Datagram> queue;
+    bool open = true;
+  };
+
+  void PollerLoop();
+  void HandlePacket(const Packet& packet);
+  void HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4);
+  void HandleUdp(const Ipv4Header& ip, std::span<const uint8_t> l4);
+  void HandleIcmp(const Ipv4Header& ip, std::span<const uint8_t> l4);
+  void CheckTimersLocked();
+
+  // Transmission helpers; all require `mutex_` held.
+  void SendSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
+                         std::span<const uint8_t> payload);
+  void SendRst(Ipv4Addr dst, uint16_t dst_port, uint16_t src_port,
+               uint32_t seq, uint32_t ack);
+  void PumpSendLocked(Tcb& tcb);
+  void ArmTimerLocked(Tcb& tcb);
+  Tcb* FindTcbLocked(Ipv4Addr remote_ip, uint16_t remote_port,
+                     uint16_t local_port);
+  uint16_t AllocatePortLocked();
+  void DestroyTcbLocked(uint64_t id);
+
+  // Called by the user-handle classes.
+  asbase::Result<size_t> TcpRecv(uint64_t id, std::span<uint8_t> out);
+  asbase::Result<size_t> TcpSend(uint64_t id, std::span<const uint8_t> data);
+  void TcpClose(uint64_t id);
+  void TcpRelease(uint64_t id);  // handle destroyed
+  void ListenerRelease(uint16_t port);
+  void UdpRelease(uint16_t port);
+
+  std::shared_ptr<TunPort> port_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // broadcast on any TCP event
+  std::map<uint64_t, std::unique_ptr<Tcb>> tcbs_;
+  std::map<std::tuple<Ipv4Addr, uint16_t, uint16_t>, uint64_t> tcb_index_;
+  std::map<uint16_t, Listener> listeners_;
+  std::map<uint16_t, UdpPcb> udp_pcbs_;
+  std::condition_variable udp_cv_;
+  uint64_t next_tcb_id_ = 1;
+  uint32_t next_iss_ = 1000;
+  uint16_t next_ephemeral_ = 40000;
+  uint16_t ping_id_ = 7;
+  uint16_t ping_seq_ = 0;
+  std::map<uint16_t, int64_t> ping_waiters_;  // seq -> reply time (0=pending)
+  std::condition_variable ping_cv_;
+
+  Stats stats_;
+
+  std::atomic<bool> running_{true};
+  std::thread poller_;
+};
+
+// Convenience: send all of `data` (Send already queues fully, this is for
+// symmetry and clarity at call sites).
+asbase::Status SendAll(TcpConnection& connection,
+                       std::span<const uint8_t> data);
+
+}  // namespace asnet
+
+#endif  // SRC_NETSTACK_STACK_H_

@@ -1,0 +1,234 @@
+#include "src/netstack/wire.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace asnet {
+namespace {
+
+void PutBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+void PutBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+uint16_t GetBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+uint32_t GetBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace
+
+Ipv4Addr MakeAddr(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+         (static_cast<uint32_t>(c) << 8) | d;
+}
+
+std::string AddrToString(Ipv4Addr addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+asbase::Result<Ipv4Addr> ParseAddr(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return asbase::InvalidArgument("bad IPv4 address '" + text + "'");
+  }
+  return MakeAddr(static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+                  static_cast<uint8_t>(c), static_cast<uint8_t>(d));
+}
+
+uint16_t Checksum(std::span<const uint8_t> data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i] << 8);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint32_t PseudoHeaderSum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                         uint16_t l4_length) {
+  uint32_t sum = 0;
+  sum += (src >> 16) + (src & 0xFFFF);
+  sum += (dst >> 16) + (dst & 0xFFFF);
+  sum += static_cast<uint32_t>(proto);
+  sum += l4_length;
+  return sum;
+}
+
+std::vector<uint8_t> BuildIpv4(const Ipv4Header& header,
+                               std::span<const uint8_t> l4) {
+  std::vector<uint8_t> packet(kIpv4HeaderSize + l4.size());
+  uint8_t* p = packet.data();
+  p[0] = 0x45;  // version 4, IHL 5
+  p[1] = 0;     // DSCP
+  PutBe16(&p[2], static_cast<uint16_t>(packet.size()));
+  PutBe16(&p[4], 0);       // identification
+  PutBe16(&p[6], 0x4000);  // don't fragment
+  p[8] = header.ttl;
+  p[9] = static_cast<uint8_t>(header.proto);
+  PutBe16(&p[10], 0);  // checksum placeholder
+  PutBe32(&p[12], header.src);
+  PutBe32(&p[16], header.dst);
+  PutBe16(&p[10], Checksum({p, kIpv4HeaderSize}));
+  if (!l4.empty()) {
+    std::memcpy(p + kIpv4HeaderSize, l4.data(), l4.size());
+  }
+  return packet;
+}
+
+asbase::Result<std::span<const uint8_t>> ParseIpv4(
+    std::span<const uint8_t> packet, Ipv4Header* header) {
+  if (packet.size() < kIpv4HeaderSize) {
+    return asbase::InvalidArgument("IPv4 packet too short");
+  }
+  const uint8_t* p = packet.data();
+  if ((p[0] >> 4) != 4) {
+    return asbase::InvalidArgument("not IPv4");
+  }
+  const size_t ihl = static_cast<size_t>(p[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderSize || packet.size() < ihl) {
+    return asbase::InvalidArgument("bad IHL");
+  }
+  if (Checksum({p, ihl}) != 0) {
+    return asbase::DataLoss("IPv4 header checksum mismatch");
+  }
+  const uint16_t total = GetBe16(&p[2]);
+  if (total < ihl || total > packet.size()) {
+    return asbase::InvalidArgument("bad IPv4 total length");
+  }
+  header->total_length = total;
+  header->ttl = p[8];
+  header->proto = static_cast<IpProto>(p[9]);
+  header->src = GetBe32(&p[12]);
+  header->dst = GetBe32(&p[16]);
+  return packet.subspan(ihl, total - ihl);
+}
+
+std::vector<uint8_t> BuildTcp(Ipv4Addr src, Ipv4Addr dst,
+                              const TcpHeader& header,
+                              std::span<const uint8_t> payload) {
+  std::vector<uint8_t> segment(kTcpHeaderSize + payload.size());
+  uint8_t* p = segment.data();
+  PutBe16(&p[0], header.src_port);
+  PutBe16(&p[2], header.dst_port);
+  PutBe32(&p[4], header.seq);
+  PutBe32(&p[8], header.ack);
+  p[12] = (kTcpHeaderSize / 4) << 4;  // data offset
+  p[13] = header.flags;
+  PutBe16(&p[14], header.window);
+  PutBe16(&p[16], 0);  // checksum placeholder
+  PutBe16(&p[18], 0);  // urgent pointer
+  if (!payload.empty()) {
+    std::memcpy(p + kTcpHeaderSize, payload.data(), payload.size());
+  }
+  const uint32_t pseudo = PseudoHeaderSum(
+      src, dst, IpProto::kTcp, static_cast<uint16_t>(segment.size()));
+  PutBe16(&p[16], Checksum(segment, pseudo));
+  return segment;
+}
+
+asbase::Result<std::span<const uint8_t>> ParseTcp(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> segment,
+    TcpHeader* header) {
+  if (segment.size() < kTcpHeaderSize) {
+    return asbase::InvalidArgument("TCP segment too short");
+  }
+  const uint32_t pseudo = PseudoHeaderSum(
+      src, dst, IpProto::kTcp, static_cast<uint16_t>(segment.size()));
+  if (Checksum(segment, pseudo) != 0) {
+    return asbase::DataLoss("TCP checksum mismatch");
+  }
+  const uint8_t* p = segment.data();
+  header->src_port = GetBe16(&p[0]);
+  header->dst_port = GetBe16(&p[2]);
+  header->seq = GetBe32(&p[4]);
+  header->ack = GetBe32(&p[8]);
+  const size_t offset = static_cast<size_t>(p[12] >> 4) * 4;
+  if (offset < kTcpHeaderSize || offset > segment.size()) {
+    return asbase::InvalidArgument("bad TCP data offset");
+  }
+  header->flags = p[13];
+  header->window = GetBe16(&p[14]);
+  return segment.subspan(offset);
+}
+
+std::vector<uint8_t> BuildUdp(Ipv4Addr src, Ipv4Addr dst,
+                              const UdpHeader& header,
+                              std::span<const uint8_t> payload) {
+  std::vector<uint8_t> datagram(kUdpHeaderSize + payload.size());
+  uint8_t* p = datagram.data();
+  PutBe16(&p[0], header.src_port);
+  PutBe16(&p[2], header.dst_port);
+  PutBe16(&p[4], static_cast<uint16_t>(datagram.size()));
+  PutBe16(&p[6], 0);
+  if (!payload.empty()) {
+    std::memcpy(p + kUdpHeaderSize, payload.data(), payload.size());
+  }
+  const uint32_t pseudo = PseudoHeaderSum(
+      src, dst, IpProto::kUdp, static_cast<uint16_t>(datagram.size()));
+  uint16_t checksum = Checksum(datagram, pseudo);
+  if (checksum == 0) {
+    checksum = 0xFFFF;
+  }
+  PutBe16(&p[6], checksum);
+  return datagram;
+}
+
+asbase::Result<std::span<const uint8_t>> ParseUdp(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> datagram,
+    UdpHeader* header) {
+  if (datagram.size() < kUdpHeaderSize) {
+    return asbase::InvalidArgument("UDP datagram too short");
+  }
+  const uint8_t* p = datagram.data();
+  const uint32_t pseudo = PseudoHeaderSum(
+      src, dst, IpProto::kUdp, static_cast<uint16_t>(datagram.size()));
+  if (Checksum(datagram, pseudo) != 0) {
+    return asbase::DataLoss("UDP checksum mismatch");
+  }
+  header->src_port = GetBe16(&p[0]);
+  header->dst_port = GetBe16(&p[2]);
+  header->length = GetBe16(&p[4]);
+  if (header->length < kUdpHeaderSize || header->length > datagram.size()) {
+    return asbase::InvalidArgument("bad UDP length");
+  }
+  return datagram.subspan(kUdpHeaderSize, header->length - kUdpHeaderSize);
+}
+
+std::vector<uint8_t> BuildIcmpEcho(bool reply, uint16_t id, uint16_t seq,
+                                   std::span<const uint8_t> payload) {
+  std::vector<uint8_t> message(kIcmpHeaderSize + payload.size());
+  uint8_t* p = message.data();
+  p[0] = reply ? 0 : 8;
+  p[1] = 0;
+  PutBe16(&p[2], 0);
+  PutBe16(&p[4], id);
+  PutBe16(&p[6], seq);
+  if (!payload.empty()) {
+    std::memcpy(p + kIcmpHeaderSize, payload.data(), payload.size());
+  }
+  PutBe16(&p[2], Checksum(message));
+  return message;
+}
+
+}  // namespace asnet

@@ -1,0 +1,113 @@
+// On-the-wire formats for the user-space network stack (smoltcp equivalent,
+// §7.1). The virtual TUN device carries raw IPv4 packets (layer 3), so there
+// is no Ethernet/ARP layer; everything else — IPv4, TCP, UDP, ICMP echo,
+// Internet checksums including the TCP/UDP pseudo-header — follows the RFCs.
+
+#ifndef SRC_NETSTACK_WIRE_H_
+#define SRC_NETSTACK_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace asnet {
+
+// IPv4 address in host byte order ("10.0.0.1" == 0x0A000001).
+using Ipv4Addr = uint32_t;
+
+Ipv4Addr MakeAddr(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+std::string AddrToString(Ipv4Addr addr);
+asbase::Result<Ipv4Addr> ParseAddr(const std::string& text);
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+// TCP flag bits.
+constexpr uint8_t kTcpFin = 0x01;
+constexpr uint8_t kTcpSyn = 0x02;
+constexpr uint8_t kTcpRst = 0x04;
+constexpr uint8_t kTcpPsh = 0x08;
+constexpr uint8_t kTcpAck = 0x10;
+
+struct Ipv4Header {
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+  IpProto proto = IpProto::kTcp;
+  uint8_t ttl = 64;
+  uint16_t total_length = 0;  // header + payload
+};
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint16_t window = 0;
+};
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;  // header + payload
+};
+
+constexpr size_t kIpv4HeaderSize = 20;
+constexpr size_t kTcpHeaderSize = 20;
+constexpr size_t kUdpHeaderSize = 8;
+constexpr size_t kIcmpHeaderSize = 8;
+
+// RFC 1071 Internet checksum over `data` (+ optional initial sum).
+uint16_t Checksum(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// Pseudo-header partial sum for TCP/UDP checksums.
+uint32_t PseudoHeaderSum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                         uint16_t l4_length);
+
+// Builds a complete IPv4 packet around an L4 payload (header already built).
+std::vector<uint8_t> BuildIpv4(const Ipv4Header& header,
+                               std::span<const uint8_t> l4);
+
+// Parses and validates (version, header checksum, length) an IPv4 packet;
+// fills `header` and returns the L4 payload view into `packet`.
+asbase::Result<std::span<const uint8_t>> ParseIpv4(
+    std::span<const uint8_t> packet, Ipv4Header* header);
+
+// Builds a TCP segment (header + payload) with a correct checksum.
+std::vector<uint8_t> BuildTcp(Ipv4Addr src, Ipv4Addr dst,
+                              const TcpHeader& header,
+                              std::span<const uint8_t> payload);
+
+asbase::Result<std::span<const uint8_t>> ParseTcp(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> segment,
+    TcpHeader* header);
+
+std::vector<uint8_t> BuildUdp(Ipv4Addr src, Ipv4Addr dst,
+                              const UdpHeader& header,
+                              std::span<const uint8_t> payload);
+
+asbase::Result<std::span<const uint8_t>> ParseUdp(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> datagram,
+    UdpHeader* header);
+
+// ICMP echo request/reply (type 8/0, code 0).
+std::vector<uint8_t> BuildIcmpEcho(bool reply, uint16_t id, uint16_t seq,
+                                   std::span<const uint8_t> payload);
+
+// Sequence-number comparison with wraparound (RFC 793 style).
+inline bool SeqLt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+inline bool SeqLe(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) <= 0;
+}
+
+}  // namespace asnet
+
+#endif  // SRC_NETSTACK_WIRE_H_

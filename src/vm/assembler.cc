@@ -1,0 +1,342 @@
+#include "src/vm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace asvm {
+namespace {
+
+void EmitU16(std::vector<uint8_t>& code, uint16_t v) {
+  code.push_back(static_cast<uint8_t>(v));
+  code.push_back(static_cast<uint8_t>(v >> 8));
+}
+void EmitU32(std::vector<uint8_t>& code, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    code.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+void EmitI64(std::vector<uint8_t>& code, int64_t v) {
+  auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    code.push_back(static_cast<uint8_t>(u >> (8 * i)));
+  }
+}
+void PatchI32(std::vector<uint8_t>& code, size_t at, int32_t v) {
+  auto u = static_cast<uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    code[at + static_cast<size_t>(i)] = static_cast<uint8_t>(u >> (8 * i));
+  }
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#' || line[i] == ';') {
+      break;
+    }
+    if (line[i] == '"') {
+      // String literal with escapes; kept as one token including quotes.
+      std::string token = "\"";
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          token.push_back(line[i]);
+          token.push_back(line[i + 1]);
+          i += 2;
+        } else {
+          token.push_back(line[i++]);
+        }
+      }
+      ++i;  // closing quote
+      token.push_back('"');
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])) &&
+           line[i] != '#' && line[i] != ';') {
+      ++i;
+    }
+    tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+asbase::Result<std::vector<uint8_t>> DecodeString(const std::string& quoted) {
+  std::vector<uint8_t> out;
+  for (size_t i = 1; i + 1 < quoted.size(); ++i) {
+    char c = quoted[i];
+    if (c == '\\' && i + 2 < quoted.size() + 1) {
+      char e = quoted[++i];
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '0': out.push_back(0); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default:
+          return asbase::InvalidArgument(std::string("bad escape \\") + e);
+      }
+    } else {
+      out.push_back(static_cast<uint8_t>(c));
+    }
+  }
+  return out;
+}
+
+struct OpSpec {
+  Op op;
+  enum class Operand { kNone, kI64, kU16Local, kU32Offset, kLabel, kFunc,
+                       kHost } operand;
+};
+
+const std::map<std::string, OpSpec>& Mnemonics() {
+  using Operand = OpSpec::Operand;
+  static const std::map<std::string, OpSpec> kTable = {
+      {"halt", {Op::kHalt, Operand::kNone}},
+      {"push", {Op::kPushI64, Operand::kI64}},
+      {"drop", {Op::kDrop, Operand::kNone}},
+      {"dup", {Op::kDup, Operand::kNone}},
+      {"local.get", {Op::kLocalGet, Operand::kU16Local}},
+      {"local.set", {Op::kLocalSet, Operand::kU16Local}},
+      {"local.tee", {Op::kLocalTee, Operand::kU16Local}},
+      {"add", {Op::kAdd, Operand::kNone}},
+      {"sub", {Op::kSub, Operand::kNone}},
+      {"mul", {Op::kMul, Operand::kNone}},
+      {"div_s", {Op::kDivS, Operand::kNone}},
+      {"rem_s", {Op::kRemS, Operand::kNone}},
+      {"and", {Op::kAnd, Operand::kNone}},
+      {"or", {Op::kOr, Operand::kNone}},
+      {"xor", {Op::kXor, Operand::kNone}},
+      {"shl", {Op::kShl, Operand::kNone}},
+      {"shr_s", {Op::kShrS, Operand::kNone}},
+      {"shr_u", {Op::kShrU, Operand::kNone}},
+      {"eq", {Op::kEq, Operand::kNone}},
+      {"ne", {Op::kNe, Operand::kNone}},
+      {"lt_s", {Op::kLtS, Operand::kNone}},
+      {"le_s", {Op::kLeS, Operand::kNone}},
+      {"gt_s", {Op::kGtS, Operand::kNone}},
+      {"ge_s", {Op::kGeS, Operand::kNone}},
+      {"eqz", {Op::kEqz, Operand::kNone}},
+      {"load8", {Op::kLoad8U, Operand::kU32Offset}},
+      {"load64", {Op::kLoad64, Operand::kU32Offset}},
+      {"store8", {Op::kStore8, Operand::kU32Offset}},
+      {"store64", {Op::kStore64, Operand::kU32Offset}},
+      {"load32", {Op::kLoad32U, Operand::kU32Offset}},
+      {"store32", {Op::kStore32, Operand::kU32Offset}},
+      {"jmp", {Op::kJmp, Operand::kLabel}},
+      {"jz", {Op::kJz, Operand::kLabel}},
+      {"call", {Op::kCall, Operand::kFunc}},
+      {"ret", {Op::kRet, Operand::kNone}},
+      {"host", {Op::kHostcall, Operand::kHost}},
+      {"memsize", {Op::kMemSize, Operand::kNone}},
+      {"memgrow", {Op::kMemGrow, Operand::kNone}},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+asbase::Result<VmModule> Assemble(const std::string& source) {
+  VmModule module;
+  std::map<std::string, int> function_indices;   // name -> index
+  std::map<std::string, uint16_t> host_indices;  // name -> hostcall slot
+
+  // Per-function label state.
+  bool in_function = false;
+  std::map<std::string, size_t> labels;                  // label -> code pos
+  std::vector<std::pair<size_t, std::string>> label_fixups;  // patch at -> label
+  std::vector<std::pair<size_t, std::string>> call_fixups;   // patch at -> fn
+
+  std::istringstream input(source);
+  std::string line;
+  int line_number = 0;
+
+  auto fail = [&](const std::string& why) {
+    return asbase::InvalidArgument("asm line " + std::to_string(line_number) +
+                                   ": " + why);
+  };
+
+  auto finish_function = [&]() -> asbase::Status {
+    for (const auto& [at, label] : label_fixups) {
+      auto it = labels.find(label);
+      if (it == labels.end()) {
+        return asbase::InvalidArgument("undefined label '" + label + "'");
+      }
+      // Relative to the end of the 4-byte operand.
+      PatchI32(module.code, at,
+               static_cast<int32_t>(static_cast<int64_t>(it->second) -
+                                    static_cast<int64_t>(at + 4)));
+    }
+    labels.clear();
+    label_fixups.clear();
+    return asbase::OkStatus();
+  };
+
+  while (std::getline(input, line)) {
+    ++line_number;
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+
+    if (head == ".pages") {
+      if (tokens.size() != 2) {
+        return fail(".pages needs one operand");
+      }
+      module.initial_pages = static_cast<uint32_t>(std::stoul(tokens[1]));
+      continue;
+    }
+    if (head == ".data") {
+      if (tokens.size() < 3) {
+        return fail(".data needs an address and bytes");
+      }
+      DataSegment segment;
+      segment.address = static_cast<uint32_t>(std::stoul(tokens[1]));
+      if (tokens[2].front() == '"') {
+        AS_ASSIGN_OR_RETURN(segment.bytes, DecodeString(tokens[2]));
+      } else {
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          segment.bytes.push_back(
+              static_cast<uint8_t>(std::stoul(tokens[i], nullptr, 16)));
+        }
+      }
+      module.data.push_back(std::move(segment));
+      continue;
+    }
+    if (head == ".func") {
+      if (in_function) {
+        return fail("nested .func");
+      }
+      if (tokens.size() < 2) {
+        return fail(".func needs a name");
+      }
+      VmFunction function;
+      function.name = tokens[1];
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i].rfind("params=", 0) == 0) {
+          function.num_params =
+              static_cast<uint16_t>(std::stoul(tokens[i].substr(7)));
+        } else if (tokens[i].rfind("locals=", 0) == 0) {
+          function.num_locals =
+              static_cast<uint16_t>(std::stoul(tokens[i].substr(7)));
+        } else {
+          return fail("bad .func attribute " + tokens[i]);
+        }
+      }
+      function.entry = static_cast<uint32_t>(module.code.size());
+      if (function_indices.count(function.name)) {
+        return fail("duplicate function " + function.name);
+      }
+      function_indices[function.name] =
+          static_cast<int>(module.functions.size());
+      module.functions.push_back(std::move(function));
+      in_function = true;
+      continue;
+    }
+    if (head == ".end") {
+      if (!in_function) {
+        return fail(".end outside a function");
+      }
+      AS_RETURN_IF_ERROR(finish_function());
+      in_function = false;
+      continue;
+    }
+
+    if (!in_function) {
+      return fail("instruction outside .func");
+    }
+
+    // Label definition: "name:"
+    if (head.back() == ':' && tokens.size() == 1) {
+      const std::string label = head.substr(0, head.size() - 1);
+      if (labels.count(label)) {
+        return fail("duplicate label " + label);
+      }
+      labels[label] = module.code.size();
+      continue;
+    }
+
+    auto spec_it = Mnemonics().find(head);
+    if (spec_it == Mnemonics().end()) {
+      return fail("unknown mnemonic '" + head + "'");
+    }
+    const OpSpec& spec = spec_it->second;
+    using Operand = OpSpec::Operand;
+    if (spec.operand == Operand::kNone) {
+      if (tokens.size() != 1) {
+        return fail(head + " takes no operand");
+      }
+      module.code.push_back(static_cast<uint8_t>(spec.op));
+      continue;
+    }
+    // load/store allow the offset to be omitted (defaults to 0).
+    if (tokens.size() != 2 &&
+        !(spec.operand == Operand::kU32Offset && tokens.size() == 1)) {
+      return fail(head + " needs exactly one operand");
+    }
+    module.code.push_back(static_cast<uint8_t>(spec.op));
+    switch (spec.operand) {
+      case Operand::kI64:
+        EmitI64(module.code, std::stoll(tokens[1]));
+        break;
+      case Operand::kU16Local:
+        EmitU16(module.code, static_cast<uint16_t>(std::stoul(tokens[1])));
+        break;
+      case Operand::kU32Offset:
+        EmitU32(module.code, tokens.size() == 2
+                                 ? static_cast<uint32_t>(std::stoul(tokens[1]))
+                                 : 0);
+        break;
+      case Operand::kLabel:
+        label_fixups.emplace_back(module.code.size(), tokens[1]);
+        EmitU32(module.code, 0);
+        break;
+      case Operand::kFunc:
+        call_fixups.emplace_back(module.code.size(), tokens[1]);
+        EmitU16(module.code, 0);
+        break;
+      case Operand::kHost: {
+        auto [it, inserted] = host_indices.emplace(
+            tokens[1], static_cast<uint16_t>(module.hostcalls.size()));
+        if (inserted) {
+          module.hostcalls.push_back(tokens[1]);
+        }
+        EmitU16(module.code, it->second);
+        break;
+      }
+      case Operand::kNone:
+        break;
+    }
+  }
+
+  if (in_function) {
+    return asbase::InvalidArgument("missing .end at end of input");
+  }
+  for (const auto& [at, name] : call_fixups) {
+    auto it = function_indices.find(name);
+    if (it == function_indices.end()) {
+      return asbase::InvalidArgument("call to undefined function '" + name +
+                                     "'");
+    }
+    module.code[at] = static_cast<uint8_t>(it->second);
+    module.code[at + 1] = static_cast<uint8_t>(it->second >> 8);
+  }
+  auto main_it = function_indices.find("main");
+  if (main_it == function_indices.end()) {
+    return asbase::InvalidArgument("module has no 'main' function");
+  }
+  module.main_index = main_it->second;
+  return module;
+}
+
+}  // namespace asvm

@@ -1,0 +1,43 @@
+// Text assembler for AsVM modules.
+//
+// Benchmark functions for the C/Python evaluation paths (§8.5) are written
+// in this assembly dialect, assembled once at startup (modeling AOT
+// compilation, §6) and executed by the interpreter.
+//
+// Syntax, one statement per line ('#' or ';' starts a comment):
+//
+//   .pages 32                  initial memory pages
+//   .data 4096 "hello\n"       string bytes at address
+//   .data 8192 01 02 ff        hex bytes at address
+//   .func main                 begin function (params/locals optional):
+//   .func helper params=2 locals=3
+//     push 42
+//     local.get 0
+//     add
+//     call helper              call by name
+//     host fd_write            hostcall by name
+//     jmp again                labels local to the function
+//     jz done
+//   again:
+//     ...
+//   done:
+//     ret                      (or halt in main)
+//   .end
+//
+// The module's entry point is the function named "main".
+
+#ifndef SRC_VM_ASSEMBLER_H_
+#define SRC_VM_ASSEMBLER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/vm/isa.h"
+
+namespace asvm {
+
+asbase::Result<VmModule> Assemble(const std::string& source);
+
+}  // namespace asvm
+
+#endif  // SRC_VM_ASSEMBLER_H_

@@ -1,0 +1,103 @@
+// AsVM: the bytecode VM standing in for Wasmtime in this reproduction
+// (DESIGN.md §1). C and Python benchmark functions are compiled (by the
+// assembler) to this ISA and executed by the interpreter; all I/O goes
+// through a WASI-style hostcall table that the as-std adaptation layer binds
+// to as-libos, matching §7.2.
+//
+// The ISA is a classic stack machine over i64 values with a linear byte
+// memory, local variables, direct calls, and hostcalls. Operands are
+// little-endian immediates following the opcode byte.
+
+#ifndef SRC_VM_ISA_H_
+#define SRC_VM_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asvm {
+
+enum class Op : uint8_t {
+  kHalt = 0x00,      // stop; top of stack (or 0) is the module's result
+  kPushI64 = 0x01,   // imm i64
+  kDrop = 0x02,
+  kDup = 0x03,
+
+  kLocalGet = 0x10,  // imm u16
+  kLocalSet = 0x11,  // imm u16
+  kLocalTee = 0x12,  // imm u16 (set without popping)
+
+  kAdd = 0x20,
+  kSub = 0x21,
+  kMul = 0x22,
+  kDivS = 0x23,      // traps on /0 and INT64_MIN / -1
+  kRemS = 0x24,
+  kAnd = 0x25,
+  kOr = 0x26,
+  kXor = 0x27,
+  kShl = 0x28,
+  kShrS = 0x29,
+  kShrU = 0x2A,
+
+  kEq = 0x30,
+  kNe = 0x31,
+  kLtS = 0x32,
+  kLeS = 0x33,
+  kGtS = 0x34,
+  kGeS = 0x35,
+  kEqz = 0x36,
+
+  kLoad8U = 0x40,    // imm u32 offset; pops addr, pushes zero-extended byte
+  kLoad64 = 0x41,    // imm u32 offset
+  kStore8 = 0x42,    // imm u32 offset; pops value, addr
+  kStore64 = 0x43,
+  kLoad32U = 0x44,   // imm u32 offset; zero-extends
+  kStore32 = 0x45,   // imm u32 offset; stores low 32 bits
+
+  kJmp = 0x50,       // imm i32, relative to the next instruction
+  kJz = 0x51,        // pops cond; jumps when cond == 0
+  kCall = 0x52,      // imm u16 function index
+  kRet = 0x53,       // pops return value
+
+  kHostcall = 0x60,  // imm u16 host table index
+
+  kMemSize = 0x70,   // pushes memory size in pages
+  kMemGrow = 0x71,   // pops page delta, pushes old size (or -1)
+};
+
+constexpr uint32_t kPageSize = 64 * 1024;
+
+struct VmFunction {
+  std::string name;
+  uint16_t num_params = 0;
+  uint16_t num_locals = 0;  // additional to params
+  uint32_t entry = 0;       // code offset
+};
+
+struct DataSegment {
+  uint32_t address;
+  std::vector<uint8_t> bytes;
+};
+
+// A loaded module: code, function table, initial memory image.
+struct VmModule {
+  std::vector<uint8_t> code;
+  std::vector<VmFunction> functions;
+  std::vector<DataSegment> data;
+  std::vector<std::string> hostcalls;  // names referenced by kHostcall index
+  uint32_t initial_pages = 16;
+  uint32_t max_pages = 1024;  // 64 MiB
+  int main_index = -1;
+
+  // Serialized "image size" used by the cold-start model: what an AOT
+  // compiler would load from disk.
+  size_t ImageBytes() const;
+
+  int FunctionIndex(const std::string& name) const;
+};
+
+const char* OpName(Op op);
+
+}  // namespace asvm
+
+#endif  // SRC_VM_ISA_H_

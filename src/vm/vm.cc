@@ -1,0 +1,549 @@
+#include "src/vm/vm.h"
+
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "src/vm/assembler.h"
+
+namespace asvm {
+namespace {
+
+// Internal trap signal; converted to Status at the Run() boundary.
+struct TrapException {
+  std::string why;
+};
+
+}  // namespace
+
+size_t VmModule::ImageBytes() const {
+  size_t total = code.size();
+  for (const auto& segment : data) {
+    total += segment.bytes.size();
+  }
+  total += functions.size() * 32;  // table metadata
+  return total;
+}
+
+int VmModule::FunctionIndex(const std::string& name) const {
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kPushI64: return "push";
+    case Op::kDrop: return "drop";
+    case Op::kDup: return "dup";
+    case Op::kLocalGet: return "local.get";
+    case Op::kLocalSet: return "local.set";
+    case Op::kLocalTee: return "local.tee";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivS: return "div_s";
+    case Op::kRemS: return "rem_s";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShrS: return "shr_s";
+    case Op::kShrU: return "shr_u";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLtS: return "lt_s";
+    case Op::kLeS: return "le_s";
+    case Op::kGtS: return "gt_s";
+    case Op::kGeS: return "ge_s";
+    case Op::kEqz: return "eqz";
+    case Op::kLoad8U: return "load8";
+    case Op::kLoad64: return "load64";
+    case Op::kStore8: return "store8";
+    case Op::kStore64: return "store64";
+    case Op::kLoad32U: return "load32";
+    case Op::kStore32: return "store32";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kHostcall: return "host";
+    case Op::kMemSize: return "memsize";
+    case Op::kMemGrow: return "memgrow";
+  }
+  return "?";
+}
+
+void HostTable::Register(const std::string& name, int arity, HostFn fn) {
+  entries_[name] = Entry{arity, std::move(fn)};
+}
+
+const HostTable::Entry* HostTable::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Vm::Vm(const VmModule* module, const HostTable* host, VmMode mode)
+    : module_(module), host_(host), mode_(mode) {
+  memory_.assign(static_cast<size_t>(module_->initial_pages) * kPageSize, 0);
+  for (const auto& segment : module_->data) {
+    if (segment.address + segment.bytes.size() <= memory_.size()) {
+      std::memcpy(memory_.data() + segment.address, segment.bytes.data(),
+                  segment.bytes.size());
+    }
+  }
+  resolved_hostcalls_.reserve(module_->hostcalls.size());
+  for (const auto& name : module_->hostcalls) {
+    resolved_hostcalls_.push_back(host_->Find(name));  // may be null: traps
+  }
+}
+
+asbase::Status Vm::Trap(const std::string& why) const {
+  return asbase::Internal("vm trap at pc=" + std::to_string(pc_) + ": " + why);
+}
+
+asbase::Status Vm::CheckRange(uint64_t addr, uint64_t len) const {
+  if (addr + len > memory_.size() || addr + len < addr) {
+    return asbase::OutOfRange("guest memory access [" + std::to_string(addr) +
+                              ", +" + std::to_string(len) + ") out of bounds");
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Result<std::string> Vm::ReadGuestString(uint64_t addr, uint64_t len) {
+  AS_RETURN_IF_ERROR(CheckRange(addr, len));
+  return std::string(reinterpret_cast<const char*>(memory_.data() + addr),
+                     len);
+}
+
+asbase::Status Vm::WriteGuestBytes(uint64_t addr,
+                                   std::span<const uint8_t> data) {
+  AS_RETURN_IF_ERROR(CheckRange(addr, data.size()));
+  if (!data.empty()) {
+    std::memcpy(memory_.data() + addr, data.data(), data.size());
+  }
+  return asbase::OkStatus();
+}
+
+asbase::Result<int64_t> Vm::Run() {
+  try {
+    return Execute();
+  } catch (const TrapException& trap) {
+    return Trap(trap.why);
+  }
+}
+
+asbase::Result<int64_t> Vm::Execute() {
+  const std::vector<uint8_t>& code = module_->code;
+
+  // kBoxed mode: every produced value is routed through a freshly allocated
+  // heap box held in a small recycling ring — CPython-style allocator
+  // traffic and pointer chasing per operation.
+  std::array<std::unique_ptr<int64_t>, 64> boxes;
+  size_t box_cursor = 0;
+
+  auto trap = [](const std::string& why) -> void {
+    throw TrapException{why};
+  };
+
+  auto push = [&](int64_t value) {
+    if (mode_ == VmMode::kBoxed) {
+      auto box = std::make_unique<int64_t>(value);
+      value = *box;
+      boxes[box_cursor++ & 63] = std::move(box);
+    }
+    if (stack_.size() >= kMaxStack) {
+      trap("operand stack overflow");
+    }
+    stack_.push_back(value);
+  };
+  auto pop = [&]() -> int64_t {
+    const size_t floor = frames_.empty() ? 0 : frames_.back().stack_floor;
+    if (stack_.size() <= floor) {
+      trap("operand stack underflow");
+    }
+    int64_t value = stack_.back();
+    stack_.pop_back();
+    return value;
+  };
+
+  auto read_u16 = [&]() -> uint16_t {
+    if (pc_ + 2 > code.size()) {
+      trap("truncated operand");
+    }
+    uint16_t v = static_cast<uint16_t>(code[pc_] | (code[pc_ + 1] << 8));
+    pc_ += 2;
+    return v;
+  };
+  auto read_u32 = [&]() -> uint32_t {
+    if (pc_ + 4 > code.size()) {
+      trap("truncated operand");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(code[pc_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pc_ += 4;
+    return v;
+  };
+  auto read_i64 = [&]() -> int64_t {
+    if (pc_ + 8 > code.size()) {
+      trap("truncated operand");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(code[pc_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pc_ += 8;
+    return static_cast<int64_t>(v);
+  };
+
+  auto local_slot = [&](uint16_t index) -> int64_t& {
+    const Frame& frame = frames_.back();
+    const VmFunction& function =
+        module_->functions[static_cast<size_t>(frame.function_index)];
+    if (index >= function.num_params + function.num_locals) {
+      trap("local index out of range");
+    }
+    return locals_[frame.locals_base + index];
+  };
+
+  auto enter_function = [&](int index) {
+    if (frames_.size() >= kMaxCallDepth) {
+      trap("call depth exceeded");
+    }
+    const VmFunction& function =
+        module_->functions[static_cast<size_t>(index)];
+    Frame frame;
+    frame.function_index = index;
+    frame.pc = pc_;
+    frame.locals_base = locals_.size();
+    locals_.resize(locals_.size() + function.num_params + function.num_locals,
+                   0);
+    // Parameters were pushed left-to-right; pop right-to-left.
+    for (int i = function.num_params - 1; i >= 0; --i) {
+      const size_t floor = frames_.empty() ? 0 : frames_.back().stack_floor;
+      if (stack_.size() <= floor) {
+        trap("missing call arguments");
+      }
+      locals_[frame.locals_base + static_cast<size_t>(i)] = stack_.back();
+      stack_.pop_back();
+    }
+    frame.stack_floor = stack_.size();
+    frames_.push_back(frame);
+    pc_ = function.entry;
+  };
+
+  if (module_->main_index < 0) {
+    return asbase::FailedPrecondition("module has no main");
+  }
+  pc_ = module_->functions[static_cast<size_t>(module_->main_index)].entry;
+  {
+    Frame frame;
+    frame.function_index = module_->main_index;
+    frame.pc = code.size();  // returning from main halts
+    frame.stack_floor = 0;
+    frame.locals_base = 0;
+    const VmFunction& main_fn =
+        module_->functions[static_cast<size_t>(module_->main_index)];
+    locals_.resize(main_fn.num_params + main_fn.num_locals, 0);
+    frames_.push_back(frame);
+  }
+
+  while (true) {
+    if (pc_ >= code.size()) {
+      trap("pc out of bounds");
+    }
+    ++steps_;
+    if (fuel_ != 0 && steps_ > fuel_) {
+      trap("out of fuel");
+    }
+    const Op op = static_cast<Op>(code[pc_++]);
+    switch (op) {
+      case Op::kHalt:
+        return stack_.empty() ? 0 : stack_.back();
+      case Op::kPushI64:
+        push(read_i64());
+        break;
+      case Op::kDrop:
+        pop();
+        break;
+      case Op::kDup: {
+        int64_t v = pop();
+        push(v);
+        push(v);
+        break;
+      }
+      case Op::kLocalGet: {
+        uint16_t index = read_u16();
+        push(local_slot(index));
+        break;
+      }
+      case Op::kLocalSet: {
+        uint16_t index = read_u16();
+        local_slot(index) = pop();
+        break;
+      }
+      case Op::kLocalTee: {
+        uint16_t index = read_u16();
+        int64_t v = pop();
+        push(v);
+        local_slot(index) = v;
+        break;
+      }
+      case Op::kAdd: {
+        int64_t b = pop(), a = pop();
+        push(static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                  static_cast<uint64_t>(b)));
+        break;
+      }
+      case Op::kSub: {
+        int64_t b = pop(), a = pop();
+        push(static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                  static_cast<uint64_t>(b)));
+        break;
+      }
+      case Op::kMul: {
+        int64_t b = pop(), a = pop();
+        push(static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                  static_cast<uint64_t>(b)));
+        break;
+      }
+      case Op::kDivS: {
+        int64_t b = pop(), a = pop();
+        if (b == 0 ||
+            (a == std::numeric_limits<int64_t>::min() && b == -1)) {
+          trap("integer division overflow");
+        }
+        push(a / b);
+        break;
+      }
+      case Op::kRemS: {
+        int64_t b = pop(), a = pop();
+        if (b == 0 ||
+            (a == std::numeric_limits<int64_t>::min() && b == -1)) {
+          trap("integer remainder overflow");
+        }
+        push(a % b);
+        break;
+      }
+      case Op::kAnd: {
+        int64_t b = pop(), a = pop();
+        push(a & b);
+        break;
+      }
+      case Op::kOr: {
+        int64_t b = pop(), a = pop();
+        push(a | b);
+        break;
+      }
+      case Op::kXor: {
+        int64_t b = pop(), a = pop();
+        push(a ^ b);
+        break;
+      }
+      case Op::kShl: {
+        int64_t b = pop(), a = pop();
+        push(static_cast<int64_t>(static_cast<uint64_t>(a)
+                                  << (static_cast<uint64_t>(b) & 63)));
+        break;
+      }
+      case Op::kShrS: {
+        int64_t b = pop(), a = pop();
+        push(a >> (static_cast<uint64_t>(b) & 63));
+        break;
+      }
+      case Op::kShrU: {
+        int64_t b = pop(), a = pop();
+        push(static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                  (static_cast<uint64_t>(b) & 63)));
+        break;
+      }
+      case Op::kEq: {
+        int64_t b = pop(), a = pop();
+        push(a == b ? 1 : 0);
+        break;
+      }
+      case Op::kNe: {
+        int64_t b = pop(), a = pop();
+        push(a != b ? 1 : 0);
+        break;
+      }
+      case Op::kLtS: {
+        int64_t b = pop(), a = pop();
+        push(a < b ? 1 : 0);
+        break;
+      }
+      case Op::kLeS: {
+        int64_t b = pop(), a = pop();
+        push(a <= b ? 1 : 0);
+        break;
+      }
+      case Op::kGtS: {
+        int64_t b = pop(), a = pop();
+        push(a > b ? 1 : 0);
+        break;
+      }
+      case Op::kGeS: {
+        int64_t b = pop(), a = pop();
+        push(a >= b ? 1 : 0);
+        break;
+      }
+      case Op::kEqz:
+        push(pop() == 0 ? 1 : 0);
+        break;
+      case Op::kLoad8U: {
+        uint32_t offset = read_u32();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 1 > memory_.size()) {
+          trap("load8 out of bounds");
+        }
+        push(memory_[addr]);
+        break;
+      }
+      case Op::kLoad64: {
+        uint32_t offset = read_u32();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 8 > memory_.size() || addr + 8 < addr) {
+          trap("load64 out of bounds");
+        }
+        uint64_t v;
+        std::memcpy(&v, memory_.data() + addr, 8);
+        push(static_cast<int64_t>(v));
+        break;
+      }
+      case Op::kStore8: {
+        uint32_t offset = read_u32();
+        int64_t value = pop();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 1 > memory_.size()) {
+          trap("store8 out of bounds");
+        }
+        memory_[addr] = static_cast<uint8_t>(value);
+        break;
+      }
+      case Op::kStore64: {
+        uint32_t offset = read_u32();
+        int64_t value = pop();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 8 > memory_.size() || addr + 8 < addr) {
+          trap("store64 out of bounds");
+        }
+        uint64_t v = static_cast<uint64_t>(value);
+        std::memcpy(memory_.data() + addr, &v, 8);
+        break;
+      }
+      case Op::kLoad32U: {
+        uint32_t offset = read_u32();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 4 > memory_.size() || addr + 4 < addr) {
+          trap("load32 out of bounds");
+        }
+        uint32_t v;
+        std::memcpy(&v, memory_.data() + addr, 4);
+        push(static_cast<int64_t>(v));
+        break;
+      }
+      case Op::kStore32: {
+        uint32_t offset = read_u32();
+        int64_t value = pop();
+        uint64_t addr = static_cast<uint64_t>(pop()) + offset;
+        if (addr + 4 > memory_.size() || addr + 4 < addr) {
+          trap("store32 out of bounds");
+        }
+        uint32_t v = static_cast<uint32_t>(value);
+        std::memcpy(memory_.data() + addr, &v, 4);
+        break;
+      }
+      case Op::kJmp: {
+        int32_t rel = static_cast<int32_t>(read_u32());
+        pc_ = static_cast<size_t>(static_cast<int64_t>(pc_) + rel);
+        break;
+      }
+      case Op::kJz: {
+        int32_t rel = static_cast<int32_t>(read_u32());
+        if (pop() == 0) {
+          pc_ = static_cast<size_t>(static_cast<int64_t>(pc_) + rel);
+        }
+        break;
+      }
+      case Op::kCall: {
+        uint16_t index = read_u16();
+        if (index >= module_->functions.size()) {
+          trap("call to bad function index");
+        }
+        enter_function(index);
+        break;
+      }
+      case Op::kRet: {
+        int64_t value = pop();
+        Frame frame = frames_.back();
+        frames_.pop_back();
+        stack_.resize(frame.stack_floor);
+        locals_.resize(frame.locals_base);
+        pc_ = frame.pc;
+        if (frames_.empty()) {
+          return value;  // returned from main
+        }
+        push(value);
+        break;
+      }
+      case Op::kHostcall: {
+        uint16_t index = read_u16();
+        if (index >= resolved_hostcalls_.size()) {
+          trap("bad hostcall index");
+        }
+        const HostTable::Entry* entry = resolved_hostcalls_[index];
+        if (entry == nullptr) {
+          trap("unresolved hostcall '" + module_->hostcalls[index] + "'");
+        }
+        std::vector<int64_t> args(static_cast<size_t>(entry->arity));
+        for (int i = entry->arity - 1; i >= 0; --i) {
+          args[static_cast<size_t>(i)] = pop();
+        }
+        auto result = entry->fn(*this, args);
+        if (!result.ok()) {
+          trap("hostcall '" + module_->hostcalls[index] +
+               "' failed: " + result.status().ToString());
+        }
+        push(*result);
+        break;
+      }
+      case Op::kMemSize:
+        push(static_cast<int64_t>(memory_.size() / kPageSize));
+        break;
+      case Op::kMemGrow: {
+        int64_t delta = pop();
+        const int64_t old_pages =
+            static_cast<int64_t>(memory_.size() / kPageSize);
+        if (delta < 0 || old_pages + delta >
+                             static_cast<int64_t>(module_->max_pages)) {
+          push(-1);
+        } else {
+          memory_.resize(memory_.size() +
+                             static_cast<size_t>(delta) * kPageSize,
+                         0);
+          push(old_pages);
+        }
+        break;
+      }
+      default:
+        trap("illegal opcode " + std::to_string(static_cast<int>(op)));
+    }
+  }
+}
+
+asbase::Result<int64_t> RunSource(const std::string& source,
+                                  const HostTable& host, VmMode mode) {
+  AS_ASSIGN_OR_RETURN(VmModule module, Assemble(source));
+  Vm vm(&module, &host, mode);
+  return vm.Run();
+}
+
+}  // namespace asvm

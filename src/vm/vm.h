@@ -1,0 +1,110 @@
+// AsVM interpreter and hostcall table.
+//
+// Two execution modes (DESIGN.md §1):
+//   kAot    direct threaded switch dispatch over raw i64s — models an
+//           AOT-compiled WASM module (Wasmtime class: slower than native,
+//           much faster than a dynamic language runtime).
+//   kBoxed  every value lives in a reference-counted heap box and every
+//           operation allocates — models the CPython-on-WASM interpreter
+//           (AlloyStack-Py / Faasm-Py): same semantics, an order of
+//           magnitude more work per instruction.
+//
+// Hostcalls are resolved by name at instantiation against a HostTable; the
+// core library binds WASI-style names (fd_read, fd_write, clock_time_get,
+// buffer_register, access_buffer, ...) to as-libos, per §7.2.
+
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vm/isa.h"
+
+namespace asvm {
+
+class Vm;
+
+// Host function: receives the VM (for guest-memory access) and the popped
+// arguments (args[0] is the first pushed); returns the value to push.
+using HostFn =
+    std::function<asbase::Result<int64_t>(Vm& vm, std::span<const int64_t>)>;
+
+class HostTable {
+ public:
+  void Register(const std::string& name, int arity, HostFn fn);
+  bool Has(const std::string& name) const { return entries_.count(name) > 0; }
+
+  struct Entry {
+    int arity;
+    HostFn fn;
+  };
+  const Entry* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+enum class VmMode { kAot, kBoxed };
+
+class Vm {
+ public:
+  // The module and host table must outlive the Vm.
+  Vm(const VmModule* module, const HostTable* host, VmMode mode = VmMode::kAot);
+
+  // Executes `main` to completion. Returns the value left by `halt`/`ret`.
+  asbase::Result<int64_t> Run();
+
+  // Guest memory access for hostcalls.
+  asbase::Status CheckRange(uint64_t addr, uint64_t len) const;
+  std::span<uint8_t> memory() { return memory_; }
+  asbase::Result<std::string> ReadGuestString(uint64_t addr, uint64_t len);
+  asbase::Status WriteGuestBytes(uint64_t addr, std::span<const uint8_t> data);
+
+  uint64_t steps_executed() const { return steps_; }
+  VmMode mode() const { return mode_; }
+
+  // A cooperative step limit (0 = unlimited); Run traps when exceeded.
+  void set_fuel(uint64_t max_steps) { fuel_ = max_steps; }
+
+ private:
+  struct Frame {
+    int function_index;
+    size_t pc;            // return address
+    size_t stack_floor;   // operand stack height at entry
+    size_t locals_base;   // into locals_
+  };
+
+  asbase::Status Trap(const std::string& why) const;
+  asbase::Result<int64_t> Execute();
+
+  const VmModule* module_;
+  const HostTable* host_;
+  VmMode mode_;
+
+  std::vector<uint8_t> memory_;
+  std::vector<int64_t> stack_;
+  std::vector<int64_t> locals_;
+  std::vector<Frame> frames_;
+  std::vector<const HostTable::Entry*> resolved_hostcalls_;
+
+  uint64_t steps_ = 0;
+  uint64_t fuel_ = 0;
+  size_t pc_ = 0;
+
+  static constexpr size_t kMaxCallDepth = 512;
+  static constexpr size_t kMaxStack = 1 << 20;
+};
+
+// Convenience: assemble-and-run with a host table (used by tests).
+asbase::Result<int64_t> RunSource(const std::string& source,
+                                  const HostTable& host,
+                                  VmMode mode = VmMode::kAot);
+
+}  // namespace asvm
+
+#endif  // SRC_VM_VM_H_

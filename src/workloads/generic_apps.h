@@ -1,0 +1,41 @@
+// The evaluation applications (§8.1), written once over ExecEnv:
+//
+//   no-ops           empty function, returns immediately (cold-start probe)
+//   pipe             two functions moving a sized payload (transfer probe)
+//   WordCount        MapReduce word frequencies; parallel, sparse data
+//   ParallelSorting  range partition + sort + merge; parallel, dense data
+//   FunctionChain    sequential chain forwarding intermediate data
+//
+// Every workflow ends by setting a deterministic result string
+// ("words=... hash=..."), so test suites can assert that AlloyStack and
+// every baseline compute the same answer on the same input.
+
+#ifndef SRC_WORKLOADS_GENERIC_APPS_H_
+#define SRC_WORKLOADS_GENERIC_APPS_H_
+
+#include "src/workloads/exec_env.h"
+
+namespace aswl {
+
+// Workflow builders. `instances` is the parallelism of each parallel stage.
+GenericWorkflow NoOpsWorkflow();
+GenericWorkflow PipeWorkflow();
+GenericWorkflow WordCountWorkflow(int instances);
+GenericWorkflow ParallelSortingWorkflow(int instances);
+GenericWorkflow FunctionChainWorkflow(int length);
+
+// Parameters the workflows read from env.params:
+//   pipe:     "bytes" (payload size), "seed"
+//   wc/ps:    "input" (input file path)
+//   chain:    "bytes", "seed", "chain_length"
+
+// Reference results computed directly (no workflow machinery), used to
+// verify every runtime returns the same answer.
+std::string ExpectedWordCountResult(const std::vector<uint8_t>& corpus);
+std::string ExpectedSortingResult(const std::vector<uint8_t>& input);
+std::string ExpectedChainResult(size_t bytes, uint64_t seed, int length);
+std::string ExpectedPipeResult(size_t bytes, uint64_t seed);
+
+}  // namespace aswl
+
+#endif  // SRC_WORKLOADS_GENERIC_APPS_H_

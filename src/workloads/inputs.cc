@@ -1,0 +1,71 @@
+#include "src/workloads/inputs.h"
+
+#include "src/common/rng.h"
+
+namespace aswl {
+
+std::vector<uint8_t> MakeTextCorpus(size_t bytes, uint64_t seed) {
+  asbase::Rng rng(seed);
+  // A fixed pool with a skewed pick distribution approximates natural text.
+  std::vector<std::string> pool;
+  pool.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    pool.push_back(rng.Word(2, 10));
+  }
+  std::vector<uint8_t> out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    // Zipf-ish: square the uniform draw to favour low indices.
+    const double u = rng.NextDouble();
+    const size_t index = static_cast<size_t>(u * u * 511.0);
+    const std::string& word = pool[index];
+    out.insert(out.end(), word.begin(), word.end());
+    out.push_back(rng.OneIn(12) ? '\n' : ' ');
+  }
+  out.resize(bytes);
+  if (!out.empty()) {
+    out.back() = '\n';
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakeIntegerInput(size_t bytes, uint64_t seed) {
+  asbase::Rng rng(seed);
+  const size_t count = bytes / 4;
+  std::vector<uint8_t> out(count * 4);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    out[i * 4 + 0] = static_cast<uint8_t>(v);
+    out[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakePayload(size_t bytes, uint64_t seed) {
+  std::vector<uint8_t> out(bytes);
+  FillPayload(out, seed);
+  return out;
+}
+
+void FillPayload(std::span<uint8_t> out, uint64_t seed) {
+  asbase::Rng rng(seed);
+  for (auto& byte : out) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+}
+
+uint64_t Checksum(std::span<const uint8_t> data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : data) {
+    hash = (hash ^ byte) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t Checksum(const std::vector<uint8_t>& data) {
+  return Checksum(std::span<const uint8_t>(data.data(), data.size()));
+}
+
+}  // namespace aswl

@@ -1,0 +1,35 @@
+// Deterministic workload input generators (§8.1 benchmarks).
+
+#ifndef SRC_WORKLOADS_INPUTS_H_
+#define SRC_WORKLOADS_INPUTS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aswl {
+
+// Text corpus for WordCount: lowercase words drawn from a Zipf-ish pool,
+// separated by spaces/newlines. Deterministic in (bytes, seed).
+std::vector<uint8_t> MakeTextCorpus(size_t bytes, uint64_t seed);
+
+// Random uint32 array (little-endian bytes) for ParallelSorting.
+std::vector<uint8_t> MakeIntegerInput(size_t bytes, uint64_t seed);
+
+// Opaque payload for pipe / FunctionChain.
+std::vector<uint8_t> MakePayload(size_t bytes, uint64_t seed);
+
+// Writes the same payload directly into caller-provided memory (zero-copy
+// producers fill transfer buffers in place).
+void FillPayload(std::span<uint8_t> out, uint64_t seed);
+
+// Checksum over a raw span.
+uint64_t Checksum(std::span<const uint8_t> data);
+
+// FNV-1a checksum used by apps to produce verifiable result strings.
+uint64_t Checksum(const std::vector<uint8_t>& data);
+
+}  // namespace aswl
+
+#endif  // SRC_WORKLOADS_INPUTS_H_

@@ -1,0 +1,1145 @@
+#include "src/workloads/vm_apps.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "src/vm/assembler.h"
+
+namespace aswl {
+namespace {
+
+// Guest memory layout shared by all app programs:
+//   16..63    parameter-name strings
+//   64..127   slot base strings
+//   128       8-byte scratch (counts)
+//   256..511  input path string
+//   1024..    radix count table (256 * 8)
+//   3072..    radix position table (256 * 8)
+//   5120..    per-bucket start cursors (partition)
+//   AreaA     primary data area (input / received buffers)
+//   AreaB     secondary data area (radix aux / scatter targets)
+constexpr const char* kMemoryPrelude = R"(
+.pages 520
+.data 16 "bytes"
+.data 24 "seed"
+.data 32 "input"
+.data 40 "n"
+.data 48 "chain_length"
+)";
+// AreaA = 65536, AreaB = 16842752, per-area capacity 8 MiB.
+
+// FNV-1a constants as signed i64 literals.
+constexpr const char* kFnvInit = "push -3750763034362895579";
+constexpr const char* kFnvPrime = "push 1099511628211";
+
+// Reads the whole file named by param "input" into AreaA.
+// Locals used: 20=path_len, 21=size, 22=fd, 23=done, 24=n_read.
+// Leaves the byte size in local 21.
+const char* kReadInputFragment = R"(
+  push 32
+  push 5
+  push 256
+  push 128
+  host ctx_param_str
+  local.set 20
+  push 256
+  local.get 20
+  host path_filestat_get
+  local.set 21
+  push 256
+  local.get 20
+  push 0
+  host path_open
+  local.set 22
+  push 0
+  local.set 23
+readloop:
+  local.get 23
+  local.get 21
+  lt_s
+  jz readdone
+  local.get 22
+  push 65536
+  local.get 23
+  add
+  local.get 21
+  local.get 23
+  sub
+  host fd_read
+  local.set 24
+  local.get 24
+  eqz
+  jz readcont
+  jmp readdone
+readcont:
+  local.get 23
+  local.get 24
+  add
+  local.set 23
+  jmp readloop
+readdone:
+  local.get 22
+  host fd_close
+  drop
+)";
+
+// ------------------------------------------------------------------- pipe
+
+std::string PipeSenderSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "pipe"
+.func main locals=3
+  push 16
+  push 5
+  host ctx_param_int
+  local.set 0            # bytes
+  push 24
+  push 4
+  host ctx_param_int
+  push 1
+  or
+  local.set 1            # xorshift state (nonzero)
+  push 0
+  local.set 2            # i
+fill:
+  local.get 2
+  push 8
+  add
+  local.get 0
+  le_s
+  jz filled
+  local.get 1
+  local.get 1
+  push 13
+  shl
+  xor
+  local.set 1
+  local.get 1
+  local.get 1
+  push 7
+  shr_u
+  xor
+  local.set 1
+  local.get 1
+  local.get 1
+  push 17
+  shl
+  xor
+  local.set 1
+  push 65536
+  local.get 2
+  add
+  local.get 1
+  store64
+  local.get 2
+  push 8
+  add
+  local.set 2
+  jmp fill
+filled:
+  push 64
+  push 4
+  push -1
+  push -1
+  push 65536
+  local.get 0
+  host buffer_register2
+  drop
+  halt
+.end
+)";
+}
+
+std::string PipeReceiverSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "pipe"
+.func main locals=3
+  push 64
+  push 4
+  push -1
+  push -1
+  push 65536
+  push 16777216
+  host access_buffer2
+  local.set 0            # len
+  )" + kFnvInit + R"(
+  local.set 2            # hash
+  push 0
+  local.set 1
+fnv:
+  local.get 1
+  push 8
+  add
+  local.get 0
+  le_s
+  jz done
+  local.get 2
+  push 65536
+  local.get 1
+  add
+  load64
+  xor
+  )" + kFnvPrime + R"(
+  mul
+  local.set 2
+  local.get 1
+  push 8
+  add
+  local.set 1
+  jmp fnv
+done:
+  local.get 2
+  host ctx_set_result_int
+  drop
+  halt
+.end
+)";
+}
+
+// -------------------------------------------------------------- wordcount
+
+std::string WcMapSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "wct"
+.func main locals=25
+  host ctx_instance
+  local.set 0
+  host ctx_instances
+  local.set 1
+)" + kReadInputFragment + R"(
+  # begin = size*i/n ; end = size*(i+1)/n  (element = byte here)
+  local.get 21
+  local.get 0
+  mul
+  local.get 1
+  div_s
+  local.set 4
+  local.get 21
+  local.get 0
+  push 1
+  add
+  mul
+  local.get 1
+  div_s
+  local.set 5
+  push 0
+  local.set 7            # count of word starts
+  local.get 4
+  local.set 6            # k
+scan:
+  local.get 6
+  local.get 5
+  lt_s
+  jz scandone
+  push 65536
+  local.get 6
+  add
+  load8
+  call is_sep
+  eqz
+  jz next                # separator -> not a start
+  # word char: a start iff k == 0 or prev is separator
+  local.get 6
+  eqz
+  jz checkprev
+  local.get 7
+  push 1
+  add
+  local.set 7
+  jmp next
+checkprev:
+  push 65536
+  local.get 6
+  add
+  push 1
+  sub
+  load8
+  call is_sep
+  jz next                # prev is a word char -> mid-word
+  local.get 7
+  push 1
+  add
+  local.set 7
+next:
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp scan
+scandone:
+  push 128
+  local.get 7
+  store64
+  push 64
+  push 3
+  local.get 0
+  push -1
+  push 128
+  push 8
+  host buffer_register2
+  drop
+  halt
+.end
+.func is_sep params=1
+  local.get 0
+  push 32
+  eq
+  jz not_space
+  push 1
+  ret
+not_space:
+  local.get 0
+  push 10
+  eq
+  jz not_newline
+  push 1
+  ret
+not_newline:
+  local.get 0
+  push 9
+  eq
+  ret
+.end
+)";
+}
+
+std::string WcCollectSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "wct"
+.func main locals=3
+  push 40
+  push 1
+  host ctx_param_int
+  local.set 0            # n
+  push 0
+  local.set 1
+  push 0
+  local.set 2            # total
+gather:
+  local.get 1
+  local.get 0
+  lt_s
+  jz done
+  push 64
+  push 3
+  local.get 1
+  push -1
+  push 128
+  push 8
+  host access_buffer2
+  drop
+  push 128
+  load64
+  local.get 2
+  add
+  local.set 2
+  local.get 1
+  push 1
+  add
+  local.set 1
+  jmp gather
+done:
+  local.get 2
+  host ctx_set_result_int
+  drop
+  halt
+.end
+)";
+}
+
+// ---------------------------------------------------------------- sorting
+
+std::string PsPartitionSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "pss"
+.func main locals=25
+  host ctx_instance
+  local.set 0
+  host ctx_instances
+  local.set 1
+)" + kReadInputFragment + R"(
+  # element range [begin, end) over count = size/4
+  local.get 21
+  push 4
+  div_s
+  local.set 2            # count
+  local.get 2
+  local.get 0
+  mul
+  local.get 1
+  div_s
+  local.set 4            # begin
+  local.get 2
+  local.get 0
+  push 1
+  add
+  mul
+  local.get 1
+  div_s
+  local.set 5            # end
+  # zero per-bucket byte counts at 1024
+  push 0
+  local.set 6
+zc:
+  local.get 6
+  local.get 1
+  lt_s
+  jz zcdone
+  push 1024
+  local.get 6
+  push 8
+  mul
+  add
+  push 0
+  store64
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp zc
+zcdone:
+  # pass 1: count bytes per bucket
+  local.get 4
+  local.set 6
+p1:
+  local.get 6
+  local.get 5
+  lt_s
+  jz p1done
+  push 65536
+  local.get 6
+  push 4
+  mul
+  add
+  load32
+  local.get 1
+  mul
+  push 32
+  shr_u
+  local.set 8            # bucket j
+  push 1024
+  local.get 8
+  push 8
+  mul
+  add
+  local.set 9
+  local.get 9
+  local.get 9
+  load64
+  push 4
+  add
+  store64
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp p1
+p1done:
+  # cursors at 3072 (write addresses into AreaB), starts at 5120
+  push 16842752
+  local.set 10           # running base
+  push 0
+  local.set 6
+pf:
+  local.get 6
+  local.get 1
+  lt_s
+  jz pfdone
+  push 3072
+  local.get 6
+  push 8
+  mul
+  add
+  local.get 10
+  store64
+  push 5120
+  local.get 6
+  push 8
+  mul
+  add
+  local.get 10
+  store64
+  local.get 10
+  push 1024
+  local.get 6
+  push 8
+  mul
+  add
+  load64
+  add
+  local.set 10
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp pf
+pfdone:
+  # pass 2: scatter into AreaB
+  local.get 4
+  local.set 6
+p2:
+  local.get 6
+  local.get 5
+  lt_s
+  jz p2done
+  push 65536
+  local.get 6
+  push 4
+  mul
+  add
+  load32
+  local.set 7            # v
+  local.get 7
+  local.get 1
+  mul
+  push 32
+  shr_u
+  local.set 8            # j
+  push 3072
+  local.get 8
+  push 8
+  mul
+  add
+  local.set 9            # &cursor
+  local.get 9
+  load64
+  local.set 10           # addr
+  local.get 10
+  local.get 7
+  store32
+  local.get 9
+  local.get 10
+  push 4
+  add
+  store64
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp p2
+p2done:
+  # register each bucket
+  push 0
+  local.set 6
+reg:
+  local.get 6
+  local.get 1
+  lt_s
+  jz regdone
+  push 64
+  push 3
+  local.get 0
+  local.get 6
+  push 5120
+  local.get 6
+  push 8
+  mul
+  add
+  load64
+  push 1024
+  local.get 6
+  push 8
+  mul
+  add
+  load64
+  host buffer_register2
+  drop
+  local.get 6
+  push 1
+  add
+  local.set 6
+  jmp reg
+regdone:
+  halt
+.end
+)";
+}
+
+std::string PsSortSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "pss"
+.data 72 "pssr"
+.func main locals=16
+  host ctx_instance
+  local.set 0            # j (my bucket)
+  host ctx_instances
+  local.set 1            # n
+  # gather my bucket parts into AreaA
+  push 0
+  local.set 2            # total bytes
+  push 0
+  local.set 3            # i
+gather:
+  local.get 3
+  local.get 1
+  lt_s
+  jz gathered
+  push 64
+  push 3
+  local.get 3
+  local.get 0
+  push 65536
+  local.get 2
+  add
+  push 16777216
+  local.get 2
+  sub
+  host access_buffer2
+  local.get 2
+  add
+  local.set 2
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp gather
+gathered:
+  local.get 2
+  push 4
+  div_s
+  local.set 4            # count
+  # LSD radix sort, 4 byte passes, src/dst ping-pong AreaA <-> AreaB
+  push 65536
+  local.set 5            # src
+  push 16842752
+  local.set 6            # dst
+  push 0
+  local.set 7            # pass
+pass:
+  local.get 7
+  push 4
+  lt_s
+  jz sorted
+  # zero 256 counters at 1024
+  push 0
+  local.set 8
+zb:
+  local.get 8
+  push 256
+  lt_s
+  jz zbdone
+  push 1024
+  local.get 8
+  push 8
+  mul
+  add
+  push 0
+  store64
+  local.get 8
+  push 1
+  add
+  local.set 8
+  jmp zb
+zbdone:
+  # histogram
+  push 0
+  local.set 8            # k
+hist:
+  local.get 8
+  local.get 4
+  lt_s
+  jz histdone
+  local.get 5
+  local.get 8
+  push 4
+  mul
+  add
+  load32
+  local.get 7
+  push 8
+  mul
+  shr_u
+  push 255
+  and
+  local.set 9            # b
+  push 1024
+  local.get 9
+  push 8
+  mul
+  add
+  local.set 10
+  local.get 10
+  local.get 10
+  load64
+  push 1
+  add
+  store64
+  local.get 8
+  push 1
+  add
+  local.set 8
+  jmp hist
+histdone:
+  # prefix sums -> output indices at 3072
+  push 0
+  local.set 11           # running index
+  push 0
+  local.set 8
+pfx:
+  local.get 8
+  push 256
+  lt_s
+  jz pfxdone
+  push 3072
+  local.get 8
+  push 8
+  mul
+  add
+  local.get 11
+  store64
+  local.get 11
+  push 1024
+  local.get 8
+  push 8
+  mul
+  add
+  load64
+  add
+  local.set 11
+  local.get 8
+  push 1
+  add
+  local.set 8
+  jmp pfx
+pfxdone:
+  # scatter
+  push 0
+  local.set 8
+scat:
+  local.get 8
+  local.get 4
+  lt_s
+  jz scatdone
+  local.get 5
+  local.get 8
+  push 4
+  mul
+  add
+  load32
+  local.set 12           # v
+  local.get 12
+  local.get 7
+  push 8
+  mul
+  shr_u
+  push 255
+  and
+  local.set 9            # b
+  push 3072
+  local.get 9
+  push 8
+  mul
+  add
+  local.set 10
+  local.get 6
+  local.get 10
+  load64
+  push 4
+  mul
+  add
+  local.get 12
+  store32
+  local.get 10
+  local.get 10
+  load64
+  push 1
+  add
+  store64
+  local.get 8
+  push 1
+  add
+  local.set 8
+  jmp scat
+scatdone:
+  # swap src/dst
+  local.get 5
+  local.set 13
+  local.get 6
+  local.set 5
+  local.get 13
+  local.set 6
+  local.get 7
+  push 1
+  add
+  local.set 7
+  jmp pass
+sorted:
+  # after 4 passes src == AreaA again
+  push 72
+  push 4
+  local.get 0
+  push -1
+  local.get 5
+  local.get 2
+  host buffer_register2
+  drop
+  halt
+.end
+)";
+}
+
+std::string PsMergeSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 72 "pssr"
+.func main locals=8
+  push 40
+  push 1
+  host ctx_param_int
+  local.set 0            # n
+  )" + kFnvInit + R"(
+  local.set 6            # hash
+  push 0
+  local.set 5            # prev
+  push 0
+  local.set 1            # j
+parts:
+  local.get 1
+  local.get 0
+  lt_s
+  jz done
+  push 72
+  push 4
+  local.get 1
+  push -1
+  push 65536
+  push 16777216
+  host access_buffer2
+  local.set 2            # len
+  push 0
+  local.set 3            # k (bytes)
+walk:
+  local.get 3
+  local.get 2
+  lt_s
+  jz walked
+  # order check every 4 bytes
+  local.get 3
+  push 4
+  rem_s
+  eqz
+  jz fnvstep
+  push 65536
+  local.get 3
+  add
+  load32
+  local.set 4
+  local.get 4
+  local.get 5
+  lt_s
+  eqz
+  jz unsorted
+  local.get 4
+  local.set 5
+fnvstep:
+  local.get 6
+  push 65536
+  local.get 3
+  add
+  load8
+  xor
+  )" + kFnvPrime + R"(
+  mul
+  local.set 6
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp walk
+unsorted:
+  push -1
+  host ctx_set_result_int
+  drop
+  halt
+walked:
+  local.get 1
+  push 1
+  add
+  local.set 1
+  jmp parts
+done:
+  local.get 6
+  host ctx_set_result_int
+  drop
+  halt
+.end
+)";
+}
+
+// ------------------------------------------------------------------ chain
+
+std::string ChainStageSource() {
+  return std::string(kMemoryPrelude) + R"(
+.data 64 "ch"
+.func main locals=6
+  host ctx_stage
+  local.set 0            # s
+  push 48
+  push 12
+  host ctx_param_int
+  local.set 1            # L
+  local.get 0
+  eqz
+  jz receive
+  # first stage: generate payload
+  push 16
+  push 5
+  host ctx_param_int
+  local.set 2            # len
+  push 24
+  push 4
+  host ctx_param_int
+  push 1
+  or
+  local.set 4            # xorshift state
+  push 0
+  local.set 3
+gen:
+  local.get 3
+  local.get 2
+  lt_s
+  jz work
+  local.get 4
+  local.get 4
+  push 13
+  shl
+  xor
+  local.set 4
+  local.get 4
+  local.get 4
+  push 7
+  shr_u
+  xor
+  local.set 4
+  local.get 4
+  local.get 4
+  push 17
+  shl
+  xor
+  local.set 4
+  push 65536
+  local.get 3
+  add
+  local.get 4
+  store8
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp gen
+receive:
+  push 64
+  push 2
+  local.get 0
+  push 1
+  sub
+  push -1
+  push 65536
+  push 16777216
+  host access_buffer2
+  local.set 2            # len
+work:
+  # transform: every byte += 1
+  push 0
+  local.set 3
+inc:
+  local.get 3
+  local.get 2
+  lt_s
+  jz incdone
+  push 65536
+  local.get 3
+  add
+  push 65536
+  local.get 3
+  add
+  load8
+  push 1
+  add
+  store8
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp inc
+incdone:
+  # last stage: checksum and report; else forward
+  local.get 0
+  local.get 1
+  push 1
+  sub
+  eq
+  jz forward
+  )" + kFnvInit + R"(
+  local.set 4
+  push 0
+  local.set 3
+fnv:
+  local.get 3
+  local.get 2
+  lt_s
+  jz report
+  local.get 4
+  push 65536
+  local.get 3
+  add
+  load8
+  xor
+  )" + kFnvPrime + R"(
+  mul
+  local.set 4
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp fnv
+report:
+  local.get 4
+  host ctx_set_result_int
+  drop
+  halt
+forward:
+  push 64
+  push 2
+  local.get 0
+  push -1
+  push 65536
+  local.get 2
+  host buffer_register2
+  drop
+  halt
+.end
+)";
+}
+
+asbase::Result<std::shared_ptr<const asvm::VmModule>> AssembleShared(
+    const std::string& source) {
+  AS_ASSIGN_OR_RETURN(asvm::VmModule module, asvm::Assemble(source));
+  return std::shared_ptr<const asvm::VmModule>(
+      std::make_shared<asvm::VmModule>(std::move(module)));
+}
+
+uint64_t Fnv64(std::span<const uint8_t> data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : data) {
+    hash = (hash ^ byte) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string VmResult(uint64_t value) {
+  return "vm=" + std::to_string(static_cast<int64_t>(value));
+}
+
+bool VmIsSep(uint8_t c) { return c == ' ' || c == '\n' || c == '\t'; }
+
+}  // namespace
+
+const char* VmAppName(VmApp app) {
+  switch (app) {
+    case VmApp::kPipe:
+      return "pipe";
+    case VmApp::kWordCount:
+      return "wordcount";
+    case VmApp::kSorting:
+      return "parallel-sorting";
+    case VmApp::kChain:
+      return "function-chain";
+  }
+  return "?";
+}
+
+asbase::Result<VmWorkflowSpec> BuildVmWorkflow(VmApp app, int width) {
+  VmWorkflowSpec spec;
+  spec.name = std::string("vm-") + VmAppName(app);
+  switch (app) {
+    case VmApp::kPipe: {
+      AS_ASSIGN_OR_RETURN(auto sender, AssembleShared(PipeSenderSource()));
+      AS_ASSIGN_OR_RETURN(auto receiver, AssembleShared(PipeReceiverSource()));
+      spec.stages.push_back({"pipe.sender", sender, 1});
+      spec.stages.push_back({"pipe.receiver", receiver, 1});
+      break;
+    }
+    case VmApp::kWordCount: {
+      AS_ASSIGN_OR_RETURN(auto map, AssembleShared(WcMapSource()));
+      AS_ASSIGN_OR_RETURN(auto collect, AssembleShared(WcCollectSource()));
+      spec.stages.push_back({"wc.map", map, width});
+      spec.stages.push_back({"wc.collect", collect, 1});
+      break;
+    }
+    case VmApp::kSorting: {
+      AS_ASSIGN_OR_RETURN(auto partition, AssembleShared(PsPartitionSource()));
+      AS_ASSIGN_OR_RETURN(auto sort, AssembleShared(PsSortSource()));
+      AS_ASSIGN_OR_RETURN(auto merge, AssembleShared(PsMergeSource()));
+      spec.stages.push_back({"ps.partition", partition, width});
+      spec.stages.push_back({"ps.sort", sort, width});
+      spec.stages.push_back({"ps.merge", merge, 1});
+      break;
+    }
+    case VmApp::kChain: {
+      AS_ASSIGN_OR_RETURN(auto stage, AssembleShared(ChainStageSource()));
+      for (int s = 0; s < width; ++s) {
+        spec.stages.push_back({"chain.stage" + std::to_string(s), stage, 1});
+      }
+      break;
+    }
+  }
+  return spec;
+}
+
+std::vector<uint8_t> VmXorshiftPayload(size_t bytes, uint64_t seed) {
+  std::vector<uint8_t> out(bytes);
+  uint64_t x = seed | 1;
+  for (auto& byte : out) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    byte = static_cast<uint8_t>(x);
+  }
+  return out;
+}
+
+// The pipe guests work in 8-byte strides (one xorshift word per store64 /
+// one FNV step per load64) so interpreted transfers stay transfer-bound.
+std::string ExpectedVmPipeResult(size_t bytes, uint64_t seed) {
+  const size_t words = bytes / 8;
+  uint64_t x = seed | 1;
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < words; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    hash = (hash ^ x) * 0x100000001b3ULL;
+  }
+  return VmResult(hash);
+}
+
+std::string ExpectedVmWordCountResult(const std::vector<uint8_t>& corpus) {
+  uint64_t words = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (!VmIsSep(corpus[i]) && (i == 0 || VmIsSep(corpus[i - 1]))) {
+      ++words;
+    }
+  }
+  return VmResult(words);
+}
+
+std::string ExpectedVmSortingResult(const std::vector<uint8_t>& input) {
+  const size_t count = input.size() / 4;
+  std::vector<uint32_t> values(count);
+  std::memcpy(values.data(), input.data(), count * 4);
+  std::sort(values.begin(), values.end());
+  std::vector<uint8_t> bytes(count * 4);
+  std::memcpy(bytes.data(), values.data(), count * 4);
+  return VmResult(Fnv64(bytes));
+}
+
+std::string ExpectedVmChainResult(size_t bytes, uint64_t seed, int length) {
+  auto data = VmXorshiftPayload(bytes, seed);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(byte + length);
+  }
+  return VmResult(Fnv64(data));
+}
+
+}  // namespace aswl

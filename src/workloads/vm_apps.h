@@ -1,0 +1,64 @@
+// AsVM ("WASM") versions of the benchmark applications (§8.5).
+//
+// These are the C/Python-path workloads: the same pipe / WordCount /
+// ParallelSorting / FunctionChain shapes, written in AsVM assembly and
+// executed by the interpreter — on AlloyStack through the WASI adaptation
+// layer (as-std -> as-libos), and on Faasm through its two-tier state layer.
+// All I/O goes through hostcalls; the guests never touch the platform
+// directly.
+//
+// The WordCount VM variant counts tokens (not per-word frequencies): hash
+// tables in bytecode would measure the assembler, not the platform. The
+// compute/transfer shape (full scan, fan-out, fan-in) is preserved.
+// ParallelSorting sorts for real: byte-wise LSD radix sort in bytecode.
+
+#ifndef SRC_WORKLOADS_VM_APPS_H_
+#define SRC_WORKLOADS_VM_APPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vm/isa.h"
+
+namespace aswl {
+
+enum class VmApp { kPipe, kWordCount, kSorting, kChain };
+
+const char* VmAppName(VmApp app);
+
+struct VmStageSpec {
+  std::string name;
+  std::shared_ptr<const asvm::VmModule> module;
+  int instances = 1;
+};
+
+struct VmWorkflowSpec {
+  std::string name;
+  std::vector<VmStageSpec> stages;
+};
+
+// Assembles the app's stages. `width` is the parallel-stage instance count
+// (pipe ignores it; chain uses it as the chain length).
+//
+// Runtime parameters read by the guests (via ctx_param_*):
+//   pipe:    "bytes", "seed"
+//   wc:      "input", "n" (= width)
+//   sorting: "input", "n"
+//   chain:   "bytes", "seed", "chain_length"
+asbase::Result<VmWorkflowSpec> BuildVmWorkflow(VmApp app, int width);
+
+// Reference results ("vm=<value>") computed natively, for cross-runtime
+// verification of the VM workloads.
+std::string ExpectedVmPipeResult(size_t bytes, uint64_t seed);
+std::string ExpectedVmWordCountResult(const std::vector<uint8_t>& corpus);
+std::string ExpectedVmSortingResult(const std::vector<uint8_t>& input);
+std::string ExpectedVmChainResult(size_t bytes, uint64_t seed, int length);
+
+// The xorshift byte stream VM guests generate (pipe/chain payloads).
+std::vector<uint8_t> VmXorshiftPayload(size_t bytes, uint64_t seed);
+
+}  // namespace aswl
+
+#endif  // SRC_WORKLOADS_VM_APPS_H_

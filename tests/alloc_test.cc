@@ -1,0 +1,280 @@
+// Unit + property tests for the WFD heap allocator, arena and slot registry.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/alloc/arena.h"
+#include "src/alloc/linked_list_allocator.h"
+#include "src/alloc/slot_registry.h"
+#include "src/common/rng.h"
+
+namespace asalloc {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : arena_(kHeapSize) {
+    heap_.Init(arena_.data(), arena_.size());
+  }
+
+  static constexpr size_t kHeapSize = 1 << 20;  // 1 MiB
+  Arena arena_;
+  LinkedListAllocator heap_;
+};
+
+TEST_F(AllocatorTest, FreshHeapIsOneFreeBlock) {
+  auto stats = heap_.stats();
+  EXPECT_EQ(stats.heap_bytes, arena_.size());
+  EXPECT_EQ(stats.used_bytes, 0u);
+  EXPECT_EQ(stats.free_bytes, arena_.size());
+  EXPECT_EQ(stats.largest_free_block,
+            arena_.size() - LinkedListAllocator::kHeaderSize);
+  EXPECT_TRUE(heap_.CheckInvariants());
+}
+
+TEST_F(AllocatorTest, AllocateGivesWritableAlignedMemory) {
+  void* p = heap_.Allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+  std::memset(p, 0xAB, 100);
+  heap_.Deallocate(p);
+  EXPECT_TRUE(heap_.CheckInvariants());
+}
+
+TEST_F(AllocatorTest, DistinctAllocationsDoNotOverlap) {
+  char* a = static_cast<char*>(heap_.Allocate(64));
+  char* b = static_cast<char*>(heap_.Allocate(64));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a + 64 <= b || b + 64 <= a);
+  std::memset(a, 1, 64);
+  std::memset(b, 2, 64);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2);
+}
+
+TEST_F(AllocatorTest, HonorsLargeAlignment) {
+  for (size_t align : {32u, 64u, 256u, 4096u}) {
+    void* p = heap_.Allocate(24, align);
+    ASSERT_NE(p, nullptr) << align;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+    EXPECT_TRUE(heap_.CheckInvariants()) << align;
+  }
+}
+
+TEST_F(AllocatorTest, FreeingEverythingCoalescesToOneBlock) {
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    ptrs.push_back(heap_.Allocate(100 + i * 7));
+  }
+  // Free in an interleaved order to exercise both coalesce directions.
+  for (size_t i = 0; i < ptrs.size(); i += 2) {
+    heap_.Deallocate(ptrs[i]);
+  }
+  for (size_t i = 1; i < ptrs.size(); i += 2) {
+    heap_.Deallocate(ptrs[i]);
+  }
+  auto stats = heap_.stats();
+  EXPECT_EQ(stats.used_bytes, 0u);
+  EXPECT_EQ(stats.free_bytes, arena_.size());
+  EXPECT_EQ(stats.largest_free_block,
+            arena_.size() - LinkedListAllocator::kHeaderSize);
+  EXPECT_TRUE(heap_.CheckInvariants());
+}
+
+TEST_F(AllocatorTest, ExhaustionReturnsNull) {
+  void* big = heap_.Allocate(kHeapSize);  // header doesn't fit
+  EXPECT_EQ(big, nullptr);
+  void* almost = heap_.Allocate(kHeapSize - 64);
+  EXPECT_NE(almost, nullptr);
+  EXPECT_EQ(heap_.Allocate(4096), nullptr);
+  heap_.Deallocate(almost);
+  EXPECT_NE(heap_.Allocate(4096), nullptr);
+}
+
+TEST_F(AllocatorTest, ResetDropsAllAllocations) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_NE(heap_.Allocate(1000), nullptr);
+  }
+  heap_.Reset();
+  auto stats = heap_.stats();
+  EXPECT_EQ(stats.used_bytes, 0u);
+  EXPECT_EQ(stats.live_allocations, 0u);
+  EXPECT_EQ(stats.total_allocations, 10u);  // history survives Reset
+  EXPECT_TRUE(heap_.CheckInvariants());
+}
+
+TEST_F(AllocatorTest, StatsTrackLiveness) {
+  void* a = heap_.Allocate(128);
+  void* b = heap_.Allocate(256);
+  auto stats = heap_.stats();
+  EXPECT_EQ(stats.live_allocations, 2u);
+  EXPECT_GE(stats.used_bytes, 128u + 256u);
+  heap_.Deallocate(a);
+  heap_.Deallocate(b);
+  stats = heap_.stats();
+  EXPECT_EQ(stats.live_allocations, 0u);
+  EXPECT_EQ(stats.total_frees, 2u);
+}
+
+using AllocatorDeathTest = AllocatorTest;
+
+TEST_F(AllocatorDeathTest, DoubleFreeAborts) {
+  void* p = heap_.Allocate(64);
+  heap_.Deallocate(p);
+  EXPECT_DEATH(heap_.Deallocate(p), "bad free");
+}
+
+// Property test: a random interleaving of allocs and frees never corrupts the
+// free list, never hands out overlapping memory, and preserves block
+// contents.
+class AllocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorPropertyTest, RandomOpsPreserveInvariants) {
+  Arena arena(1 << 20);
+  LinkedListAllocator heap;
+  heap.Init(arena.data(), arena.size());
+  asbase::Rng rng(GetParam());
+
+  struct Live {
+    char* ptr;
+    size_t size;
+    uint8_t fill;
+  };
+  std::vector<Live> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_alloc = live.empty() || rng.Below(100) < 55;
+    if (do_alloc) {
+      size_t size = 1 + rng.Below(2000);
+      size_t align = size_t{16} << rng.Below(5);  // 16..256
+      char* p = static_cast<char*>(heap.Allocate(size, align));
+      if (p == nullptr) {
+        continue;  // heap full; fine
+      }
+      ASSERT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+      // No overlap with any live allocation.
+      for (const auto& other : live) {
+        ASSERT_TRUE(p + size <= other.ptr || other.ptr + other.size <= p);
+      }
+      uint8_t fill = static_cast<uint8_t>(rng.Next());
+      std::memset(p, fill, size);
+      live.push_back({p, size, fill});
+    } else {
+      size_t index = rng.Below(live.size());
+      Live victim = live[index];
+      // Contents survived neighbours' churn.
+      for (size_t i = 0; i < victim.size; ++i) {
+        ASSERT_EQ(static_cast<uint8_t>(victim.ptr[i]), victim.fill);
+      }
+      heap.Deallocate(victim.ptr);
+      live[index] = live.back();
+      live.pop_back();
+    }
+    if (step % 256 == 0) {
+      ASSERT_TRUE(heap.CheckInvariants()) << "step " << step;
+    }
+  }
+  for (const auto& entry : live) {
+    heap.Deallocate(entry.ptr);
+  }
+  auto stats = heap.stats();
+  EXPECT_EQ(stats.used_bytes, 0u);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         ::testing::Values(1, 7, 42, 1337, 0xA110C));
+
+// ---------------------------------------------------------------- Arena
+
+TEST(ArenaTest, MapsZeroedMemory) {
+  Arena arena(10000);
+  ASSERT_TRUE(arena.valid());
+  EXPECT_GE(arena.size(), 10000u);
+  EXPECT_EQ(arena.size() % Arena::PageSize(), 0u);
+  auto* bytes = static_cast<unsigned char*>(arena.data());
+  for (size_t i = 0; i < arena.size(); i += 4096) {
+    EXPECT_EQ(bytes[i], 0u);
+  }
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(4096);
+  void* data = a.data();
+  Arena b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.data(), data);
+}
+
+TEST(ArenaTest, ResidentBytesGrowsWithTouch) {
+  Arena arena(64 * 4096);
+  size_t before = arena.ResidentBytes();
+  std::memset(arena.data(), 1, arena.size());
+  size_t after = arena.ResidentBytes();
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, arena.size() / 2);  // most pages now resident
+}
+
+// ---------------------------------------------------------------- SlotRegistry
+
+TEST(SlotRegistryTest, RegisterThenAcquireRemoves) {
+  SlotRegistry registry;
+  ASSERT_TRUE(registry.Register("Conference", {0x1000, 64, 99}).ok());
+  EXPECT_EQ(registry.size(), 1u);
+
+  auto got = registry.Acquire("Conference", 99);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->addr, 0x1000u);
+  EXPECT_EQ(got->size, 64u);
+  // Single-consumer: a second acquire fails.
+  EXPECT_EQ(registry.Acquire("Conference", 99).status().code(),
+            asbase::ErrorCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(SlotRegistryTest, FingerprintMismatchRejected) {
+  SlotRegistry registry;
+  ASSERT_TRUE(registry.Register("s", {0x2000, 16, 42}).ok());
+  auto got = registry.Acquire("s", 43);
+  EXPECT_EQ(got.status().code(), asbase::ErrorCode::kInvalidArgument);
+  // The buffer stays registered after a rejected acquire.
+  EXPECT_TRUE(registry.Peek("s").ok());
+}
+
+TEST(SlotRegistryTest, DuplicateRegisterRejected) {
+  SlotRegistry registry;
+  ASSERT_TRUE(registry.Register("s", {1, 1, 1}).ok());
+  EXPECT_EQ(registry.Register("s", {2, 2, 2}).code(),
+            asbase::ErrorCode::kAlreadyExists);
+}
+
+TEST(SlotRegistryTest, FanOutUsesDistinctSlots) {
+  SlotRegistry registry;
+  ASSERT_TRUE(registry.Register("out-0", {0x100, 8, 7}).ok());
+  ASSERT_TRUE(registry.Register("out-1", {0x200, 8, 7}).ok());
+  EXPECT_EQ(registry.Acquire("out-0", 7)->addr, 0x100u);
+  EXPECT_EQ(registry.Acquire("out-1", 7)->addr, 0x200u);
+}
+
+TEST(SlotRegistryTest, RemoveAndClear) {
+  SlotRegistry registry;
+  ASSERT_TRUE(registry.Register("a", {1, 1, 1}).ok());
+  ASSERT_TRUE(registry.Register("b", {2, 2, 2}).ok());
+  EXPECT_TRUE(registry.Remove("a").ok());
+  EXPECT_EQ(registry.Remove("a").code(), asbase::ErrorCode::kNotFound);
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(SlotRegistryTest, FingerprintNameIsStableAndDiscriminating) {
+  EXPECT_EQ(FingerprintName("MyFuncData"), FingerprintName("MyFuncData"));
+  EXPECT_NE(FingerprintName("MyFuncData"), FingerprintName("MyFuncDatb"));
+  EXPECT_NE(FingerprintName(""), FingerprintName("x"));
+}
+
+}  // namespace
+}  // namespace asalloc

@@ -1,0 +1,370 @@
+// Baseline-system tests: mini-redis, boot profiles, Fig 3 transports, and —
+// most importantly — result equivalence: every comparison runtime must
+// compute the same workflow answers AlloyStack does.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/baselines/faasm.h"
+#include "src/common/clock.h"
+#include "src/baselines/kvstore.h"
+#include "src/baselines/runtimes.h"
+#include "src/baselines/sim_profiles.h"
+#include "src/baselines/transports.h"
+#include "src/workloads/generic_apps.h"
+#include "src/workloads/inputs.h"
+
+namespace asbl {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// Scale every modeled latency down hard so the suite stays fast; restore
+// afterwards.
+class ScaleGuard {
+ public:
+  explicit ScaleGuard(double scale) {
+    saved_ = asbase::SimCostModel::Global().scale;
+    asbase::SimCostModel::Global().scale = scale;
+  }
+  ~ScaleGuard() { asbase::SimCostModel::Global().scale = saved_; }
+
+ private:
+  double saved_;
+};
+
+void WriteHostFile(const std::string& path, const std::vector<uint8_t>& data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0) << path;
+  ASSERT_EQ(::write(fd, data.data(), data.size()),
+            static_cast<ssize_t>(data.size()));
+  ::close(fd);
+}
+
+// ------------------------------------------------------------------- kv
+
+TEST(KvStoreTest, SetGetDelTake) {
+  KvServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = KvClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE((*client)->Set("k", Bytes("value-1")).ok());
+  auto got = (*client)->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "value-1");
+
+  EXPECT_EQ((*client)->Get("missing").status().code(),
+            asbase::ErrorCode::kNotFound);
+
+  auto taken = (*client)->Take("k");
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ((*client)->Get("k").status().code(),
+            asbase::ErrorCode::kNotFound);
+
+  ASSERT_TRUE((*client)->Set("d", Bytes("x")).ok());
+  EXPECT_TRUE((*client)->Del("d").ok());
+  EXPECT_FALSE((*client)->Del("d").ok());
+  EXPECT_EQ(server.keys(), 0u);
+}
+
+TEST(KvStoreTest, LargeValuesAndManyClients) {
+  KvServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto payload = aswl::MakePayload(2 * 1024 * 1024, 3);
+  auto writer = KvClient::Connect(server.port());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Set("big", payload).ok());
+
+  std::vector<std::thread> readers;
+  std::atomic<int> matches{0};
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      auto client = KvClient::Connect(server.port());
+      if (!client.ok()) {
+        return;
+      }
+      auto got = (*client)->Get("big");
+      if (got.ok() && *got == payload) {
+        matches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(matches.load(), 4);
+}
+
+TEST(KvStoreTest, WaitGetBlocksUntilProducer) {
+  KvServer server;
+  ASSERT_TRUE(server.Start().ok());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto client = KvClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Set("late", Bytes("v")).ok());
+  });
+  auto client = KvClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto got = (*client)->WaitGet("late", std::chrono::seconds(5));
+  EXPECT_TRUE(got.ok());
+  producer.join();
+}
+
+// ------------------------------------------------------------- profiles
+
+TEST(BootProfileTest, ProfilesRunAndScale) {
+  ScaleGuard guard(0.01);
+  for (const auto& profile :
+       {FirecrackerMicroVmProfile(), KataContainerProfile(), VirtinesProfile(),
+        UnikraftProfile(), GvisorProfile(), ContainerProfile(),
+        WasmerProcessProfile(100'000), WasmerThreadProfile(100'000)}) {
+    const int64_t nanos = SimulateBoot(profile);
+    EXPECT_GT(nanos, 0) << profile.name;
+  }
+}
+
+TEST(BootProfileTest, RelativeOrderMatchesLiterature) {
+  ScaleGuard guard(0.3);
+  // Kata > Firecracker > Virtines and Unikraft > Virtines: the Fig 2/10
+  // ordering of the modeled components. Medians of three runs keep the
+  // (real) per-stage work's scheduling noise out of the comparison.
+  auto median_boot = [](const BootProfile& profile) {
+    std::vector<int64_t> samples;
+    for (int i = 0; i < 3; ++i) {
+      samples.push_back(SimulateBoot(profile));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[1];
+  };
+  const int64_t kata = median_boot(KataContainerProfile());
+  const int64_t firecracker = median_boot(FirecrackerMicroVmProfile());
+  const int64_t virtines = median_boot(VirtinesProfile());
+  const int64_t unikraft = median_boot(UnikraftProfile());
+  EXPECT_GT(kata, firecracker);
+  EXPECT_GT(firecracker, virtines);
+  EXPECT_GT(unikraft, virtines);
+}
+
+// ------------------------------------------------------------ transports
+
+class TransportTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(TransportTest, TransfersCompleteAndTakeTime) {
+  ScaleGuard guard(0.05);
+  auto nanos = MeasureTransfer(GetParam(), 64 * 1024);
+  ASSERT_TRUE(nanos.ok()) << nanos.status().ToString();
+  EXPECT_GT(*nanos, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TransportTest,
+    ::testing::Values(TransportKind::kFunctionCall,
+                      TransportKind::kSharedMemory,
+                      TransportKind::kInterProcessTcp,
+                      TransportKind::kInterVmTcp, TransportKind::kPipeIpc,
+                      TransportKind::kRedis),
+    [](const auto& info) {
+      std::string name = TransportKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(TransportTest, FunctionCallIsFastestPrimitive) {
+  // The §2.3 motivation: address-space sharing beats every kernel-mediated
+  // primitive by a wide margin.
+  ScaleGuard guard(0.05);
+  const size_t bytes = 256 * 1024;
+  auto function_call = MeasureTransfer(TransportKind::kFunctionCall, bytes);
+  auto tcp = MeasureTransfer(TransportKind::kInterProcessTcp, bytes);
+  auto redis = MeasureTransfer(TransportKind::kRedis, bytes);
+  ASSERT_TRUE(function_call.ok());
+  ASSERT_TRUE(tcp.ok());
+  ASSERT_TRUE(redis.ok());
+  EXPECT_LT(*function_call, *tcp);
+  EXPECT_LT(*function_call, *redis);
+}
+
+// ------------------------------------------------- runtime result parity
+
+class BaselineParityTest : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineParityTest, WordCountMatchesReference) {
+  ScaleGuard guard(0.002);
+  const std::string dir = ::testing::TempDir();
+  auto corpus = aswl::MakeTextCorpus(120'000, 31);
+  WriteHostFile(dir + "/wc-input.bin", corpus);
+
+  BaselineRuntime::Options options;
+  options.kind = GetParam();
+  options.input_dir = dir;
+  BaselineRuntime runtime(options);
+
+  asbase::Json params;
+  params.Set("input", "wc-input.bin");
+  auto stats = runtime.Run(aswl::WordCountWorkflow(3), params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, aswl::ExpectedWordCountResult(corpus))
+      << BaselineKindName(GetParam());
+  EXPECT_GT(stats->end_to_end_nanos, 0);
+}
+
+TEST_P(BaselineParityTest, ChainMatchesReference) {
+  ScaleGuard guard(0.002);
+  BaselineRuntime::Options options;
+  options.kind = GetParam();
+  options.input_dir = ::testing::TempDir();
+  BaselineRuntime runtime(options);
+
+  asbase::Json params;
+  params.Set("bytes", 40'000);
+  params.Set("seed", 12);
+  auto stats = runtime.Run(aswl::FunctionChainWorkflow(5), params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, aswl::ExpectedChainResult(40'000, 12, 5))
+      << BaselineKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BaselineParityTest,
+    ::testing::Values(BaselineKind::kFaastlane, BaselineKind::kFaastlaneRefer,
+                      BaselineKind::kFaastlaneKata,
+                      BaselineKind::kFaastlaneReferKata,
+                      BaselineKind::kOpenFaas, BaselineKind::kOpenFaasGvisor),
+    [](const auto& info) {
+      std::string name = BaselineKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(BaselineRuntimeTest, SortingParityOnFaastlane) {
+  ScaleGuard guard(0.002);
+  const std::string dir = ::testing::TempDir();
+  auto input = aswl::MakeIntegerInput(100'000, 37);
+  WriteHostFile(dir + "/ps-input.bin", input);
+
+  for (BaselineKind kind :
+       {BaselineKind::kFaastlane, BaselineKind::kOpenFaas}) {
+    BaselineRuntime::Options options;
+    options.kind = kind;
+    options.input_dir = dir;
+    BaselineRuntime runtime(options);
+    asbase::Json params;
+    params.Set("input", "ps-input.bin");
+    auto stats = runtime.Run(aswl::ParallelSortingWorkflow(3), params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->result, aswl::ExpectedSortingResult(input))
+        << BaselineKindName(kind);
+  }
+}
+
+TEST(BaselineRuntimeTest, RamInputsServeFig16Mode) {
+  ScaleGuard guard(0.002);
+  auto input = aswl::MakeIntegerInput(50'000, 41);
+  BaselineRuntime::Options options;
+  options.kind = BaselineKind::kFaastlaneReferKata;
+  options.ramfs_inputs = true;
+  BaselineRuntime runtime(options);
+  runtime.AddRamInput("mem-input.bin", input);
+  asbase::Json params;
+  params.Set("input", "mem-input.bin");
+  auto stats = runtime.Run(aswl::ParallelSortingWorkflow(3), params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, aswl::ExpectedSortingResult(input));
+}
+
+// --------------------------------------------------------------- Faasm
+
+TEST(FaasmTest, VmWorkflowsMatchReference) {
+  ScaleGuard guard(0.002);
+  const std::string dir = ::testing::TempDir();
+
+  FaasmRuntime::Options options;
+  options.input_dir = dir;
+  FaasmRuntime runtime(options);
+
+  {  // pipe
+    auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kPipe, 1);
+    ASSERT_TRUE(workflow.ok()) << workflow.status().ToString();
+    asbase::Json params;
+    params.Set("bytes", 20'480);
+    params.Set("seed", 2);
+    auto stats = runtime.Run(*workflow, params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->result, aswl::ExpectedVmPipeResult(20'480, 2));
+  }
+  {  // wordcount
+    auto corpus = aswl::MakeTextCorpus(50'000, 43);
+    WriteHostFile(dir + "/faasm-wc.bin", corpus);
+    auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kWordCount, 3);
+    ASSERT_TRUE(workflow.ok());
+    asbase::Json params;
+    params.Set("input", "faasm-wc.bin");
+    params.Set("n", 3);
+    auto stats = runtime.Run(*workflow, params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->result, aswl::ExpectedVmWordCountResult(corpus));
+  }
+  {  // sorting
+    auto input = aswl::MakeIntegerInput(40'000, 47);
+    WriteHostFile(dir + "/faasm-ps.bin", input);
+    auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kSorting, 3);
+    ASSERT_TRUE(workflow.ok());
+    asbase::Json params;
+    params.Set("input", "faasm-ps.bin");
+    params.Set("n", 3);
+    auto stats = runtime.Run(*workflow, params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->result, aswl::ExpectedVmSortingResult(input));
+  }
+  {  // chain
+    auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kChain, 5);
+    ASSERT_TRUE(workflow.ok());
+    asbase::Json params;
+    params.Set("bytes", 15'000);
+    params.Set("seed", 5);
+    params.Set("chain_length", 5);
+    auto stats = runtime.Run(*workflow, params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->result, aswl::ExpectedVmChainResult(15'000, 5, 5));
+  }
+}
+
+TEST(FaasmTest, PythonModeMatchesReference) {
+  ScaleGuard guard(0.002);
+  const std::string dir = ::testing::TempDir();
+  // Provide a small stdlib stand-in for the python init path.
+  WriteHostFile(dir + "/python_stdlib.img", aswl::MakePayload(64 * 1024, 1));
+
+  FaasmRuntime::Options options;
+  options.input_dir = dir;
+  options.python = true;
+  FaasmRuntime runtime(options);
+
+  auto workflow = aswl::BuildVmWorkflow(aswl::VmApp::kPipe, 1);
+  ASSERT_TRUE(workflow.ok());
+  asbase::Json params;
+  params.Set("bytes", 4'096);
+  params.Set("seed", 7);
+  auto stats = runtime.Run(*workflow, params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, aswl::ExpectedVmPipeResult(4'096, 7));
+}
+
+}  // namespace
+}  // namespace asbl

@@ -1,0 +1,671 @@
+// Tests for the AlloyStack core: WFD lifecycle, on-demand module loading,
+// as-std syscall routing through the MPK trampoline, AsBuffer reference
+// passing, orchestrator staging, visor/watchdog, and the WASI layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/core/asstd/asstd.h"
+#include "src/core/asstd/wasi.h"
+#include "src/core/visor/visor.h"
+
+namespace alloy {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+WfdOptions SmallWfd() {
+  WfdOptions options;
+  options.heap_bytes = 8u << 20;
+  options.disk_blocks = 16 * 1024;  // 8 MiB disk
+  options.mpk_backend = asmpk::MpkBackend::kEmulated;
+  return options;
+}
+
+// ------------------------------------------------------------ on-demand
+
+TEST(WfdTest, CreateStartsWithNoModules) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  EXPECT_TRUE((*wfd)->libos().LoadedModules().empty())
+      << "no as-libos module may be instantiated before first use";
+  EXPECT_GT((*wfd)->creation_nanos(), 0);
+  // WFD instantiation itself stays in the microsecond range (cold start).
+  EXPECT_LT((*wfd)->creation_nanos(), 50'000'000);
+}
+
+TEST(WfdTest, FirstSyscallLoadsModuleSecondDoesNot) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+
+  ASSERT_FALSE((*wfd)->libos().IsLoaded(ModuleKind::kFdtab));
+  ASSERT_TRUE(as.WriteWholeFile("/a.txt", Bytes("x")).ok());  // slow path
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kFdtab));
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kFatfs));
+  EXPECT_GT((*wfd)->libos().ModuleLoadNanos(ModuleKind::kFdtab), 0);
+
+  const int64_t load_after_first = (*wfd)->libos().TotalLoadNanos();
+  ASSERT_TRUE(as.WriteWholeFile("/b.txt", Bytes("y")).ok());  // fast path
+  EXPECT_EQ((*wfd)->libos().TotalLoadNanos(), load_after_first)
+      << "fast path must not re-load modules";
+}
+
+TEST(WfdTest, LoadAllBootsEverythingUpfront) {
+  WfdOptions options = SmallWfd();
+  options.on_demand = false;
+  auto wfd = Wfd::Create(options);
+  ASSERT_TRUE(wfd.ok());
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kMm));
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kFatfs));
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kFdtab));
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kTime));
+  EXPECT_GT((*wfd)->libos().TotalLoadNanos(), 0);
+}
+
+TEST(WfdTest, OnDemandBeatsLoadAllOnColdStart) {
+  // The headline claim of §4: with on-demand loading a workflow that needs
+  // no module starts far faster than a load-all LibOS.
+  WfdOptions lazy = SmallWfd();
+  WfdOptions eager = SmallWfd();
+  eager.on_demand = false;
+
+  auto lazy_wfd = Wfd::Create(lazy);
+  auto eager_wfd = Wfd::Create(eager);
+  ASSERT_TRUE(lazy_wfd.ok());
+  ASSERT_TRUE(eager_wfd.ok());
+  const int64_t lazy_cold = (*lazy_wfd)->creation_nanos();
+  const int64_t eager_cold =
+      (*eager_wfd)->creation_nanos() + (*eager_wfd)->libos().TotalLoadNanos();
+  EXPECT_LT(lazy_cold, eager_cold);
+}
+
+TEST(WfdTest, SharedModulesAcrossFunctionsInOneWfd) {
+  // Figure 7(c): a later function reuses the module the first one loaded.
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  ASSERT_TRUE(as.WriteWholeFile("/shared.txt", Bytes("one")).ok());
+  const int64_t loads = (*wfd)->libos().TotalLoadNanos();
+
+  std::thread second_function([&] {
+    auto data = as.ReadWholeFile("/shared.txt");
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(std::string(data->begin(), data->end()), "one");
+  });
+  second_function.join();
+  EXPECT_EQ((*wfd)->libos().TotalLoadNanos(), loads);
+}
+
+TEST(WfdTest, RamfsVariantWorks) {
+  WfdOptions options = SmallWfd();
+  options.use_ramfs = true;
+  auto wfd = Wfd::Create(options);
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  ASSERT_TRUE(as.WriteWholeFile("/r.txt", Bytes("ram")).ok());
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kRamfs));
+  EXPECT_FALSE((*wfd)->libos().IsLoaded(ModuleKind::kFatfs));
+}
+
+// ------------------------------------------------------------ trampoline
+
+TEST(AsStdTest, SyscallsCrossTheTrampoline) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  const uint64_t enters_before = (*wfd)->trampoline().enter_count();
+  ASSERT_TRUE(as.NowMicros().ok());
+  ASSERT_TRUE(as.NowMicros().ok());
+  EXPECT_EQ((*wfd)->trampoline().enter_count(), enters_before + 2);
+  EXPECT_EQ(as.syscall_count(), 2u);
+}
+
+TEST(AsStdTest, UserContextCannotTouchHeapWithoutItsKey) {
+  // The MPK model: heap pages carry the user key; a PKRU that denies it
+  // makes buffer memory unreachable (CheckAccess is what as-std consults
+  // under the emulated backend).
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  auto buffer = as.AllocBuffer("guarded", 64, 1);
+  ASSERT_TRUE(buffer.ok());
+
+  auto& mpk = (*wfd)->mpk();
+  mpk.WritePkru(asmpk::PkeyRuntime::kDenyAll);  // deny even the user key
+  EXPECT_EQ(mpk.CheckAccess(buffer->bytes.data(), 8, true).code(),
+            asbase::ErrorCode::kPermissionDenied);
+  mpk.WritePkru((*wfd)->UserPkru((*wfd)->user_key()));
+  EXPECT_TRUE(mpk.CheckAccess(buffer->bytes.data(), 8, true).ok());
+  mpk.WritePkru(0);
+}
+
+// --------------------------------------------------------------- buffers
+
+TEST(AsBufferTest, ReferencePassingRoundTrip) {
+  // Figure 8: func_a writes, func_b reads through the same slot.
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+
+  struct MyFuncData {
+    char name[16];
+    uint64_t year;
+  };
+
+  {  // func_a: sender
+    auto data = AsBuffer<MyFuncData>::WithSlot(as, "Conference");
+    ASSERT_TRUE(data.ok());
+    std::strcpy((*data)->name, "Euro");
+    (*data)->year = 2025;
+  }
+  {  // func_b: receiver
+    auto data = AsBuffer<MyFuncData>::FromSlot(as, "Conference");
+    ASSERT_TRUE(data.ok());
+    EXPECT_STREQ((*data)->name, "Euro");
+    EXPECT_EQ((*data)->year, 2025u);
+    EXPECT_TRUE(data->Release().ok());
+  }
+}
+
+TEST(AsBufferTest, AcquireIsSingleConsumer) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  struct Payload { uint64_t v; };
+  ASSERT_TRUE(AsBuffer<Payload>::WithSlot(as, "s").ok());
+  ASSERT_TRUE(AsBuffer<Payload>::FromSlot(as, "s").ok());
+  EXPECT_EQ(AsBuffer<Payload>::FromSlot(as, "s").status().code(),
+            asbase::ErrorCode::kNotFound);
+}
+
+TEST(AsBufferTest, TypeFingerprintMismatchRejected) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  struct A { uint64_t v; };
+  struct B { uint64_t v; };
+  ASSERT_TRUE(AsBuffer<A>::WithSlot(as, "typed").ok());
+  EXPECT_EQ(AsBuffer<B>::FromSlot(as, "typed").status().code(),
+            asbase::ErrorCode::kInvalidArgument);
+}
+
+TEST(AsBufferTest, ZeroCopySameAddressAcrossFunctions) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  auto sent = as.AllocBuffer("zc", 4096, 42);
+  ASSERT_TRUE(sent.ok());
+  sent->bytes[0] = 0xAB;
+  auto received = as.AcquireBuffer("zc", 42);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received->bytes.data(), sent->bytes.data())
+      << "reference passing must not copy";
+  EXPECT_EQ(received->bytes[0], 0xAB);
+  ASSERT_TRUE(as.FreeBuffer(*received).ok());
+}
+
+TEST(AsBufferTest, FanOutAndFanInViaDistinctSlots) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  for (int i = 0; i < 3; ++i) {
+    auto buffer = as.AllocBuffer("fan-" + std::to_string(i), 128, 1);
+    ASSERT_TRUE(buffer.ok());
+    buffer->bytes[0] = static_cast<uint8_t>(i + 10);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto buffer = as.AcquireBuffer("fan-" + std::to_string(i), 1);
+    ASSERT_TRUE(buffer.ok());
+    EXPECT_EQ(buffer->bytes[0], static_cast<uint8_t>(i + 10));
+    ASSERT_TRUE(as.FreeBuffer(*buffer).ok());
+  }
+}
+
+// --------------------------------------------------------- mmap backend
+
+TEST(MmapBackendTest, LazyFaultingReadsFileContent) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  AsStd as(wfd->get());
+  std::vector<uint8_t> content(20000);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(as.WriteWholeFile("/blob.bin", content).ok());
+
+  auto mapping = as.MapFile("/blob.bin");
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_EQ(mapping->size(), content.size());
+  ASSERT_TRUE(as.FaultIn(*mapping, 0, mapping->size()).ok());
+  EXPECT_EQ(std::memcmp(mapping->data(), content.data(), content.size()), 0);
+  EXPECT_TRUE((*wfd)->libos().IsLoaded(ModuleKind::kMmapFileBackend));
+  ASSERT_TRUE(as.Unmap(*mapping).ok());
+}
+
+// ----------------------------------------------------------- orchestrator
+
+TEST(OrchestratorTest, RunsStagesInOrderWithBarriers) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+
+  std::atomic<int> stage_zero_done{0};
+  std::atomic<bool> order_violated{false};
+  FunctionRegistry::Global().Register(
+      "test.stage0", [&](FunctionContext&) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        stage_zero_done.fetch_add(1);
+        return asbase::OkStatus();
+      });
+  FunctionRegistry::Global().Register(
+      "test.stage1", [&](FunctionContext& ctx) -> asbase::Status {
+        if (stage_zero_done.load() != 3) {
+          order_violated.store(true);
+        }
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+
+  WorkflowSpec spec;
+  spec.name = "order";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.stage0", 3}}});
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.stage1", 1}}});
+
+  Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, asbase::Json());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(order_violated.load());
+  EXPECT_EQ(stats->instances_run, 4u);
+  EXPECT_EQ(stats->result, "done");
+  EXPECT_GT(stats->total_nanos, 0);
+}
+
+TEST(OrchestratorTest, DataFlowsBetweenStagesByReference) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+
+  FunctionRegistry::Global().Register(
+      "test.producer", [](FunctionContext& ctx) -> asbase::Status {
+        AS_ASSIGN_OR_RETURN(
+            RawBuffer buffer,
+            ctx.as().AllocBuffer("hand-off-" + std::to_string(ctx.instance()),
+                                 256, 7));
+        buffer.bytes[0] = static_cast<uint8_t>(100 + ctx.instance());
+        return asbase::OkStatus();
+      });
+  FunctionRegistry::Global().Register(
+      "test.consumer", [](FunctionContext& ctx) -> asbase::Status {
+        int sum = 0;
+        for (int i = 0; i < ctx.params()["producers"].as_int(); ++i) {
+          AS_ASSIGN_OR_RETURN(
+              RawBuffer buffer,
+              ctx.as().AcquireBuffer("hand-off-" + std::to_string(i), 7));
+          sum += buffer.bytes[0];
+          AS_RETURN_IF_ERROR(ctx.as().FreeBuffer(buffer));
+        }
+        ctx.SetResult(std::to_string(sum));
+        return asbase::OkStatus();
+      });
+
+  WorkflowSpec spec;
+  spec.name = "flow";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.producer", 3}}});
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.consumer", 1}}});
+  asbase::Json params;
+  params.Set("producers", 3);
+
+  Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, std::to_string(100 + 101 + 102));
+}
+
+TEST(OrchestratorTest, FailingFunctionAbortsRun) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  FunctionRegistry::Global().Register(
+      "test.fails", [](FunctionContext&) -> asbase::Status {
+        return asbase::Internal("deliberate failure");
+      });
+  WorkflowSpec spec;
+  spec.name = "fails";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.fails", 1}}});
+  Orchestrator orchestrator(wfd->get());
+  EXPECT_FALSE(orchestrator.Run(spec, asbase::Json()).ok());
+}
+
+TEST(OrchestratorTest, RetryRecoversIdempotentFunction) {
+  // Retry-based fault tolerance (§3.1): an idempotent function that crashes
+  // once succeeds on re-execution without poisoning the WFD.
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  std::atomic<int> attempts{0};
+  FunctionRegistry::Global().Register(
+      "test.flaky", [&](FunctionContext&) -> asbase::Status {
+        if (attempts.fetch_add(1) == 0) {
+          throw std::runtime_error("simulated crash");
+        }
+        return asbase::OkStatus();
+      });
+  WorkflowSpec spec;
+  spec.name = "flaky";
+  FunctionSpec fn{"test.flaky", 1};
+  fn.max_retries = 2;
+  spec.stages.push_back(StageSpec{{fn}});
+  Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, asbase::Json());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(stats->retries, 1u);
+}
+
+TEST(OrchestratorTest, UnknownFunctionRejected) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  WorkflowSpec spec;
+  spec.name = "ghost";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.no-such-fn", 1}}});
+  Orchestrator orchestrator(wfd->get());
+  EXPECT_EQ(orchestrator.Run(spec, asbase::Json()).status().code(),
+            asbase::ErrorCode::kNotFound);
+}
+
+TEST(WorkflowSpecTest, ParsesFromJson) {
+  auto config = asbase::Json::Parse(R"({
+    "name": "wc",
+    "stages": [
+      {"functions": [{"name": "map", "instances": 3}]},
+      {"functions": [{"name": "reduce"}]}
+    ]
+  })");
+  ASSERT_TRUE(config.ok());
+  auto spec = WorkflowSpec::FromJson(*config);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "wc");
+  ASSERT_EQ(spec->stages.size(), 2u);
+  EXPECT_EQ(spec->stages[0].functions[0].instances, 3);
+  EXPECT_EQ(spec->stages[1].functions[0].instances, 1);
+}
+
+TEST(WorkflowSpecTest, RejectsMalformed) {
+  auto bad = [](const char* text) {
+    auto config = asbase::Json::Parse(text);
+    return !config.ok() || !WorkflowSpec::FromJson(*config).ok();
+  };
+  EXPECT_TRUE(bad("{}"));
+  EXPECT_TRUE(bad(R"({"name":"x"})"));
+  EXPECT_TRUE(bad(R"({"name":"x","stages":[]})"));
+  EXPECT_TRUE(bad(R"({"name":"x","stages":[{"functions":[]}]})"));
+  EXPECT_TRUE(bad(R"({"name":"x","stages":[{"functions":[{"instances":2}]}]})"));
+}
+
+// ----------------------------------------------------------------- visor
+
+TEST(VisorTest, InvokeRunsWorkflowInFreshWfd) {
+  FunctionRegistry::Global().Register(
+      "test.hello", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("hello " + ctx.params()["who"].as_string());
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "hello";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.hello", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  visor.RegisterWorkflow(spec, options);
+
+  asbase::Json params;
+  params.Set("who", "eurosys");
+  auto result = visor.Invoke("hello", params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->run.result, "hello eurosys");
+  EXPECT_GT(result->cold_start_nanos, 0);
+  EXPECT_GE(result->end_to_end_nanos, result->run.total_nanos);
+
+  EXPECT_FALSE(visor.Invoke("no-such-workflow", params).ok());
+}
+
+TEST(VisorTest, InvokeFromJsonConfig) {
+  FunctionRegistry::Global().Register(
+      "test.config-fn", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("ran");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  auto result = visor.InvokeFromConfig(R"({
+    "name": "from-config",
+    "stages": [{"functions": [{"name": "test.config-fn"}]}],
+    "options": {"ramfs": true, "heap_mb": 8}
+  })",
+                                       asbase::Json());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->run.result, "ran");
+}
+
+TEST(VisorTest, WatchdogInvokesOverHttp) {
+  FunctionRegistry::Global().Register(
+      "test.http-fn", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("via-http:" + ctx.params()["x"].as_string());
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "httpwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.http-fn", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  ashttp::HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/httpwf";
+  request.body = R"({"x":"42"})";
+  auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("via-http:42"), std::string::npos);
+
+  // Health endpoint + unknown workflow.
+  ashttp::HttpRequest health;
+  health.method = "GET";
+  health.target = "/health";
+  EXPECT_EQ(ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), health)->body,
+            "ok");
+  request.target = "/invoke/missing";
+  EXPECT_EQ(ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request)
+                ->status,
+            404);
+  visor.StopWatchdog();
+}
+
+TEST(VisorTest, LatencyHistogramAccumulates) {
+  FunctionRegistry::Global().Register(
+      "test.quick", [](FunctionContext&) { return asbase::OkStatus(); });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "quick";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.quick", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  visor.RegisterWorkflow(spec, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(visor.Invoke("quick", asbase::Json()).ok());
+  }
+  auto histogram = visor.LatencyHistogram("quick");
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_EQ(histogram->count(), 5u);
+}
+
+// ------------------------------------------------------------------ WASI
+
+TEST(WasiTest, VmFunctionTransfersDataThroughAsBuffer) {
+  // Guest A registers a string buffer; guest B reads it back — the C/Python
+  // path of §7.2 exercised end to end through as-libos.
+  const std::string sender = R"(
+    .data 100 "wfslot"
+    .data 200 "payload-from-wasm"
+    .func main
+      push 100
+      push 6
+      push 200
+      push 17
+      host buffer_register
+      halt
+    .end
+  )";
+  const std::string receiver = R"(
+    .data 100 "wfslot"
+    .func main locals=1
+      push 100
+      push 6
+      push 4096
+      push 64
+      host access_buffer
+      local.set 0
+      # report the received byte count
+      push 4096
+      local.get 0
+      host ctx_set_result
+      drop
+      local.get 0
+      halt
+    .end
+  )";
+  ASSERT_TRUE(RegisterVmFunction("test.wasm-sender", sender).ok());
+  ASSERT_TRUE(RegisterVmFunction("test.wasm-receiver", receiver).ok());
+
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  WorkflowSpec spec;
+  spec.name = "wasm-pipe";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.wasm-sender", 1}}});
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.wasm-receiver", 1}}});
+  Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, asbase::Json());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->result, "payload-from-wasm");
+}
+
+TEST(WasiTest, VmFunctionDoesFileIoThroughLibos) {
+  const std::string writer = R"(
+    .data 100 "/wasm.out"
+    .data 200 "written-by-guest"
+    .func main locals=1
+      push 100
+      push 9
+      push 1            # write|create
+      host path_open
+      local.set 0
+      local.get 0
+      push 200
+      push 16
+      host fd_write
+      drop
+      local.get 0
+      host fd_close
+      halt
+    .end
+  )";
+  ASSERT_TRUE(RegisterVmFunction("test.wasm-writer", writer).ok());
+
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  WorkflowSpec spec;
+  spec.name = "wasm-file";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.wasm-writer", 1}}});
+  Orchestrator orchestrator(wfd->get());
+  ASSERT_TRUE(orchestrator.Run(spec, asbase::Json()).ok());
+
+  AsStd as(wfd->get());
+  auto data = as.ReadWholeFile("/wasm.out");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "written-by-guest");
+}
+
+TEST(WasiTest, ContextAccessorsReachGuest) {
+  const std::string source = R"(
+    .data 100 "n"
+    .func main
+      host ctx_instances
+      host ctx_instance
+      add
+      push 100
+      push 1
+      host ctx_param_int
+      add
+      halt
+    .end
+  )";
+  ASSERT_TRUE(RegisterVmFunction("test.wasm-ctx", source).ok());
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  WorkflowSpec spec;
+  spec.name = "wasm-ctx";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.wasm-ctx", 2}}});
+  asbase::Json params;
+  params.Set("n", 40);
+  Orchestrator orchestrator(wfd->get());
+  EXPECT_TRUE(orchestrator.Run(spec, params).ok());
+}
+
+TEST(WasiTest, PythonRuntimeLoadsStdlibImage) {
+  ASSERT_TRUE(RegisterVmFunction("test.py-fn", R"(
+    .func main
+      push 0
+      halt
+    .end
+  )",
+                                 VmFunctionOptions{
+                                     .python_runtime = true})
+                  .ok());
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+
+  // Pre-provision the stdlib image the way the bench harness does.
+  AsStd as(wfd->get());
+  ASSERT_TRUE(EnsurePythonStdlib(as).ok());
+
+  WorkflowSpec spec;
+  spec.name = "py";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.py-fn", 1}}});
+  Orchestrator orchestrator(wfd->get());
+  auto stats = orchestrator.Run(spec, asbase::Json());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The stdlib read is attributed to the read-input phase.
+  EXPECT_GT(stats->phases.read_input_nanos, 0);
+}
+
+// -------------------------------------------------------------- IFI mode
+
+TEST(IfiTest, InterFunctionIsolationCostsPkruSwitches) {
+  WfdOptions base = SmallWfd();
+  WfdOptions ifi = SmallWfd();
+  ifi.inter_function_isolation = true;
+
+  auto run_pipe = [](const WfdOptions& options) -> uint64_t {
+    auto wfd = Wfd::Create(options);
+    EXPECT_TRUE(wfd.ok());
+    AsStd as(wfd->get());
+    auto buffer = as.AllocBuffer("p", 4096, 1);
+    EXPECT_TRUE(buffer.ok());
+    const uint64_t before = (*wfd)->mpk().switch_count();
+    for (int i = 0; i < 10; ++i) {
+      auto guard = as.BufferAccess();
+      buffer->bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+    }
+    return (*wfd)->mpk().switch_count() - before;
+  };
+
+  EXPECT_EQ(run_pipe(base), 0u) << "no PKRU cost without IFI";
+  EXPECT_EQ(run_pipe(ifi), 20u) << "two PKRU writes per access under IFI";
+}
+
+}  // namespace
+}  // namespace alloy

@@ -1,0 +1,166 @@
+// Tests for the HTTP layer over both transports (host sockets and the
+// user-space netstack).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "src/http/http.h"
+
+namespace ashttp {
+namespace {
+
+// In-memory ByteStream for parser tests.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(std::string data) : data_(std::move(data)) {}
+
+  asbase::Result<size_t> Read(std::span<uint8_t> out) override {
+    // Dribble bytes a few at a time to exercise incremental parsing.
+    const size_t n = std::min({out.size(), data_.size() - pos_, size_t{7}});
+    std::memcpy(out.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  asbase::Status Write(std::span<const uint8_t> data) override {
+    written_.append(reinterpret_cast<const char*>(data.data()), data.size());
+    return asbase::OkStatus();
+  }
+  const std::string& written() const { return written_; }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+  std::string written_;
+};
+
+TEST(HttpParseTest, RequestRoundTrip) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/wordcount";
+  request.headers["x-workflow"] = "wc";
+  request.body = "{\"input\":\"/data/in.txt\"}";
+
+  MemoryStream stream(Serialize(request));
+  auto parsed = ReadRequest(stream);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/invoke/wordcount");
+  EXPECT_EQ(parsed->headers.at("x-workflow"), "wc");
+  EXPECT_EQ(parsed->body, request.body);
+}
+
+TEST(HttpParseTest, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.body = "no such workflow";
+  MemoryStream stream(Serialize(response));
+  auto parsed = ReadResponse(stream);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(parsed->body, "no such workflow");
+}
+
+TEST(HttpParseTest, EmptyBodyWorks) {
+  MemoryStream stream("GET /health HTTP/1.1\r\nhost: x\r\n\r\n");
+  auto parsed = ReadRequest(stream);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->target, "/health");
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(HttpParseTest, MalformedRequestRejected) {
+  MemoryStream stream("NONSENSE\r\n\r\n");
+  EXPECT_FALSE(ReadRequest(stream).ok());
+}
+
+TEST(HttpParseTest, TruncatedBodyRejected) {
+  MemoryStream stream(
+      "POST / HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly a bit");
+  EXPECT_EQ(ReadRequest(stream).status().code(),
+            asbase::ErrorCode::kUnavailable);
+}
+
+TEST(HttpServerTest, ServesOverHostSocket) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "echo:" + request.body + " @" + request.target;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_NE(server.port(), 0);
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/run";
+  request.body = "payload";
+  auto response = HttpCall("127.0.0.1", server.port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "echo:payload @/run");
+  server.Stop();
+}
+
+TEST(HttpServerTest, ManySequentialCalls) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  for (int i = 0; i < 20; ++i) {
+    HttpRequest request;
+    request.method = "POST";
+    request.body = std::string(static_cast<size_t>(i * 100), 'x');
+    auto response = HttpCall("127.0.0.1", server.port(), request);
+    ASSERT_TRUE(response.ok()) << i;
+    EXPECT_EQ(response->body.size(), static_cast<size_t>(i * 100));
+  }
+  server.Stop();
+}
+
+TEST(HttpServerTest, CallToDeadPortFails) {
+  HttpRequest request;
+  EXPECT_FALSE(HttpCall("127.0.0.1", 1, request).ok());
+}
+
+TEST(HttpOverNetstackTest, RequestResponseOverUserSpaceTcp) {
+  asnet::VirtualSwitch fabric;
+  auto server_port = fabric.Attach(asnet::MakeAddr(10, 0, 0, 1));
+  auto client_port = fabric.Attach(asnet::MakeAddr(10, 0, 0, 2));
+  asnet::NetStack server_stack(server_port);
+  asnet::NetStack client_stack(client_port);
+
+  auto listener = server_stack.Listen(80);
+  ASSERT_TRUE(listener.ok());
+  std::thread server_thread([&] {
+    auto connection = (*listener)->Accept();
+    ASSERT_TRUE(connection.ok());
+    AsnetStream stream(connection->get());
+    auto request = ReadRequest(stream);
+    ASSERT_TRUE(request.ok());
+    HttpResponse response;
+    response.body = "hello " + request->target;
+    std::string wire = Serialize(response);
+    ASSERT_TRUE(stream
+                    .Write({reinterpret_cast<const uint8_t*>(wire.data()),
+                            wire.size()})
+                    .ok());
+    (*connection)->Close();
+  });
+
+  auto connection = client_stack.Connect(server_stack.addr(), 80);
+  ASSERT_TRUE(connection.ok());
+  HttpRequest request;
+  request.target = "/from-libos";
+  auto response = HttpCallOver(**connection, request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "hello /from-libos");
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace ashttp

@@ -1,0 +1,398 @@
+// Tests for the user-space TCP/IP stack: wire formats, virtual switch
+// routing, TCP handshake/transfer/teardown, loss recovery under a faulty
+// link (property test), UDP, ICMP.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/netstack/channel.h"
+#include "src/netstack/stack.h"
+#include "src/netstack/wire.h"
+
+namespace asnet {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ---------------------------------------------------------------- wire
+
+TEST(WireTest, AddrRoundTrip) {
+  Ipv4Addr addr = MakeAddr(10, 0, 0, 42);
+  EXPECT_EQ(AddrToString(addr), "10.0.0.42");
+  EXPECT_EQ(*ParseAddr("10.0.0.42"), addr);
+  EXPECT_FALSE(ParseAddr("10.0.0").ok());
+  EXPECT_FALSE(ParseAddr("10.0.0.300").ok());
+  EXPECT_FALSE(ParseAddr("10.0.0.1x").ok());
+}
+
+TEST(WireTest, ChecksumKnownVector) {
+  // RFC 1071 example-style check: sum of complement should be 0.
+  const uint8_t data[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                          0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                          0xC0, 0xA8, 0x00, 0x01, 0xC0, 0xA8, 0x00, 0xC7};
+  uint16_t checksum = Checksum(data);
+  std::vector<uint8_t> with(std::begin(data), std::end(data));
+  with[10] = static_cast<uint8_t>(checksum >> 8);
+  with[11] = static_cast<uint8_t>(checksum);
+  EXPECT_EQ(Checksum(with), 0);
+}
+
+TEST(WireTest, Ipv4BuildParseRoundTrip) {
+  Ipv4Header header;
+  header.src = MakeAddr(10, 0, 0, 1);
+  header.dst = MakeAddr(10, 0, 0, 2);
+  header.proto = IpProto::kUdp;
+  const uint8_t payload[] = {1, 2, 3, 4, 5};
+  auto packet = BuildIpv4(header, payload);
+
+  Ipv4Header parsed;
+  auto body = ParseIpv4(packet, &parsed);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(parsed.src, header.src);
+  EXPECT_EQ(parsed.dst, header.dst);
+  EXPECT_EQ(parsed.proto, IpProto::kUdp);
+  ASSERT_EQ(body->size(), 5u);
+  EXPECT_EQ((*body)[4], 5);
+}
+
+TEST(WireTest, Ipv4RejectsCorruption) {
+  Ipv4Header header;
+  header.src = 1;
+  header.dst = 2;
+  auto packet = BuildIpv4(header, {});
+  packet[8] ^= 0xFF;  // clobber TTL -> checksum now wrong
+  Ipv4Header parsed;
+  EXPECT_EQ(ParseIpv4(packet, &parsed).status().code(),
+            asbase::ErrorCode::kDataLoss);
+}
+
+TEST(WireTest, TcpBuildParseRoundTrip) {
+  const Ipv4Addr src = MakeAddr(10, 0, 0, 1), dst = MakeAddr(10, 0, 0, 2);
+  TcpHeader header;
+  header.src_port = 40000;
+  header.dst_port = 80;
+  header.seq = 12345;
+  header.ack = 999;
+  header.flags = kTcpAck | kTcpPsh;
+  header.window = 65535;
+  auto segment = BuildTcp(src, dst, header, Bytes("hello"));
+
+  TcpHeader parsed;
+  auto payload = ParseTcp(src, dst, segment, &parsed);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(parsed.src_port, 40000);
+  EXPECT_EQ(parsed.seq, 12345u);
+  EXPECT_EQ(parsed.flags, kTcpAck | kTcpPsh);
+  EXPECT_EQ(std::string(payload->begin(), payload->end()), "hello");
+
+  // Any flipped bit must be caught by the checksum.
+  auto corrupted = segment;
+  corrupted[24] ^= 0x01;
+  EXPECT_FALSE(ParseTcp(src, dst, corrupted, &parsed).ok());
+  // Wrong pseudo-header (different src IP) is also caught.
+  EXPECT_FALSE(ParseTcp(src + 1, dst, segment, &parsed).ok());
+}
+
+TEST(WireTest, UdpBuildParseRoundTrip) {
+  const Ipv4Addr src = MakeAddr(10, 0, 0, 1), dst = MakeAddr(10, 0, 0, 2);
+  UdpHeader header;
+  header.src_port = 5353;
+  header.dst_port = 53;
+  auto datagram = BuildUdp(src, dst, header, Bytes("query"));
+  UdpHeader parsed;
+  auto payload = ParseUdp(src, dst, datagram, &parsed);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(parsed.dst_port, 53);
+  EXPECT_EQ(std::string(payload->begin(), payload->end()), "query");
+}
+
+TEST(WireTest, SeqCompareWraps) {
+  EXPECT_TRUE(SeqLt(0xFFFFFFF0u, 0x10u));  // across the wrap
+  EXPECT_FALSE(SeqLt(0x10u, 0xFFFFFFF0u));
+  EXPECT_TRUE(SeqLe(5u, 5u));
+}
+
+// ---------------------------------------------------------------- switch
+
+TEST(VirtualSwitchTest, RoutesByDestination) {
+  VirtualSwitch fabric;
+  auto a = fabric.Attach(MakeAddr(10, 0, 0, 1));
+  auto b = fabric.Attach(MakeAddr(10, 0, 0, 2));
+
+  Ipv4Header header;
+  header.src = a->addr();
+  header.dst = b->addr();
+  header.proto = IpProto::kUdp;
+  a->Send(BuildIpv4(header, Bytes("x")));
+
+  auto packet = b->Receive(std::chrono::seconds(1));
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(fabric.packets_routed(), 1u);
+
+  // Unknown destination is dropped, not delivered.
+  header.dst = MakeAddr(10, 0, 0, 99);
+  a->Send(BuildIpv4(header, Bytes("y")));
+  EXPECT_FALSE(a->Receive(std::chrono::milliseconds(20)).has_value());
+  EXPECT_EQ(fabric.packets_dropped(), 1u);
+}
+
+TEST(VirtualSwitchTest, DropModelDropsRoughlyAtRate) {
+  VirtualSwitch fabric(LinkModel{.drop_rate = 0.5, .seed = 3});
+  auto a = fabric.Attach(MakeAddr(10, 0, 0, 1));
+  auto b = fabric.Attach(MakeAddr(10, 0, 0, 2));
+  Ipv4Header header;
+  header.src = a->addr();
+  header.dst = b->addr();
+  header.proto = IpProto::kUdp;
+  for (int i = 0; i < 200; ++i) {
+    a->Send(BuildIpv4(header, {}));
+  }
+  size_t delivered = 0;
+  while (b->Receive(std::chrono::milliseconds(10)).has_value()) {
+    ++delivered;
+  }
+  EXPECT_GT(delivered, 50u);
+  EXPECT_LT(delivered, 150u);
+}
+
+// ---------------------------------------------------------------- TCP
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : fabric_(),
+        server_(fabric_.Attach(MakeAddr(10, 0, 0, 1))),
+        client_(fabric_.Attach(MakeAddr(10, 0, 0, 2))),
+        server_stack_(server_),
+        client_stack_(client_) {}
+
+  VirtualSwitch fabric_;
+  std::shared_ptr<TunPort> server_;
+  std::shared_ptr<TunPort> client_;
+  NetStack server_stack_;
+  NetStack client_stack_;
+};
+
+TEST_F(TcpTest, ConnectAcceptEcho) {
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+
+  std::thread server_thread([&] {
+    auto connection = (*listener)->Accept();
+    ASSERT_TRUE(connection.ok());
+    uint8_t buffer[64];
+    auto n = (*connection)->Recv(buffer);
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE((*connection)->Send({buffer, *n}).ok());
+    (*connection)->Close();
+  });
+
+  auto connection = client_stack_.Connect(server_stack_.addr(), 8080);
+  ASSERT_TRUE(connection.ok());
+  ASSERT_TRUE((*connection)->Send(Bytes("ping!")).ok());
+  uint8_t buffer[64];
+  auto n = (*connection)->Recv(buffer);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buffer, buffer + *n), "ping!");
+  server_thread.join();
+}
+
+TEST_F(TcpTest, ConnectToClosedPortIsRefused) {
+  auto connection =
+      client_stack_.Connect(server_stack_.addr(), 9999,
+                            std::chrono::milliseconds(500));
+  EXPECT_FALSE(connection.ok());
+}
+
+TEST_F(TcpTest, AcceptTimesOut) {
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  auto connection = (*listener)->Accept(std::chrono::milliseconds(50));
+  EXPECT_EQ(connection.status().code(), asbase::ErrorCode::kUnavailable);
+}
+
+TEST_F(TcpTest, ListenTwiceFails) {
+  auto first = server_stack_.Listen(8080);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(server_stack_.Listen(8080).status().code(),
+            asbase::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(TcpTest, EofAfterPeerClose) {
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  std::thread server_thread([&] {
+    auto connection = (*listener)->Accept();
+    ASSERT_TRUE(connection.ok());
+    ASSERT_TRUE((*connection)->Send(Bytes("bye")).ok());
+    (*connection)->Close();
+  });
+  auto connection = client_stack_.Connect(server_stack_.addr(), 8080);
+  ASSERT_TRUE(connection.ok());
+  uint8_t buffer[16];
+  auto n = (*connection)->Recv(buffer);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  n = (*connection)->Recv(buffer);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u) << "second recv must report EOF";
+  server_thread.join();
+}
+
+TEST_F(TcpTest, SendAfterCloseFails) {
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  std::thread server_thread([&] { auto c = (*listener)->Accept(); });
+  auto connection = client_stack_.Connect(server_stack_.addr(), 8080);
+  ASSERT_TRUE(connection.ok());
+  (*connection)->Close();
+  EXPECT_EQ((*connection)->Send(Bytes("late")).status().code(),
+            asbase::ErrorCode::kFailedPrecondition);
+  server_thread.join();
+}
+
+TEST_F(TcpTest, BulkTransferBothDirections) {
+  constexpr size_t kSize = 2 * 1024 * 1024;
+  asbase::Rng rng(99);
+  std::vector<uint8_t> to_server(kSize), to_client(kSize);
+  for (size_t i = 0; i < kSize; ++i) {
+    to_server[i] = static_cast<uint8_t>(rng.Next());
+    to_client[i] = static_cast<uint8_t>(rng.Next());
+  }
+
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  std::vector<uint8_t> server_got(kSize);
+  std::thread server_thread([&] {
+    auto connection = (*listener)->Accept();
+    ASSERT_TRUE(connection.ok());
+    ASSERT_EQ(*(*connection)->RecvAll(server_got), kSize);
+    ASSERT_TRUE((*connection)->Send(to_client).ok());
+    (*connection)->Close();
+  });
+
+  auto connection = client_stack_.Connect(server_stack_.addr(), 8080);
+  ASSERT_TRUE(connection.ok());
+  ASSERT_TRUE((*connection)->Send(to_server).ok());
+  std::vector<uint8_t> client_got(kSize);
+  ASSERT_EQ(*(*connection)->RecvAll(client_got), kSize);
+  server_thread.join();
+
+  EXPECT_EQ(server_got, to_server);
+  EXPECT_EQ(client_got, to_client);
+}
+
+TEST_F(TcpTest, ManyConcurrentConnections) {
+  auto listener = server_stack_.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  constexpr int kConns = 8;
+  std::thread server_thread([&] {
+    for (int i = 0; i < kConns; ++i) {
+      auto connection = (*listener)->Accept();
+      ASSERT_TRUE(connection.ok());
+      uint8_t buffer[32];
+      auto n = (*connection)->Recv(buffer);
+      ASSERT_TRUE(n.ok());
+      ASSERT_TRUE((*connection)->Send({buffer, *n}).ok());
+      (*connection)->Close();
+      uint8_t sink[8];
+      (*connection)->Recv(sink);  // drain EOF
+    }
+  });
+  for (int i = 0; i < kConns; ++i) {
+    auto connection = client_stack_.Connect(server_stack_.addr(), 8080);
+    ASSERT_TRUE(connection.ok()) << i;
+    std::string message = "conn-" + std::to_string(i);
+    ASSERT_TRUE((*connection)->Send(Bytes(message)).ok());
+    uint8_t buffer[32];
+    auto n = (*connection)->Recv(buffer);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(std::string(buffer, buffer + *n), message);
+  }
+  server_thread.join();
+}
+
+TEST_F(TcpTest, PingMeasuresRtt) {
+  auto rtt = client_stack_.Ping(server_stack_.addr());
+  ASSERT_TRUE(rtt.ok());
+  EXPECT_GT(*rtt, 0);
+  EXPECT_LT(*rtt, 1'000'000'000);
+}
+
+TEST_F(TcpTest, PingUnknownHostTimesOut) {
+  auto rtt = client_stack_.Ping(MakeAddr(10, 9, 9, 9),
+                                std::chrono::milliseconds(50));
+  EXPECT_FALSE(rtt.ok());
+}
+
+TEST_F(TcpTest, UdpDatagramRoundTrip) {
+  auto server_socket = server_stack_.UdpBind(5000);
+  ASSERT_TRUE(server_socket.ok());
+  auto client_socket = client_stack_.UdpBind(0);
+  ASSERT_TRUE(client_socket.ok());
+
+  ASSERT_TRUE((*client_socket)
+                  ->SendTo(server_stack_.addr(), 5000, Bytes("datagram"))
+                  .ok());
+  auto received = (*server_socket)->RecvFrom(std::chrono::seconds(1));
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(std::string(received->payload.begin(), received->payload.end()),
+            "datagram");
+  EXPECT_EQ(received->src, client_stack_.addr());
+}
+
+// Property test: bulk transfers survive a lossy, duplicating link, and the
+// retransmission machinery is what saves them.
+class LossyTcpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LossyTcpTest, TransferSurvivesLossAndDuplication) {
+  VirtualSwitch fabric(
+      LinkModel{.drop_rate = 0.05, .duplicate_rate = 0.03,
+                .latency_nanos = 10'000, .seed = GetParam()});
+  auto server_port = fabric.Attach(MakeAddr(10, 0, 0, 1));
+  auto client_port = fabric.Attach(MakeAddr(10, 0, 0, 2));
+  NetStack server_stack(server_port);
+  NetStack client_stack(client_port);
+
+  constexpr size_t kSize = 192 * 1024;
+  asbase::Rng rng(GetParam() * 7919);
+  std::vector<uint8_t> data(kSize);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+
+  auto listener = server_stack.Listen(8080);
+  ASSERT_TRUE(listener.ok());
+  std::vector<uint8_t> got(kSize);
+  std::thread server_thread([&] {
+    auto connection = (*listener)->Accept(std::chrono::seconds(30));
+    ASSERT_TRUE(connection.ok());
+    ASSERT_EQ(*(*connection)->RecvAll(got), kSize);
+    ASSERT_TRUE((*connection)->Send(Bytes("done")).ok());
+    (*connection)->Close();
+  });
+
+  auto connection = client_stack.Connect(server_stack.addr(), 8080,
+                                         std::chrono::seconds(30));
+  ASSERT_TRUE(connection.ok());
+  ASSERT_TRUE((*connection)->Send(data).ok());
+  uint8_t ack[8];
+  auto n = (*connection)->Recv(ack);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(ack, ack + *n), "done");
+  server_thread.join();
+
+  EXPECT_EQ(got, data);
+  const auto stats = client_stack.stats();
+  EXPECT_GT(stats.retransmissions, 0u)
+      << "a 5% loss link must trigger retransmissions";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyTcpTest, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace asnet

@@ -1,0 +1,362 @@
+// Tests for the AsVM assembler and interpreter (both execution modes).
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/vm/assembler.h"
+#include "src/vm/vm.h"
+
+namespace asvm {
+namespace {
+
+HostTable EmptyHost() { return HostTable{}; }
+
+int64_t MustRun(const std::string& body, VmMode mode = VmMode::kAot) {
+  HostTable host = EmptyHost();
+  auto result = RunSource(".func main\n" + body + "\n.end\n", host, mode);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value_or(-999);
+}
+
+// ---------------------------------------------------------------- assembler
+
+TEST(AssemblerTest, RejectsGarbage) {
+  EXPECT_FALSE(Assemble("bogus").ok());
+  EXPECT_FALSE(Assemble(".func main\n frobnicate\n.end").ok());
+  EXPECT_FALSE(Assemble(".func main\n push 1\n").ok());  // missing .end
+  EXPECT_FALSE(Assemble(".func f\n halt\n.end").ok());   // no main
+  EXPECT_FALSE(Assemble(".func main\n jmp nowhere\n.end").ok());
+  EXPECT_FALSE(Assemble(".func main\n call nothing\n.end").ok());
+  EXPECT_FALSE(
+      Assemble(".func main\n halt\n.end\n.func main\n halt\n.end").ok());
+}
+
+TEST(AssemblerTest, DataSegments) {
+  auto module = Assemble(R"(
+    .pages 2
+    .data 100 "hi\n"
+    .data 200 de ad be ef
+    .func main
+      push 100
+      load8
+      halt
+    .end
+  )");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_EQ(module->initial_pages, 2u);
+  ASSERT_EQ(module->data.size(), 2u);
+  EXPECT_EQ(module->data[0].bytes,
+            (std::vector<uint8_t>{'h', 'i', '\n'}));
+  EXPECT_EQ(module->data[1].bytes,
+            (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+
+  HostTable host;
+  Vm vm(&*module, &host);
+  EXPECT_EQ(*vm.Run(), 'h');
+}
+
+TEST(AssemblerTest, ImageBytesCountsCodeAndData) {
+  auto module = Assemble(
+      ".data 0 01 02 03\n.func main\n push 1\n halt\n.end\n");
+  ASSERT_TRUE(module.ok());
+  EXPECT_GT(module->ImageBytes(), 3u);
+}
+
+// --------------------------------------------------------------- execution
+
+TEST(VmTest, ArithmeticBasics) {
+  EXPECT_EQ(MustRun("push 2\npush 3\nadd\nhalt"), 5);
+  EXPECT_EQ(MustRun("push 10\npush 3\nsub\nhalt"), 7);
+  EXPECT_EQ(MustRun("push 6\npush 7\nmul\nhalt"), 42);
+  EXPECT_EQ(MustRun("push -7\npush 2\ndiv_s\nhalt"), -3);
+  EXPECT_EQ(MustRun("push 17\npush 5\nrem_s\nhalt"), 2);
+  EXPECT_EQ(MustRun("push 12\npush 10\nxor\nhalt"), 6);
+  EXPECT_EQ(MustRun("push 1\npush 62\nshl\nhalt"), int64_t{1} << 62);
+  EXPECT_EQ(MustRun("push -8\npush 1\nshr_s\nhalt"), -4);
+}
+
+TEST(VmTest, Comparisons) {
+  EXPECT_EQ(MustRun("push 3\npush 4\nlt_s\nhalt"), 1);
+  EXPECT_EQ(MustRun("push 4\npush 4\nlt_s\nhalt"), 0);
+  EXPECT_EQ(MustRun("push 4\npush 4\nle_s\nhalt"), 1);
+  EXPECT_EQ(MustRun("push 0\neqz\nhalt"), 1);
+  EXPECT_EQ(MustRun("push 5\neqz\nhalt"), 0);
+}
+
+TEST(VmTest, LocalsAndControlFlow) {
+  // Sum 1..10 with a loop.
+  const std::string source = R"(
+    .func main locals=2
+      push 0
+      local.set 0      # acc
+      push 10
+      local.set 1      # i
+    loop:
+      local.get 1
+      jz done
+      local.get 0
+      local.get 1
+      add
+      local.set 0
+      local.get 1
+      push 1
+      sub
+      local.set 1
+      jmp loop
+    done:
+      local.get 0
+      halt
+    .end
+  )";
+  HostTable host;
+  EXPECT_EQ(*RunSource(source, host), 55);
+}
+
+TEST(VmTest, FunctionCallsWithParams) {
+  const std::string source = R"(
+    .func main
+      push 9
+      push 16
+      call add2
+      halt
+    .end
+    .func add2 params=2
+      local.get 0
+      local.get 1
+      add
+      ret
+    .end
+  )";
+  HostTable host;
+  EXPECT_EQ(*RunSource(source, host), 25);
+}
+
+TEST(VmTest, RecursionFibonacci) {
+  const std::string source = R"(
+    .func main
+      push 15
+      call fib
+      halt
+    .end
+    .func fib params=1
+      local.get 0
+      push 2
+      lt_s
+      jz recurse
+      local.get 0
+      ret
+    recurse:
+      local.get 0
+      push 1
+      sub
+      call fib
+      local.get 0
+      push 2
+      sub
+      call fib
+      add
+      ret
+    .end
+  )";
+  HostTable host;
+  EXPECT_EQ(*RunSource(source, host), 610);
+}
+
+TEST(VmTest, MemoryRoundTrip) {
+  EXPECT_EQ(MustRun("push 512\npush 7777\nstore64\npush 512\nload64\nhalt"),
+            7777);
+  EXPECT_EQ(MustRun("push 64\npush 200\nstore8\npush 64\nload8\nhalt"), 200);
+}
+
+TEST(VmTest, MemGrow) {
+  EXPECT_EQ(MustRun("memsize\nhalt"), 16);
+  EXPECT_EQ(MustRun("push 4\nmemgrow\nhalt"), 16);
+  EXPECT_EQ(MustRun("push 4\nmemgrow\ndrop\nmemsize\nhalt"), 20);
+  EXPECT_EQ(MustRun("push 100000\nmemgrow\nhalt"), -1);
+}
+
+// --------------------------------------------------------------- traps
+
+TEST(VmTrapTest, DivisionByZeroTraps) {
+  HostTable host;
+  auto result = RunSource(".func main\npush 1\npush 0\ndiv_s\nhalt\n.end", host);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(VmTrapTest, OutOfBoundsLoadTraps) {
+  HostTable host;
+  auto result = RunSource(
+      ".func main\npush 99999999\nload64\nhalt\n.end", host);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(VmTrapTest, StackUnderflowTraps) {
+  HostTable host;
+  EXPECT_FALSE(RunSource(".func main\nadd\nhalt\n.end", host).ok());
+  EXPECT_FALSE(RunSource(".func main\ndrop\nhalt\n.end", host).ok());
+}
+
+TEST(VmTrapTest, InfiniteRecursionTraps) {
+  HostTable host;
+  auto result = RunSource(R"(
+    .func main
+      call spin
+      halt
+    .end
+    .func spin
+      call spin
+      ret
+    .end
+  )", host);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(VmTrapTest, FuelLimitsRunawayLoops) {
+  auto module = Assemble(R"(
+    .func main
+    forever:
+      jmp forever
+    .end
+  )");
+  ASSERT_TRUE(module.ok());
+  HostTable host;
+  Vm vm(&*module, &host);
+  vm.set_fuel(10000);
+  EXPECT_FALSE(vm.Run().ok());
+  EXPECT_LE(vm.steps_executed(), 10001u);
+}
+
+TEST(VmTrapTest, UnresolvedHostcallTraps) {
+  HostTable host;  // empty: nothing resolves
+  auto result =
+      RunSource(".func main\nhost no_such_call\nhalt\n.end", host);
+  EXPECT_FALSE(result.ok());
+}
+
+// --------------------------------------------------------------- hostcalls
+
+TEST(VmHostTest, HostcallReceivesArgsAndMemory) {
+  HostTable host;
+  int64_t seen_a = 0, seen_b = 0;
+  std::string seen_text;
+  host.Register("print", 2,
+                [&](Vm& vm, std::span<const int64_t> args)
+                    -> asbase::Result<int64_t> {
+                  seen_a = args[0];
+                  seen_b = args[1];
+                  AS_ASSIGN_OR_RETURN(
+                      seen_text,
+                      vm.ReadGuestString(static_cast<uint64_t>(args[0]),
+                                         static_cast<uint64_t>(args[1])));
+                  return 1234;
+                });
+  const std::string source = R"(
+    .data 300 "hola"
+    .func main
+      push 300
+      push 4
+      host print
+      halt
+    .end
+  )";
+  EXPECT_EQ(*RunSource(source, host), 1234);
+  EXPECT_EQ(seen_a, 300);
+  EXPECT_EQ(seen_b, 4);
+  EXPECT_EQ(seen_text, "hola");
+}
+
+int64_t MustRunWithHost(const std::string& body, const HostTable& host) {
+  auto result = RunSource(".func main\n" + body + "\n.end\n", host);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value_or(-999);
+}
+
+TEST(VmHostTest, HostcallCanWriteGuestMemory) {
+  HostTable host;
+  host.Register("fill", 1,
+                [&](Vm& vm, std::span<const int64_t> args)
+                    -> asbase::Result<int64_t> {
+                  const uint8_t data[3] = {7, 8, 9};
+                  AS_RETURN_IF_ERROR(vm.WriteGuestBytes(
+                      static_cast<uint64_t>(args[0]), data));
+                  return 0;
+                });
+  EXPECT_EQ(MustRunWithHost(
+                "push 800\nhost fill\ndrop\npush 801\nload8\nhalt", host),
+            8);
+}
+
+// --------------------------------------------------------------- modes
+
+// Property: both execution modes compute identical results on random
+// arithmetic programs; boxed mode is slower.
+class VmModeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmModeTest, BoxedModeMatchesAotMode) {
+  asbase::Rng rng(GetParam());
+  // Random straight-line arithmetic on an accumulator seeded with pushes.
+  std::string body = "push " + std::to_string(rng.Range(1, 1000)) + "\n";
+  const char* ops[] = {"add", "sub", "mul", "xor", "or", "and"};
+  for (int i = 0; i < 60; ++i) {
+    body += "push " + std::to_string(rng.Range(1, 1 << 20)) + "\n";
+    body += std::string(ops[rng.Below(6)]) + "\n";
+  }
+  body += "halt";
+  const int64_t aot = MustRun(body, VmMode::kAot);
+  const int64_t boxed = MustRun(body, VmMode::kBoxed);
+  EXPECT_EQ(aot, boxed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmModeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(VmModeTest, BoxedModeIsSlower) {
+  // Tight loop, identical in both modes.
+  const std::string source = R"(
+    .func main locals=1
+      push 300000
+      local.set 0
+    loop:
+      local.get 0
+      jz done
+      local.get 0
+      push 1
+      sub
+      local.set 0
+      jmp loop
+    done:
+      push 0
+      halt
+    .end
+  )";
+  auto module = Assemble(source);
+  ASSERT_TRUE(module.ok());
+  HostTable host;
+
+  int64_t aot_nanos = 0, boxed_nanos = 0;
+  {
+    Vm vm(&*module, &host, VmMode::kAot);
+    asbase::ScopedTimer timer(&aot_nanos);
+    ASSERT_TRUE(vm.Run().ok());
+  }
+  {
+    Vm vm(&*module, &host, VmMode::kBoxed);
+    asbase::ScopedTimer timer(&boxed_nanos);
+    ASSERT_TRUE(vm.Run().ok());
+  }
+  EXPECT_GT(boxed_nanos, aot_nanos)
+      << "boxed (python-model) mode must cost more than AOT mode";
+}
+
+TEST(VmTest, StepCountTracksWork) {
+  auto module = Assemble(".func main\npush 1\npush 2\nadd\nhalt\n.end");
+  ASSERT_TRUE(module.ok());
+  HostTable host;
+  Vm vm(&*module, &host);
+  ASSERT_TRUE(vm.Run().ok());
+  EXPECT_EQ(vm.steps_executed(), 4u);
+}
+
+}  // namespace
+}  // namespace asvm
