@@ -8,6 +8,24 @@
 
 #include "bench/bench_util.h"
 #include "src/baselines/transports.h"
+#include "src/mpk/pkey_runtime.h"
+
+namespace {
+
+// One MPK domain switch (the §3.3 trampoline cost AS pays per LibOS entry).
+// Emulated backend: the calibrated WRPKRU price, same as every AS-IFI run.
+int64_t MeasureDomainSwitchNanos() {
+  asmpk::PkeyRuntime runtime(asmpk::MpkBackend::kEmulated);
+  constexpr int kSwitches = 20000;
+  const int64_t start = asbase::MonoNanos();
+  for (int i = 0; i < kSwitches / 2; ++i) {
+    runtime.WritePkru(asmpk::PkeyRuntime::kDenyAll);
+    runtime.WritePkru(0);
+  }
+  return (asbase::MonoNanos() - start) / kSwitches;
+}
+
+}  // namespace
 
 int main() {
   using namespace asbench;
@@ -27,17 +45,32 @@ int main() {
   }
   std::printf("\n-----------------------------------------------------------------------------\n");
 
+  std::map<std::string, asbase::Histogram> series;
   for (auto kind : kinds) {
     std::printf("%-20s", asbl::TransportKindName(kind));
     for (size_t size : sizes) {
-      const int64_t nanos = MedianNanos([&]() -> int64_t {
+      asbase::Histogram hist = SampleNanos([&]() -> int64_t {
         auto measured = asbl::MeasureTransfer(kind, size);
         return measured.ok() ? *measured : 0;
       });
-      std::printf(" %12s", Ms(nanos).c_str());
+      std::printf(" %12s", Ms(hist.Percentile(0.5)).c_str());
+      series[std::string(asbl::TransportKindName(kind)) + "/" +
+             asbase::FormatBytes(size)] = std::move(hist);
     }
     std::printf("\n");
   }
+
+  // Domain-switch primitive: payload-independent, printed once. The obs
+  // instrumentation budget (<3% on this row) is tracked in CHANGES.md.
+  asbase::Histogram switch_hist;
+  for (int i = 0; i < kIterations; ++i) {
+    switch_hist.Record(MeasureDomainSwitchNanos());
+  }
+  std::printf("%-20s %12s  (per switch, emulated backend)\n", "domain-switch",
+              Ms(switch_hist.Percentile(0.5)).c_str());
+  series["domain-switch"] = switch_hist;
+
+  WriteBenchJson("fig03", series);
 
   std::printf(
       "\npaper shape: function-call beats the kernel-mediated primitives by\n"

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fcntl.h>
+#include <map>
 #include <sys/stat.h>
 #include <string>
 #include <unistd.h>
@@ -51,6 +52,42 @@ int64_t MedianNanos(Fn&& fn) {
     samples.push_back(fn());
   }
   return MedianOf(std::move(samples));
+}
+
+// Runs `fn` kIterations times and keeps every sample (for BENCH_*.json).
+template <typename Fn>
+asbase::Histogram SampleNanos(Fn&& fn) {
+  asbase::Histogram hist;
+  for (int i = 0; i < kIterations; ++i) {
+    hist.Record(fn());
+  }
+  return hist;
+}
+
+// Machine-readable results next to the table: BENCH_<id>.json maps series
+// name -> Histogram::ToJson() (count/min/mean/p50/p99/p999/max), the same
+// stats shape the /metrics summary quantiles are computed from.
+inline void WriteBenchJson(
+    const std::string& id,
+    const std::map<std::string, asbase::Histogram>& series) {
+  asbase::Json doc;
+  doc.Set("bench", id);
+  doc.Set("scale", asbase::SimCostModel::Global().scale);
+  asbase::Json series_json{asbase::JsonObject{}};
+  for (const auto& [name, hist] : series) {
+    series_json.Set(name, hist.ToJson());
+  }
+  doc.Set("series", std::move(series_json));
+  const std::string path = "BENCH_" + id + ".json";
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string text = doc.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("results written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
 }
 
 inline std::string Ms(int64_t nanos) { return asbase::FormatNanos(nanos); }

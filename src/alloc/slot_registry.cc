@@ -1,5 +1,7 @@
 #include "src/alloc/slot_registry.h"
 
+#include "src/obs/metrics.h"
+
 namespace asalloc {
 
 asbase::Status SlotRegistry::Register(const std::string& slot,
@@ -9,6 +11,9 @@ asbase::Status SlotRegistry::Register(const std::string& slot,
   if (!inserted) {
     return asbase::AlreadyExists("slot '" + slot + "' already holds a buffer");
   }
+  asobs::Registry::Global()
+      .GetCounter("alloy_asbuffer_bytes_total", {{"op", "register"}})
+      .Add(record.size);
   return asbase::OkStatus();
 }
 
@@ -26,6 +31,12 @@ asbase::Result<BufferRecord> SlotRegistry::Acquire(const std::string& slot,
   }
   BufferRecord record = it->second;
   slots_.erase(it);
+  asobs::Registry::Global()
+      .GetCounter("alloy_asbuffer_bytes_total", {{"op", "acquire"}})
+      .Add(record.size);
+  asobs::Registry::Global()
+      .GetHistogram("alloy_asbuffer_transfer_bytes", {{"mode", "reference"}})
+      .Record(static_cast<int64_t>(record.size));
   return record;
 }
 

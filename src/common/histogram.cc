@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/common/json.h"
+
 namespace asbase {
 
 void Histogram::Record(int64_t value_nanos) {
@@ -69,6 +71,18 @@ std::string Histogram::Summary() const {
                 FormatNanos(Percentile(0.99)).c_str(),
                 FormatNanos(max()).c_str());
   return buf;
+}
+
+Json Histogram::ToJson() const {
+  Json out;
+  out.Set("count", static_cast<int64_t>(count()));
+  out.Set("min", min());
+  out.Set("mean", mean());
+  out.Set("p50", Percentile(0.5));
+  out.Set("p99", Percentile(0.99));
+  out.Set("p999", Percentile(0.999));
+  out.Set("max", max());
+  return out;
 }
 
 void Histogram::Merge(const Histogram& other) {

@@ -11,6 +11,8 @@
 
 namespace asbase {
 
+class Json;
+
 class Histogram {
  public:
   void Record(int64_t value_nanos);
@@ -25,6 +27,10 @@ class Histogram {
 
   // "n=100 mean=1.23ms p50=1.1ms p99=4.2ms"
   std::string Summary() const;
+
+  // {"count","min","mean","p50","p99","p999","max"} — the one stats shape
+  // shared by BENCH_*.json emission and the /metrics summary quantiles.
+  Json ToJson() const;
 
   void Clear() { samples_.clear(); sorted_ = true; }
 

@@ -1,16 +1,57 @@
 #include "src/common/logging.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <mutex>
+#include <string>
+#include <thread>
 
 namespace asbase {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_log_mutex;
+
+// Default level, overridable by ALLOY_LOG_LEVEL before any explicit
+// SetLogLevel call. Parsed once, on the first logging-API use.
+int InitialLevel() {
+  const char* env = std::getenv("ALLOY_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::isdigit(static_cast<unsigned char>(env[0]))) {
+    int value = std::atoi(env);
+    if (value >= static_cast<int>(LogLevel::kTrace) &&
+        value <= static_cast<int>(LogLevel::kFatal)) {
+      return value;
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  std::string name;
+  for (const char* c = env; *c != '\0'; ++c) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*c)));
+  }
+  if (name == "trace") return static_cast<int>(LogLevel::kTrace);
+  if (name == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (name == "info") return static_cast<int>(LogLevel::kInfo);
+  if (name == "warn" || name == "warning")
+    return static_cast<int>(LogLevel::kWarn);
+  if (name == "error") return static_cast<int>(LogLevel::kError);
+  if (name == "fatal") return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& Level() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -32,12 +73,26 @@ const char* LevelTag(LogLevel level) {
 
 }  // namespace
 
+uint64_t ThreadId() {
+  static thread_local uint64_t tid = [] {
+#if defined(SYS_gettid)
+    long id = syscall(SYS_gettid);
+    if (id > 0) {
+      return static_cast<uint64_t>(id);
+    }
+#endif
+    return static_cast<uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  }();
+  return tid;
+}
+
 void SetLogLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  Level().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(Level().load(std::memory_order_relaxed));
 }
 
 void LogMessage(LogLevel level, std::string_view file, int line,
@@ -51,9 +106,10 @@ void LogMessage(LogLevel level, std::string_view file, int line,
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %10lld.%06llds %.*s:%d] %.*s\n", LevelTag(level),
-               static_cast<long long>(now / 1000000),
+  std::fprintf(stderr, "[%s %10lld.%06llds t%llu %.*s:%d] %.*s\n",
+               LevelTag(level), static_cast<long long>(now / 1000000),
                static_cast<long long>(now % 1000000),
+               static_cast<unsigned long long>(ThreadId()),
                static_cast<int>(file.size()), file.data(), line,
                static_cast<int>(message.size()), message.data());
 }

@@ -2,15 +2,21 @@
 //
 // Logging goes to stderr so benchmark/table output on stdout stays parseable.
 // The level is process-global and defaults to kWarn so benches stay quiet;
-// tests and examples raise it explicitly.
+// the `ALLOY_LOG_LEVEL` env var ("trace".."fatal" or 0..5, read on first
+// use) overrides the default, and SetLogLevel overrides both.
 
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
 namespace asbase {
+
+// Kernel thread id of the calling thread (cached per thread). Logging tags
+// every line with it; the obs trace layer uses it as the Chrome `tid`.
+uint64_t ThreadId();
 
 enum class LogLevel : int {
   kTrace = 0,

@@ -7,6 +7,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace alloy {
 
@@ -35,7 +37,12 @@ const char* ModuleKindName(ModuleKind kind) {
 Libos::Libos(Options options) : options_(std::move(options)) {
   if (options_.load_all) {
     // AS-load-all: instantiate every module at boot, like a conventional
-    // LibOS image that links everything in.
+    // LibOS image that links everything in. Boot loads are not lazy loads:
+    // suppress the per-module trace spans (the whole boot is covered by the
+    // caller's wfd_create span) so a load-all invocation shows no
+    // module_load children.
+    asobs::Trace* trace = options_.trace;
+    options_.trace = nullptr;
     for (int i = 0; i < kNumModuleKinds; ++i) {
       const auto kind = static_cast<ModuleKind>(i);
       if (kind == (options_.use_ramfs ? ModuleKind::kFatfs
@@ -51,6 +58,7 @@ Libos::Libos(Options options) : options_(std::move(options)) {
                       << " failed: " << status.ToString();
       }
     }
+    options_.trace = trace;
   }
 }
 
@@ -64,12 +72,22 @@ bool Libos::IsLoaded(ModuleKind kind) const {
 
 asbase::Status Libos::EnsureLoaded(ModuleKind kind) {
   if (IsLoaded(kind)) {
-    return asbase::OkStatus();  // fast path: entry already bound
+    // Fast path: entry already bound (Figure 7b's warm hit).
+    asobs::Registry::Global()
+        .GetCounter("alloy_libos_module_hits_total")
+        .Add(1);
+    return asbase::OkStatus();
   }
   // Slow path (Figure 7a): route through the loader under the load lock.
   std::lock_guard<std::mutex> lock(load_mutex_);
   if (IsLoaded(kind)) {
     return asbase::OkStatus();
+  }
+  asobs::Span span;
+  if (options_.trace != nullptr) {
+    span = options_.trace->StartSpan(
+        std::string("module_load:") + ModuleKindName(kind), "libos",
+        options_.trace_parent);
   }
   int64_t nanos = 0;
   asbase::Status status;
@@ -77,6 +95,13 @@ asbase::Status Libos::EnsureLoaded(ModuleKind kind) {
     asbase::ScopedTimer timer(&nanos);
     status = LoadLocked(kind);
   }
+  asobs::Registry::Global()
+      .GetCounter("alloy_libos_module_loads_total",
+                  {{"module", ModuleKindName(kind)}})
+      .Add(1);
+  asobs::Registry::Global()
+      .GetHistogram("alloy_libos_module_load_nanos")
+      .Record(nanos);
   if (status.ok()) {
     load_nanos_[static_cast<size_t>(kind)] = nanos;
     loaded_[static_cast<size_t>(kind)].store(true, std::memory_order_release);

@@ -35,6 +35,10 @@
 #include "src/mpk/pkey_runtime.h"
 #include "src/netstack/stack.h"
 
+namespace asobs {
+class Trace;
+}
+
 namespace alloy {
 
 class Libos {
@@ -57,6 +61,10 @@ class Libos {
     // MPK runtime + key protecting the user heap; may be null in tests.
     asmpk::PkeyRuntime* mpk = nullptr;
     asmpk::ProtKey heap_key = 0;
+    // Invocation trace to attach module_load spans to (may be null). The
+    // libos does not take ownership; the trace must outlive the WFD.
+    asobs::Trace* trace = nullptr;
+    uint32_t trace_parent = 0;
   };
 
   explicit Libos(Options options);

@@ -4,6 +4,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace alloy {
 
@@ -116,10 +117,18 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
   const uint64_t switches_before = wfd_->mpk().switch_count();
 
   AsStd as(wfd_);
+  asobs::Trace* trace = wfd_->options().trace;
+  const uint32_t trace_parent = wfd_->options().trace_parent;
 
   for (size_t stage_index = 0; stage_index < workflow.stages.size();
        ++stage_index) {
     const StageSpec& stage = workflow.stages[stage_index];
+    asobs::Span stage_span;
+    if (trace != nullptr) {
+      stage_span = trace->StartSpan("stage:" + std::to_string(stage_index),
+                                    "orchestrator", trace_parent);
+    }
+    const uint32_t stage_span_id = stage_span.id();
 
     struct InstanceRun {
       FunctionContext context;
@@ -142,8 +151,16 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
         runs.push_back(std::move(run));
 
         const int max_retries = fn_spec.max_retries;
-        threads.emplace_back([this, run_ptr, fn, max_retries,
+        threads.emplace_back([this, run_ptr, fn, max_retries, trace,
+                              stage_span_id, instance,
                               fn_name = fn_spec.name] {
+          // Started on the instance thread so the span carries its real tid.
+          asobs::Span fn_span;
+          if (trace != nullptr) {
+            fn_span = trace->StartSpan(
+                fn_name + "#" + std::to_string(instance), "function",
+                stage_span_id);
+          }
           auto fn_key = wfd_->RegisterFunctionInstance(fn_name);
           const uint32_t user_pkru =
               wfd_->UserPkru(fn_key.ok() ? *fn_key : wfd_->user_key());

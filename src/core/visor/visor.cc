@@ -2,8 +2,52 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace alloy {
+namespace {
+
+// Query-string value for `key` in an HTTP target ("/trace?workflow=x").
+std::string QueryParam(const std::string& target, const std::string& key) {
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    return "";
+  }
+  std::string query = target.substr(question + 1);
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+asbase::Json SummarizeTrace(const asobs::Trace& trace) {
+  asbase::Json summary;
+  summary.Set("workflow", trace.workflow());
+  asbase::Json spans{asbase::JsonArray{}};
+  for (const asobs::SpanRecord& record : trace.Spans()) {
+    asbase::Json span;
+    span.Set("id", static_cast<int64_t>(record.id));
+    span.Set("parent", static_cast<int64_t>(record.parent));
+    span.Set("name", record.name);
+    span.Set("category", record.category);
+    span.Set("dur_nanos", record.duration_nanos);
+    spans.Append(std::move(span));
+  }
+  summary.Set("spans", std::move(spans));
+  return summary;
+}
+
+}  // namespace
 
 AsVisor::~AsVisor() { StopWatchdog(); }
 
@@ -57,26 +101,70 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
   const int64_t received_at = asbase::MonoNanos();
   InvokeResult result;
 
+  asobs::Registry& registry = asobs::Registry::Global();
+  const asobs::Labels workflow_labels = {{"workflow", workflow_name}};
+  registry.GetCounter("alloy_visor_invocations_total", workflow_labels)
+      .Add(1);
+  auto fail = [&](asbase::Status status) {
+    asobs::Registry::Global()
+        .GetCounter("alloy_visor_invocation_failures_total",
+                    {{"workflow", workflow_name}})
+        .Add(1);
+    return status;
+  };
+
+  // The trace outlives the WFD (which holds a raw pointer to it) and is then
+  // retained in the per-workflow ring for /trace.
+  auto trace = std::make_shared<asobs::Trace>(workflow_name);
+  asobs::Span root = trace->StartSpan("invoke", "visor");
+  root.SetArg("workflow", workflow_name);
+  wfd_options.trace = trace.get();
+  wfd_options.trace_parent = root.id();
+
   // Step 1 (Fig 4): instantiate the WFD for this invocation.
-  AS_ASSIGN_OR_RETURN(std::unique_ptr<Wfd> wfd, Wfd::Create(wfd_options));
+  asobs::Span create_span = trace->StartSpan("wfd_create", "visor", root.id());
+  auto wfd_or = Wfd::Create(wfd_options);
+  create_span.End();
+  if (!wfd_or.ok()) {
+    return fail(wfd_or.status());
+  }
+  std::unique_ptr<Wfd> wfd = std::move(*wfd_or);
   result.wfd_create_nanos = wfd->creation_nanos();
 
   // Steps 2-6: run the workflow; modules load on demand inside.
   Orchestrator orchestrator(wfd.get());
-  AS_ASSIGN_OR_RETURN(result.run, orchestrator.Run(spec, params));
+  auto run_or = orchestrator.Run(spec, params);
+  if (!run_or.ok()) {
+    return fail(run_or.status());
+  }
+  result.run = std::move(*run_or);
 
   result.module_load_nanos = wfd->libos().TotalLoadNanos();
   result.cold_start_nanos = result.wfd_create_nanos + result.module_load_nanos;
   result.modules_loaded = wfd->libos().LoadedModules();
   result.resident_bytes = wfd->ResidentBytes();
-  result.end_to_end_nanos = asbase::MonoNanos() - received_at;
 
-  // Step 7: destroy the WFD and reclaim resources (wfd goes out of scope).
+  // Step 7: destroy the WFD and reclaim resources. Explicit here so the
+  // root span (and end_to_end_nanos) covers reclaim, and so no code touches
+  // the trace through the WFD's pointer after the span set is finalized.
+  wfd.reset();
+  result.end_to_end_nanos = asbase::MonoNanos() - received_at;
+  root.End();
+
+  registry.GetHistogram("alloy_visor_invoke_nanos", workflow_labels)
+      .Record(result.end_to_end_nanos);
+  result.trace = trace;
+  result.span_summary = SummarizeTrace(*trace);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
     if (it != workflows_.end()) {
       it->second.latency.Record(result.end_to_end_nanos);
+      it->second.traces.push_back(trace);
+      while (it->second.traces.size() > kTraceRing) {
+        it->second.traces.pop_front();
+      }
     }
   }
   return result;
@@ -99,6 +187,13 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port) {
         if (request.method == "GET" && request.target == "/health") {
           response.body = "ok";
           return response;
+        }
+        if (request.method == "GET" && request.target == "/metrics") {
+          return ServeMetrics();
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/trace", 0) == 0) {
+          return ServeTrace(request.target);
         }
         const std::string prefix = "/invoke/";
         if (request.method != "POST" ||
@@ -140,6 +235,52 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port) {
         return response;
       });
   return watchdog_->Start(port);
+}
+
+ashttp::HttpResponse AsVisor::ServeMetrics() const {
+  ashttp::HttpResponse response;
+  response.headers["content-type"] = "text/plain; version=0.0.4";
+  response.body = asobs::Registry::Global().RenderPrometheus();
+  return response;
+}
+
+ashttp::HttpResponse AsVisor::ServeTrace(const std::string& target) const {
+  ashttp::HttpResponse response;
+  const std::string workflow = QueryParam(target, "workflow");
+  std::deque<std::shared_ptr<const asobs::Trace>> traces;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workflow.empty()) {
+      response.status = 400;
+      response.reason = "Bad Request";
+      std::string names;
+      for (const auto& [name, entry] : workflows_) {
+        names += names.empty() ? name : ", " + name;
+      }
+      response.body = "usage: /trace?workflow=<name>; registered: " + names;
+      return response;
+    }
+    auto it = workflows_.find(workflow);
+    if (it == workflows_.end()) {
+      response.status = 404;
+      response.reason = "Not Found";
+      response.body = "no workflow named '" + workflow + "'";
+      return response;
+    }
+    traces = it->second.traces;
+  }
+  // One Chrome "process" per retained invocation, newest = highest pid.
+  asbase::Json events{asbase::JsonArray{}};
+  int pid = 1;
+  for (const auto& trace : traces) {
+    trace->AppendChromeEvents(events.array(), pid++);
+  }
+  asbase::Json doc;
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("traceEvents", std::move(events));
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
 }
 
 uint16_t AsVisor::watchdog_port() const {

@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_VISOR_VISOR_H_
 #define SRC_CORE_VISOR_VISOR_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,7 @@
 #include "src/common/histogram.h"
 #include "src/core/visor/orchestrator.h"
 #include "src/http/http.h"
+#include "src/obs/trace.h"
 
 namespace alloy {
 
@@ -30,6 +32,10 @@ struct InvokeResult {
   int64_t end_to_end_nanos = 0;
   std::vector<ModuleKind> modules_loaded;
   size_t resident_bytes = 0;
+  // Spans recorded during this invocation (root "invoke" span + children).
+  std::shared_ptr<const asobs::Trace> trace;
+  // Flat {"workflow", "spans":[{"name","category","parent","dur_nanos"}]}.
+  asbase::Json span_summary;
 };
 
 class AsVisor {
@@ -60,7 +66,10 @@ class AsVisor {
                                                 const asbase::Json& params);
 
   // Watchdog: POST /invoke/<workflow> with a JSON params body; responds with
-  // the run result and latency. GET /health answers "ok".
+  // the run result and latency. GET /health answers "ok". GET /metrics
+  // serves the process-wide registry in Prometheus text format; GET
+  // /trace?workflow=<name> serves the last invocations' spans as Chrome
+  // trace JSON (open in about:tracing or ui.perfetto.dev).
   asbase::Status StartWatchdog(uint16_t port = 0);
   uint16_t watchdog_port() const;
   void StopWatchdog();
@@ -69,12 +78,20 @@ class AsVisor {
   asbase::Result<asbase::Histogram> LatencyHistogram(
       const std::string& workflow_name) const;
 
+  // Trace ring depth per workflow served by /trace.
+  static constexpr size_t kTraceRing = 8;
+
  private:
   struct Entry {
     WorkflowSpec spec;
     WorkflowOptions options;
     asbase::Histogram latency;
+    // Last kTraceRing invocation traces, oldest first.
+    std::deque<std::shared_ptr<const asobs::Trace>> traces;
   };
+
+  ashttp::HttpResponse ServeMetrics() const;
+  ashttp::HttpResponse ServeTrace(const std::string& target) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> workflows_;

@@ -32,6 +32,8 @@ asbase::Result<std::unique_ptr<Wfd>> Wfd::Create(WfdOptions options) {
   libos_options.disk = options.disk;
   libos_options.mpk = wfd->mpk_.get();
   libos_options.heap_key = wfd->user_key_;
+  libos_options.trace = options.trace;
+  libos_options.trace_parent = options.trace_parent;
   wfd->libos_ = std::make_unique<Libos>(std::move(libos_options));
 
   wfd->creation_nanos_ = asbase::MonoNanos() - start;

@@ -47,6 +47,11 @@ struct WfdOptions {
   asblk::BlockDevice* disk = nullptr;
 
   asmpk::MpkBackend mpk_backend = asmpk::PkeyRuntime::DefaultBackend();
+
+  // Invocation trace to hang wfd/libos spans off (optional, not owned; must
+  // outlive the WFD). `trace_parent` is the span id to parent under.
+  asobs::Trace* trace = nullptr;
+  uint32_t trace_parent = 0;
 };
 
 class Wfd {

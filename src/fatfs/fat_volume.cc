@@ -5,9 +5,31 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace asfat {
 namespace {
+
+// File I/O counters, labeled fs="fat" (the ramfs keeps its own series).
+struct IoCounters {
+  asobs::Counter& read_ops;
+  asobs::Counter& read_bytes;
+  asobs::Counter& write_ops;
+  asobs::Counter& write_bytes;
+};
+
+IoCounters& FatIoCounters() {
+  const asobs::Labels labels = {{"fs", "fat"}};
+  static auto* counters = new IoCounters{
+      asobs::Registry::Global().GetCounter("alloy_fs_read_ops_total", labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_read_bytes_total",
+                                           labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_write_ops_total", labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_write_bytes_total",
+                                           labels),
+  };
+  return *counters;
+}
 
 constexpr size_t kSector = asblk::BlockDevice::kBlockSize;
 constexpr uint32_t kEntrySize = 32;
@@ -761,6 +783,8 @@ asbase::Result<size_t> FatVolume::Read(int handle, std::span<uint8_t> out) {
     done += chunk;
     file.offset += chunk;
   }
+  FatIoCounters().read_ops.Add(1);
+  FatIoCounters().read_bytes.Add(done);
   return done;
 }
 
@@ -836,6 +860,8 @@ asbase::Result<size_t> FatVolume::Write(int handle,
   if (done == 0) {
     return asbase::ResourceExhausted("filesystem full");
   }
+  FatIoCounters().write_ops.Add(1);
+  FatIoCounters().write_bytes.Add(done);
   return done;
 }
 

@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+
 namespace asfat {
+namespace {
+
+// File I/O counters, labeled fs="ram" (the FAT volume keeps its own series).
+struct IoCounters {
+  asobs::Counter& read_ops;
+  asobs::Counter& read_bytes;
+  asobs::Counter& write_ops;
+  asobs::Counter& write_bytes;
+};
+
+IoCounters& RamIoCounters() {
+  const asobs::Labels labels = {{"fs", "ram"}};
+  static auto* counters = new IoCounters{
+      asobs::Registry::Global().GetCounter("alloy_fs_read_ops_total", labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_read_bytes_total",
+                                           labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_write_ops_total", labels),
+      asobs::Registry::Global().GetCounter("alloy_fs_write_bytes_total",
+                                           labels),
+  };
+  return *counters;
+}
+
+}  // namespace
 
 RamFilesystem::RamFilesystem() { root_.is_directory = true; }
 
@@ -90,6 +116,8 @@ asbase::Result<size_t> RamFilesystem::Read(int handle,
   size_t n = std::min(out.size(), content.size() - file.offset);
   std::memcpy(out.data(), content.data() + file.offset, n);
   file.offset += n;
+  RamIoCounters().read_ops.Add(1);
+  RamIoCounters().read_bytes.Add(n);
   return n;
 }
 
@@ -113,6 +141,8 @@ asbase::Result<size_t> RamFilesystem::Write(int handle,
   }
   std::memcpy(content.data() + file.offset, data.data(), data.size());
   file.offset += data.size();
+  RamIoCounters().write_ops.Add(1);
+  RamIoCounters().write_bytes.Add(data.size());
   return data.size();
 }
 

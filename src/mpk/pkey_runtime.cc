@@ -4,8 +4,13 @@
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace asmpk {
 namespace {
@@ -48,6 +53,74 @@ int SysPkeyMprotect(void* addr, size_t len, int prot, int pkey) {
 #endif
 }
 
+// Domain-switch accounting for /metrics. WritePkru is the hottest path in
+// the repo (~25ns under kEmulated), so it records nothing extra: the
+// collector below aggregates, at scrape time, the switch_count_ each
+// runtime already keeps — live instances are walked, destroyed instances
+// fold their totals into `retired` from the destructor.
+struct MpkTelemetry {
+  std::mutex mutex;
+  std::vector<const PkeyRuntime*> live;
+  std::array<uint64_t, 3> retired_switches{};
+  std::array<uint64_t, 3> retired_nanos{};
+};
+
+MpkTelemetry& Telemetry() {
+  static auto* telemetry = new MpkTelemetry();
+  return *telemetry;
+}
+
+size_t BackendIndex(MpkBackend backend) {
+  return static_cast<size_t>(backend);
+}
+
+void CollectMpkMetrics(asobs::MetricEmitter& emitter) {
+  MpkTelemetry& telemetry = Telemetry();
+  std::array<uint64_t, 3> switches;
+  std::array<uint64_t, 3> nanos;
+  {
+    std::lock_guard<std::mutex> lock(telemetry.mutex);
+    switches = telemetry.retired_switches;
+    nanos = telemetry.retired_nanos;
+    for (const PkeyRuntime* runtime : telemetry.live) {
+      switches[BackendIndex(runtime->backend())] += runtime->switch_count();
+      nanos[BackendIndex(runtime->backend())] += runtime->switch_nanos();
+    }
+  }
+  for (MpkBackend backend : {MpkBackend::kHardware, MpkBackend::kMprotect,
+                             MpkBackend::kEmulated}) {
+    const asobs::Labels labels = {{"backend", MpkBackendName(backend)}};
+    emitter.Emit("alloy_mpk_domain_switches_total",
+                 asobs::MetricType::kCounter, labels,
+                 switches[BackendIndex(backend)]);
+    emitter.Emit("alloy_mpk_domain_switch_nanos_total",
+                 asobs::MetricType::kCounter, labels,
+                 nanos[BackendIndex(backend)]);
+  }
+}
+
+void RegisterTelemetry(const PkeyRuntime* runtime) {
+  static std::once_flag collector_once;
+  std::call_once(collector_once, [] {
+    asobs::Registry::Global().RegisterCollector(CollectMpkMetrics);
+  });
+  MpkTelemetry& telemetry = Telemetry();
+  std::lock_guard<std::mutex> lock(telemetry.mutex);
+  telemetry.live.push_back(runtime);
+}
+
+void RetireTelemetry(const PkeyRuntime* runtime) {
+  MpkTelemetry& telemetry = Telemetry();
+  std::lock_guard<std::mutex> lock(telemetry.mutex);
+  telemetry.live.erase(
+      std::remove(telemetry.live.begin(), telemetry.live.end(), runtime),
+      telemetry.live.end());
+  telemetry.retired_switches[BackendIndex(runtime->backend())] +=
+      runtime->switch_count();
+  telemetry.retired_nanos[BackendIndex(runtime->backend())] +=
+      runtime->switch_nanos();
+}
+
 }  // namespace
 
 const char* MpkBackendName(MpkBackend backend) {
@@ -83,9 +156,11 @@ PkeyRuntime::PkeyRuntime(MpkBackend backend) : backend_(backend) {
     AS_CHECK(HardwareAvailable())
         << "hardware MPK backend requested but pkey_alloc fails";
   }
+  RegisterTelemetry(this);
 }
 
 PkeyRuntime::~PkeyRuntime() {
+  RetireTelemetry(this);
   for (auto& [key, hw_key] : hw_keys_) {
     SysPkeyFree(hw_key);
   }
@@ -207,7 +282,17 @@ void PkeyRuntime::WritePkru(uint32_t pkru) {
   }
 }
 
+uint64_t PkeyRuntime::switch_nanos() const {
+  if (backend_ == MpkBackend::kMprotect) {
+    return measured_switch_nanos_.load(std::memory_order_relaxed);
+  }
+  return switch_count() *
+         static_cast<uint64_t>(asbase::SimCostModel::Global().Scaled(
+             asbase::SimCostModel::Global().wrpkru_nanos));
+}
+
 void PkeyRuntime::ApplyMprotect(uint32_t pkru) {
+  const int64_t sweep_start = asbase::MonoNanos();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [start, region] : regions_) {
     int prot;
@@ -221,6 +306,9 @@ void PkeyRuntime::ApplyMprotect(uint32_t pkru) {
     int rc = mprotect(reinterpret_cast<void*>(start), region.len, prot);
     AS_CHECK(rc == 0) << "mprotect enforcement failed";
   }
+  measured_switch_nanos_.fetch_add(
+      static_cast<uint64_t>(asbase::MonoNanos() - sweep_start),
+      std::memory_order_relaxed);
 }
 
 asbase::Status PkeyRuntime::CheckAccess(const void* addr, size_t len,

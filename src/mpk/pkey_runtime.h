@@ -112,6 +112,14 @@ class PkeyRuntime {
     return switch_count_.load(std::memory_order_relaxed);
   }
 
+  // Cumulative nanoseconds spent switching domains. Measured under
+  // kMprotect (the mprotect sweep dominates there); modeled as
+  // switch_count * the calibrated WRPKRU cost under kHardware/kEmulated —
+  // per-switch clock reads would cost more than the switch itself (ERIM's
+  // argument, and why the obs layer scrapes this instead of counting
+  // per-switch). Exported as alloy_mpk_domain_switch_nanos_total.
+  uint64_t switch_nanos() const;
+
  private:
   struct Region {
     size_t len;
@@ -127,6 +135,7 @@ class PkeyRuntime {
   uint16_t keys_in_use_ = 1;             // bit per key; key 0 reserved
   std::map<ProtKey, int> hw_keys_;       // our key -> kernel pkey
   std::atomic<uint64_t> switch_count_{0};
+  std::atomic<uint64_t> measured_switch_nanos_{0};  // kMprotect only
 };
 
 }  // namespace asmpk

@@ -5,6 +5,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace asnet {
 namespace {
@@ -13,6 +14,28 @@ namespace {
 // (Stored per-tcb as `data_base`; helper docs only.)
 
 constexpr std::chrono::nanoseconds kPollTick = std::chrono::milliseconds(1);
+
+// Process-wide packet counters (all stacks aggregate into one series; the
+// per-stack view stays in NetStack::Stats). Registry references are stable,
+// so resolve them once.
+struct NetCounters {
+  asobs::Counter& tx_packets;
+  asobs::Counter& tx_bytes;
+  asobs::Counter& rx_packets;
+  asobs::Counter& rx_bytes;
+  asobs::Counter& poll_iterations;
+};
+
+NetCounters& Counters() {
+  static auto* counters = new NetCounters{
+      asobs::Registry::Global().GetCounter("alloy_net_tx_packets_total"),
+      asobs::Registry::Global().GetCounter("alloy_net_tx_bytes_total"),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_packets_total"),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_bytes_total"),
+      asobs::Registry::Global().GetCounter("alloy_net_poll_iterations_total"),
+  };
+  return *counters;
+}
 
 }  // namespace
 
@@ -115,7 +138,7 @@ asbase::Result<int64_t> NetStack::Ping(Ipv4Addr dst,
   ip.src = addr();
   ip.dst = dst;
   ip.proto = IpProto::kIcmp;
-  port_->Send(BuildIpv4(ip, icmp));
+  Transmit(BuildIpv4(ip, icmp));
 
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -188,7 +211,7 @@ void NetStack::SendSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
   ip.src = addr();
   ip.dst = tcb.remote_ip;
   ip.proto = IpProto::kTcp;
-  port_->Send(BuildIpv4(ip, segment));
+  Transmit(BuildIpv4(ip, segment));
   ++stats_.segments_sent;
 }
 
@@ -206,7 +229,7 @@ void NetStack::SendRst(Ipv4Addr dst, uint16_t dst_port, uint16_t src_port,
   ip.src = addr();
   ip.dst = dst;
   ip.proto = IpProto::kTcp;
-  port_->Send(BuildIpv4(ip, segment));
+  Transmit(BuildIpv4(ip, segment));
   ++stats_.segments_sent;
 }
 
@@ -270,6 +293,7 @@ void NetStack::ArmTimerLocked(Tcb& tcb) {
 
 void NetStack::PollerLoop() {
   while (running_.load()) {
+    Counters().poll_iterations.Add(1);
     auto packet = port_->Receive(kPollTick);
     if (packet.has_value()) {
       HandlePacket(*packet);
@@ -283,7 +307,17 @@ void NetStack::PollerLoop() {
   }
 }
 
+void NetStack::Transmit(Packet frame) {
+  NetCounters& counters = Counters();
+  counters.tx_packets.Add(1);
+  counters.tx_bytes.Add(frame.size());
+  port_->Send(std::move(frame));
+}
+
 void NetStack::HandlePacket(const Packet& packet) {
+  NetCounters& counters = Counters();
+  counters.rx_packets.Add(1);
+  counters.rx_bytes.Add(packet.size());
   Ipv4Header ip;
   auto l4 = ParseIpv4(packet, &ip);
   if (!l4.ok()) {
@@ -510,7 +544,7 @@ void NetStack::HandleIcmp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
     out.src = addr();
     out.dst = ip.src;
     out.proto = IpProto::kIcmp;
-    port_->Send(BuildIpv4(out, reply));
+    Transmit(BuildIpv4(out, reply));
   } else if (type == 0) {  // echo reply
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = ping_waiters_.find(seq);
@@ -741,7 +775,7 @@ asbase::Status UdpSocket::SendTo(Ipv4Addr dst, uint16_t dst_port,
   ip.src = stack_->addr();
   ip.dst = dst;
   ip.proto = IpProto::kUdp;
-  stack_->port_->Send(BuildIpv4(ip, datagram));
+  stack_->Transmit(BuildIpv4(ip, datagram));
   return asbase::OkStatus();
 }
 

@@ -204,6 +204,8 @@ class NetStack {
   };
 
   void PollerLoop();
+  // Counts the frame into /metrics (alloy_net_tx_*) and hands it to the port.
+  void Transmit(Packet frame);
   void HandlePacket(const Packet& packet);
   void HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4);
   void HandleUdp(const Ipv4Header& ip, std::span<const uint8_t> l4);

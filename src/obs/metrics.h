@@ -1,0 +1,168 @@
+// asobs: process-global metrics for a live AsVisor (observability tentpole).
+//
+// The bench harness measures AlloyStack from the outside; this registry is
+// the inside view — counters and latency summaries the runtime updates on
+// its hot paths and the watchdog exports as Prometheus text (`GET /metrics`).
+//
+// Design rules, in order:
+//   1. Hot paths pay one relaxed atomic op, or nothing. Instrumented sites
+//      cache `Counter&` references (stable for the process lifetime) so the
+//      name/label lookup happens once. Paths too hot even for that (the MPK
+//      domain switch) register a *collector* instead: a callback that reads
+//      counters the subsystem already maintains, at scrape time only.
+//   2. Metric names follow `alloy_<subsystem>_<what>_<unit>` (DESIGN.md
+//      "Observability"). The standard families are declared up front so
+//      `/metrics` always shows the full schema, zero-valued or not.
+//   3. Exposition is deterministic (families and series sorted) so tests can
+//      golden-check it.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+
+namespace asobs {
+
+// Label set attached to one series, e.g. {{"backend", "emulated"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kSummary };
+
+// Monotonically increasing count. All ops are relaxed atomics.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value (resident bytes, live WFDs, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Thread-safe, windowed latency summary over asbase::Histogram.
+//
+// Memory is bounded by keeping two sample epochs: when the current epoch
+// fills up it becomes the previous one and recording starts fresh, so a
+// snapshot always covers between `window` and `2*window` recent samples.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(size_t window = 1u << 16) : window_(window) {}
+
+  void Record(int64_t value_nanos);
+  void Merge(const asbase::Histogram& other);
+
+  // Merged copy of both epochs (safe to query without further locking).
+  asbase::Histogram Snapshot() const;
+  asbase::Json ToJson() const { return Snapshot().ToJson(); }
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t window_;
+  asbase::Histogram current_;
+  asbase::Histogram previous_;
+};
+
+// Hands collector callbacks a way to contribute samples at scrape time.
+class MetricEmitter {
+ public:
+  void Emit(const std::string& name, MetricType type, const Labels& labels,
+            uint64_t value);
+
+ private:
+  friend class Registry;
+  struct Sample {
+    std::string name;
+    MetricType type;
+    Labels labels;
+    uint64_t value;
+  };
+  std::vector<Sample> samples_;
+};
+
+class Registry {
+ public:
+  Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry every runtime component reports into.
+  static Registry& Global();
+
+  // Lookup-or-create. The returned reference is stable for the lifetime of
+  // the registry; instrumented sites cache it. Type mismatches on an
+  // existing name abort (a metric name means one thing).
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {});
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const Labels& labels = {});
+
+  // Declares an (initially empty) family so its `# TYPE` line always shows
+  // in the exposition, even before the first series is created.
+  void DeclareFamily(const std::string& name, MetricType type);
+
+  // Scrape-time callback; emits samples computed from state the subsystem
+  // already keeps (zero hot-path cost). Runs on every RenderPrometheus().
+  void RegisterCollector(std::function<void(MetricEmitter&)> collector);
+
+  // Prometheus text exposition format 0.0.4.
+  std::string RenderPrometheus() const;
+
+  // Zeroes every series in place. Series objects and collectors survive, so
+  // the `Counter&` references instrumented sites cache stay valid. Tests
+  // only. (Collector-backed values reflect live subsystem state and are not
+  // zeroed here.)
+  void Reset();
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    // Keyed by serialized label set for deterministic output.
+    std::map<std::string, Series> series;
+  };
+
+  Family& FamilyLocked(const std::string& name, MetricType type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void(MetricEmitter&)>> collectors_;
+};
+
+// `{a="b",c="d"}` with Prometheus escaping; empty labels render as "".
+std::string SerializeLabels(const Labels& labels);
+
+}  // namespace asobs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/core/asstd/wasi.h"
+#include "src/obs/metrics.h"
 
 namespace aswl {
 namespace {
@@ -118,6 +119,9 @@ ExecEnv BindAlloyStackEnv(alloy::FunctionContext& context) {
           mkdir_status.code() != asbase::ErrorCode::kAlreadyExists) {
         return mkdir_status;
       }
+      asobs::Registry::Global()
+          .GetHistogram("alloy_asbuffer_transfer_bytes", {{"mode", "copy"}})
+          .Record(static_cast<int64_t>(buffer.data.size()));
       return as->WriteWholeFile("/xfer/" + slot,
                                 std::span<const uint8_t>(buffer.data));
     };

@@ -9,6 +9,8 @@
 #include <csignal>
 #include <sys/mman.h>
 
+#include <thread>
+
 #include "src/alloc/arena.h"
 #include "src/mpk/pkey_runtime.h"
 #include "src/mpk/trampoline.h"
@@ -178,7 +180,11 @@ INSTANTIATE_TEST_SUITE_P(Backends, PkeyRuntimeTest,
 // Genuine enforcement: under the mprotect backend, touching a denied region
 // faults for real.
 TEST(MprotectEnforcementDeathTest, DeniedReadFaults) {
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+#endif
   EXPECT_DEATH(
       {
         PkeyRuntime runtime(MpkBackend::kMprotect);
