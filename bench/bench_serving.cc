@@ -1,0 +1,328 @@
+// Serving-layer benchmark (DESIGN.md §8, EXPERIMENTS.md "serving"):
+//
+//   1. warm vs cold closed loop  — end-to-end p50/p99 with the WFD pool on
+//      (pool_size=2) vs off (pool_size=0), plus the steady-state pool hit
+//      rate, for an IO workflow whose cold start pays fdtab+fatfs loads.
+//   2. RPS scaling              — closed-loop throughput over the watchdog
+//      HTTP path while sweeping per-workflow max_concurrency.
+//   3. saturation               — a burst past max_concurrency, counting
+//      429 rejections vs 200 completions.
+//   4. open loop                — fixed-rate arrivals, end-to-end latency
+//      distribution under the admission caps.
+//
+// `--quick` shrinks every section to a smoke test (compile-and-run checked
+// by ctest, label `serving`). Emits BENCH_serving.json.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace asbench {
+namespace {
+
+using alloy::AsVisor;
+using alloy::FunctionContext;
+using alloy::FunctionRegistry;
+using alloy::FunctionSpec;
+using alloy::StageSpec;
+using alloy::WorkflowSpec;
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+alloy::WfdOptions BenchWfd() {
+  alloy::WfdOptions options;
+  options.heap_bytes = 8u << 20;
+  options.disk_blocks = 16 * 1024;
+  options.mpk_backend = asmpk::MpkBackend::kEmulated;
+  return options;
+}
+
+void RegisterFunctions() {
+  // IO workflow: write + read a small file. A cold WFD pays the fdtab and
+  // fatfs module loads here; a warm one only pays the file operations.
+  FunctionRegistry::Global().Register(
+      "bench.serve-io", [](FunctionContext& ctx) -> asbase::Status {
+        AS_RETURN_IF_ERROR(
+            ctx.as().WriteWholeFile("/serve.bin", Bytes(std::string(4096, 'x'))));
+        AS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                            ctx.as().ReadWholeFile("/serve.bin"));
+        ctx.SetResult(std::to_string(data.size()));
+        return asbase::OkStatus();
+      });
+  // CPU workflow: ~2ms of wall time, so throughput scales with concurrency
+  // until the admission caps (not the work) become the limit.
+  FunctionRegistry::Global().Register(
+      "bench.serve-cpu", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+}
+
+WorkflowSpec OneStage(const std::string& name, const std::string& fn) {
+  WorkflowSpec spec;
+  spec.name = name;
+  spec.stages.push_back(StageSpec{{FunctionSpec{fn, 1}}});
+  return spec;
+}
+
+uint64_t PoolCounter(const std::string& name, const std::string& workflow) {
+  return asobs::Registry::Global()
+      .GetCounter(name, {{"workflow", workflow}})
+      .value();
+}
+
+ashttp::HttpRequest InvokeRequest(const std::string& workflow) {
+  ashttp::HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/" + workflow;
+  return request;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const int closed_loop_n = quick ? 20 : 200;
+  const int rps_requests_per_client = quick ? 10 : 100;
+  const int open_loop_n = quick ? 20 : 200;
+
+  PrintHeader("serving", "warm pool + concurrent invocation pipeline");
+  RegisterFunctions();
+
+  asbase::Json doc;
+  doc.Set("bench", "serving");
+  doc.Set("scale", asbase::SimCostModel::Global().scale);
+  doc.Set("quick", quick);
+  asbase::Json series{asbase::JsonObject{}};
+
+  // ------------------------------------------------- 1. warm vs cold p50/p99
+  asbase::Histogram cold_hist;
+  asbase::Histogram warm_hist;
+  {
+    AsVisor visor;
+    AsVisor::WorkflowOptions cold_options;
+    cold_options.wfd = BenchWfd();
+    cold_options.pool_size = 0;  // cold-start every invocation
+    visor.RegisterWorkflow(OneStage("serve-cold", "bench.serve-io"),
+                           cold_options);
+    AsVisor::WorkflowOptions warm_options;
+    warm_options.wfd = BenchWfd();
+    warm_options.pool_size = 2;
+    visor.RegisterWorkflow(OneStage("serve-warm", "bench.serve-io"),
+                           warm_options);
+
+    for (int i = 0; i < closed_loop_n; ++i) {
+      auto r = visor.Invoke("serve-cold", asbase::Json());
+      if (r.ok()) {
+        cold_hist.Record(r->end_to_end_nanos);
+      }
+    }
+    for (int i = 0; i < closed_loop_n; ++i) {
+      auto r = visor.Invoke("serve-warm", asbase::Json());
+      if (r.ok()) {
+        warm_hist.Record(r->end_to_end_nanos);
+      }
+    }
+    const uint64_t hits = PoolCounter("alloy_visor_pool_hits_total",
+                                      "serve-warm");
+    const uint64_t misses = PoolCounter("alloy_visor_pool_misses_total",
+                                        "serve-warm");
+    const double hit_rate =
+        hits + misses == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses);
+    std::printf("\nclosed loop, %d invocations each (IO workflow)\n",
+                closed_loop_n);
+    std::printf("  %-18s %10s %10s\n", "", "p50", "p99");
+    std::printf("  %-18s %10s %10s\n", "cold (pool off)",
+                Ms(cold_hist.Percentile(0.5)).c_str(),
+                Ms(cold_hist.Percentile(0.99)).c_str());
+    std::printf("  %-18s %10s %10s\n", "warm (pool=2)",
+                Ms(warm_hist.Percentile(0.5)).c_str(),
+                Ms(warm_hist.Percentile(0.99)).c_str());
+    std::printf("  warm/cold p50 speedup: %.1fx   pool hit rate: %.1f%%\n",
+                static_cast<double>(cold_hist.Percentile(0.5)) /
+                    static_cast<double>(std::max<int64_t>(
+                        warm_hist.Percentile(0.5), 1)),
+                100.0 * hit_rate);
+    series.Set("cold", cold_hist.ToJson());
+    series.Set("warm", warm_hist.ToJson());
+    doc.Set("pool_hit_rate", hit_rate);
+    doc.Set("warm_cold_p50_speedup",
+            static_cast<double>(cold_hist.Percentile(0.5)) /
+                static_cast<double>(
+                    std::max<int64_t>(warm_hist.Percentile(0.5), 1)));
+  }
+
+  // ------------------------------------------------------- 2. RPS scaling
+  {
+    std::printf("\nclosed-loop RPS over the watchdog (CPU workflow, ~2ms)\n");
+    std::printf("  %-16s %10s %10s\n", "max_concurrency", "RPS", "p99");
+    asbase::Json rps_json{asbase::JsonObject{}};
+    for (int concurrency : {1, 2, 4, 8}) {
+      AsVisor visor;
+      AsVisor::WorkflowOptions options;
+      options.wfd = BenchWfd();
+      options.pool_size = static_cast<size_t>(concurrency);
+      options.max_concurrency = concurrency;
+      visor.RegisterWorkflow(OneStage("serve-cpu", "bench.serve-cpu"),
+                             options);
+      AsVisor::ServingOptions serving;
+      serving.worker_threads = 16;
+      serving.max_inflight = 64;
+      if (!visor.StartWatchdog(0, serving).ok()) {
+        std::fprintf(stderr, "watchdog start failed\n");
+        continue;
+      }
+      // One closed-loop client per admitted slot: no rejections, the
+      // workflow's concurrency cap is the only throttle.
+      asbase::Histogram latency;
+      std::mutex latency_mutex;
+      const int64_t start = asbase::MonoNanos();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < concurrency; ++c) {
+        clients.emplace_back([&] {
+          for (int i = 0; i < rps_requests_per_client; ++i) {
+            const int64_t t0 = asbase::MonoNanos();
+            auto response = ashttp::HttpCall("127.0.0.1",
+                                             visor.watchdog_port(),
+                                             InvokeRequest("serve-cpu"));
+            if (response.ok() && response->status == 200) {
+              std::lock_guard<std::mutex> lock(latency_mutex);
+              latency.Record(asbase::MonoNanos() - t0);
+            }
+          }
+        });
+      }
+      for (auto& client : clients) {
+        client.join();
+      }
+      const double seconds =
+          static_cast<double>(asbase::MonoNanos() - start) / 1e9;
+      const double rps = static_cast<double>(latency.count()) / seconds;
+      std::printf("  %-16d %10.0f %10s\n", concurrency, rps,
+                  Ms(latency.Percentile(0.99)).c_str());
+      rps_json.Set(std::to_string(concurrency), rps);
+      series.Set("http_c" + std::to_string(concurrency), latency.ToJson());
+      visor.StopWatchdog();
+    }
+    doc.Set("rps_by_concurrency", std::move(rps_json));
+  }
+
+  // --------------------------------------------------------- 3. saturation
+  {
+    AsVisor visor;
+    AsVisor::WorkflowOptions options;
+    options.wfd = BenchWfd();
+    options.pool_size = 2;
+    options.max_concurrency = 2;
+    visor.RegisterWorkflow(OneStage("serve-sat", "bench.serve-cpu"), options);
+    AsVisor::ServingOptions serving;
+    serving.worker_threads = 16;
+    serving.max_inflight = 64;
+    if (visor.StartWatchdog(0, serving).ok()) {
+      const int burst = quick ? 8 : 16;
+      std::atomic<int> completed{0};
+      std::atomic<int> rejected{0};
+      std::vector<std::thread> clients;
+      for (int i = 0; i < burst; ++i) {
+        clients.emplace_back([&] {
+          auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                           InvokeRequest("serve-sat"));
+          if (!response.ok()) {
+            return;
+          }
+          if (response->status == 200) {
+            ++completed;
+          } else if (response->status == 429) {
+            ++rejected;
+          }
+        });
+      }
+      for (auto& client : clients) {
+        client.join();
+      }
+      std::printf("\nburst of %d at max_concurrency=2: %d completed, "
+                  "%d rejected (429)\n",
+                  burst, completed.load(), rejected.load());
+      doc.Set("saturation_burst", static_cast<int64_t>(burst));
+      doc.Set("saturation_completed", static_cast<int64_t>(completed.load()));
+      doc.Set("saturation_rejected", static_cast<int64_t>(rejected.load()));
+      visor.StopWatchdog();
+    }
+  }
+
+  // ----------------------------------------------------------- 4. open loop
+  {
+    AsVisor visor;
+    AsVisor::WorkflowOptions options;
+    options.wfd = BenchWfd();
+    options.pool_size = 4;
+    options.max_concurrency = 8;
+    visor.RegisterWorkflow(OneStage("serve-open", "bench.serve-cpu"), options);
+    AsVisor::ServingOptions serving;
+    serving.worker_threads = 16;
+    serving.max_inflight = 64;
+    if (visor.StartWatchdog(0, serving).ok()) {
+      // Fixed-rate arrivals at 200 req/s (5ms spacing), each request on its
+      // own thread so a slow response never delays the next arrival.
+      asbase::Histogram open_latency;
+      std::mutex open_mutex;
+      std::atomic<int> open_rejected{0};
+      std::vector<std::thread> arrivals;
+      const int64_t interval_nanos = 5'000'000;
+      const int64_t t0 = asbase::MonoNanos();
+      for (int i = 0; i < open_loop_n; ++i) {
+        const int64_t due = t0 + i * interval_nanos;
+        while (asbase::MonoNanos() < due) {
+          std::this_thread::yield();
+        }
+        arrivals.emplace_back([&] {
+          const int64_t sent = asbase::MonoNanos();
+          auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                           InvokeRequest("serve-open"));
+          if (response.ok() && response->status == 200) {
+            std::lock_guard<std::mutex> lock(open_mutex);
+            open_latency.Record(asbase::MonoNanos() - sent);
+          } else if (response.ok() && response->status == 429) {
+            ++open_rejected;
+          }
+        });
+      }
+      for (auto& arrival : arrivals) {
+        arrival.join();
+      }
+      std::printf("\nopen loop, 200 req/s for %d arrivals: %s (rejected: %d)\n",
+                  open_loop_n, open_latency.Summary().c_str(),
+                  open_rejected.load());
+      series.Set("open_loop", open_latency.ToJson());
+      doc.Set("open_loop_rejected", static_cast<int64_t>(open_rejected.load()));
+      visor.StopWatchdog();
+    }
+  }
+
+  doc.Set("series", std::move(series));
+  const std::string text = doc.Dump(2);
+  if (FILE* f = std::fopen("BENCH_serving.json", "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_serving.json\n");
+  }
+  return 0;
+}
+
+}  // namespace asbench
+
+int main(int argc, char** argv) { return asbench::Main(argc, argv); }

@@ -28,6 +28,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "DATA_LOSS";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ Status DataLoss(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(ErrorCode::kInternal, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(ErrorCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace asbase

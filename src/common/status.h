@@ -32,6 +32,7 @@ enum class ErrorCode : uint8_t {
   kUnavailable,       // transient: peer closed, would-block timeout, retry ok
   kDataLoss,          // corruption detected (bad checksum, bad FAT chain)
   kInternal,          // invariant violation inside the library
+  kDeadlineExceeded,  // invocation ran past its configured deadline
 };
 
 std::string_view ErrorCodeName(ErrorCode code);
@@ -73,6 +74,7 @@ Status Unimplemented(std::string message);
 Status Unavailable(std::string message);
 Status DataLoss(std::string message);
 Status Internal(std::string message);
+Status DeadlineExceeded(std::string message);
 
 // Value-or-Status. Minimal `std::expected` equivalent (the toolchain's
 // libstdc++ predates C++23 `<expected>`).

@@ -281,6 +281,60 @@ asbase::Status Libos::LoadLocked(ModuleKind kind) {
   return asbase::InvalidArgument("unknown module kind");
 }
 
+void Libos::SetTrace(asobs::Trace* trace, uint32_t trace_parent) {
+  std::lock_guard<std::mutex> lock(load_mutex_);
+  options_.trace = trace;
+  options_.trace_parent = trace_parent;
+}
+
+asbase::Status Libos::ResetForReuse() {
+  // mmap regions first: each holds a heap allocation and an fs handle.
+  if (mmap_ != nullptr) {
+    std::vector<uintptr_t> bases;
+    {
+      std::lock_guard<std::mutex> lock(mmap_->mutex);
+      for (const auto& [base, region] : mmap_->regions) {
+        bases.push_back(base);
+      }
+    }
+    for (uintptr_t base : bases) {
+      AS_RETURN_IF_ERROR(Munmap(reinterpret_cast<void*>(base)));
+    }
+  }
+  // Unconsumed slot buffers (a producer ran but its consumer never
+  // acquired): return the memory to the allocator so repeated warm
+  // invocations cannot leak the heap dry.
+  if (mm_ != nullptr) {
+    for (const std::string& slot : mm_->slots.SlotNames()) {
+      auto record = mm_->slots.Peek(slot);
+      if (!record.ok()) {
+        continue;  // raced with a concurrent consumer; nothing to free
+      }
+      AS_RETURN_IF_ERROR(mm_->slots.Remove(slot));
+      std::lock_guard<std::mutex> lock(mm_->mutex);
+      mm_->allocator.Deallocate(reinterpret_cast<void*>(record->addr));
+    }
+  }
+  // Open fds: close files (stdio entries 0-2 persist with the fdtab).
+  if (fdtab_ != nullptr) {
+    std::vector<int> handles;
+    {
+      std::lock_guard<std::mutex> lock(fdtab_->mutex);
+      for (size_t fd = 3; fd < fdtab_->entries.size(); ++fd) {
+        FdEntry& entry = fdtab_->entries[fd];
+        if (entry.kind == FdEntry::Kind::kFile) {
+          handles.push_back(entry.fs_handle);
+        }
+        entry = FdEntry{};
+      }
+    }
+    for (int handle : handles) {
+      AS_RETURN_IF_ERROR(fs_->fs->Close(handle));
+    }
+  }
+  return asbase::OkStatus();
+}
+
 std::vector<ModuleKind> Libos::LoadedModules() const {
   std::vector<ModuleKind> out;
   for (int i = 0; i < kNumModuleKinds; ++i) {

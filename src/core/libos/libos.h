@@ -77,6 +77,19 @@ class Libos {
   // through the trampoline) ----
   asbase::Status EnsureLoaded(ModuleKind kind);
   bool IsLoaded(ModuleKind kind) const;
+
+  // Re-points the invocation trace module_load spans attach to. Pooled WFDs
+  // call this on every lease (new trace) and release (nullptr) — the
+  // previous trace dies with its invocation while the LibOS lives on.
+  void SetTrace(asobs::Trace* trace, uint32_t trace_parent);
+
+  // Clears per-invocation state so the LibOS can serve the next invocation
+  // of the same workflow (warm start): drops unconsumed slot buffers,
+  // closes open fds, unmaps mmap regions. Loaded modules, the heap arena,
+  // and filesystem contents survive — skipping their construction is the
+  // warm-start win. Fails if live state cannot be reclaimed; the caller
+  // must then destroy the WFD instead of re-pooling it.
+  asbase::Status ResetForReuse();
   std::vector<ModuleKind> LoadedModules() const;
   int64_t ModuleLoadNanos(ModuleKind kind) const;
   int64_t TotalLoadNanos() const;

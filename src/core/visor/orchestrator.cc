@@ -40,6 +40,10 @@ void FunctionContext::SetResult(std::string result) {
   result_ = std::move(result);
 }
 
+bool FunctionContext::past_deadline() const {
+  return deadline_nanos_ != 0 && asbase::MonoNanos() > deadline_nanos_;
+}
+
 FunctionRegistry& FunctionRegistry::Global() {
   static auto* registry = new FunctionRegistry();
   return *registry;
@@ -111,8 +115,18 @@ asbase::Result<WorkflowSpec> WorkflowSpec::FromJson(
 
 asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
                                            const asbase::Json& params) {
+  return Run(workflow, params, RunOptions{});
+}
+
+asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
+                                           const asbase::Json& params,
+                                           const RunOptions& options) {
   RunStats stats;
   const int64_t run_start = asbase::MonoNanos();
+  auto deadline_exceeded = [&] {
+    return options.deadline_nanos != 0 &&
+           asbase::MonoNanos() > options.deadline_nanos;
+  };
   const uint64_t enters_before = wfd_->trampoline().enter_count();
   const uint64_t switches_before = wfd_->mpk().switch_count();
 
@@ -122,6 +136,11 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
 
   for (size_t stage_index = 0; stage_index < workflow.stages.size();
        ++stage_index) {
+    if (deadline_exceeded()) {
+      return asbase::DeadlineExceeded(
+          "deadline exceeded before stage " + std::to_string(stage_index) +
+          " of workflow '" + workflow.name + "'");
+    }
     const StageSpec& stage = workflow.stages[stage_index];
     asobs::Span stage_span;
     if (trace != nullptr) {
@@ -147,6 +166,7 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
             FunctionContext(&as, fn_spec.name,
                             static_cast<int>(stage_index), instance,
                             fn_spec.instances, &params)});
+        run->context.deadline_nanos_ = options.deadline_nanos;
         InstanceRun* run_ptr = run.get();
         runs.push_back(std::move(run));
 
@@ -211,6 +231,14 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
                               "function '" + run->context.function_name() +
                                   "' failed: " + run->status.message());
       }
+    }
+    if (deadline_exceeded()) {
+      // Cooperative enforcement: the slow stage was allowed to join (its
+      // threads share the WFD — preemption would poison the domain), but
+      // the rest of the workflow does not run.
+      return asbase::DeadlineExceeded(
+          "stage " + std::to_string(stage_index) + " of workflow '" +
+          workflow.name + "' ran past the invocation deadline");
     }
   }
 

@@ -69,6 +69,13 @@ class FunctionContext {
   void SetResult(std::string result);
   const std::string& result() const { return result_; }
 
+  // Absolute MonoNanos deadline for the surrounding invocation, 0 = none.
+  // Enforcement is cooperative: the orchestrator checks at stage barriers;
+  // long-running functions should poll past_deadline() and return early
+  // with any error (the run is aborted as DeadlineExceeded either way).
+  int64_t deadline_nanos() const { return deadline_nanos_; }
+  bool past_deadline() const;
+
  private:
   friend class Orchestrator;
   AsStd* as_;
@@ -83,6 +90,7 @@ class FunctionContext {
   int64_t phase_start_nanos_ = 0;
   bool timing_started_ = false;
   std::string result_;
+  int64_t deadline_nanos_ = 0;
 };
 
 using UserFunction = std::function<asbase::Status(FunctionContext&)>;
@@ -131,12 +139,25 @@ struct RunStats {
 
 class Orchestrator {
  public:
+  struct RunOptions {
+    // Absolute MonoNanos instant the invocation must finish by; 0 = no
+    // deadline. Checked cooperatively before each stage launches and at
+    // every stage barrier, so a slow stage is detected when it joins, not
+    // preempted mid-flight (functions share the WFD address space — killing
+    // a thread would poison the whole domain).
+    int64_t deadline_nanos = 0;
+  };
+
   explicit Orchestrator(Wfd* wfd) : wfd_(wfd) {}
 
   // Runs the workflow to completion. Any function failure beyond its retry
-  // budget aborts the run with that function's status.
+  // budget aborts the run with that function's status; exceeding the
+  // deadline aborts with kDeadlineExceeded.
   asbase::Result<RunStats> Run(const WorkflowSpec& workflow,
                                const asbase::Json& params);
+  asbase::Result<RunStats> Run(const WorkflowSpec& workflow,
+                               const asbase::Json& params,
+                               const RunOptions& options);
 
  private:
   Wfd* wfd_;

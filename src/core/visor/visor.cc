@@ -1,5 +1,8 @@
 #include "src/core/visor/visor.h"
 
+#include <condition_variable>
+#include <optional>
+
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
@@ -51,12 +54,21 @@ asbase::Json SummarizeTrace(const asobs::Trace& trace) {
 
 AsVisor::~AsVisor() { StopWatchdog(); }
 
+void AsVisor::RegisterWorkflow(const WorkflowSpec& spec) {
+  RegisterWorkflow(spec, WorkflowOptions{});
+}
+
 void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
                                WorkflowOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
   Entry entry;
   entry.spec = spec;
+  entry.pool = std::make_shared<WfdPool>(spec.name, options.pool_size);
   entry.options = std::move(options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Overwrite drops the previous entry — including its pool, whose warm
+  // WFDs were built from the old WfdOptions and must not serve the new
+  // registration. In-flight invocations keep the old pool alive via
+  // shared_ptr until they finish.
   workflows_[spec.name] = std::move(entry);
 }
 
@@ -78,6 +90,23 @@ asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
       options.wfd.disk_blocks =
           static_cast<uint64_t>(opts["disk_mb"].as_int()) * 2048;
     }
+    if (opts["pool_size"].is_number()) {
+      options.pool_size = static_cast<size_t>(opts["pool_size"].as_int());
+    }
+    if (opts["max_concurrency"].is_number()) {
+      const int64_t value = opts["max_concurrency"].as_int();
+      if (value < 1) {
+        return asbase::InvalidArgument("max_concurrency must be >= 1");
+      }
+      options.max_concurrency = static_cast<int>(value);
+    }
+    if (opts["timeout_ms"].is_number()) {
+      const int64_t value = opts["timeout_ms"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("timeout_ms must be >= 0");
+      }
+      options.timeout_ms = value;
+    }
   }
   options.wfd.name = spec.name;
   RegisterWorkflow(spec, std::move(options));
@@ -88,6 +117,8 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
                                              const asbase::Json& params) {
   WorkflowSpec spec;
   WfdOptions wfd_options;
+  std::shared_ptr<WfdPool> pool;
+  int64_t timeout_ms = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
@@ -96,9 +127,13 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
     }
     spec = it->second.spec;
     wfd_options = it->second.options.wfd;
+    pool = it->second.pool;
+    timeout_ms = it->second.options.timeout_ms;
   }
 
   const int64_t received_at = asbase::MonoNanos();
+  const int64_t deadline_nanos =
+      timeout_ms > 0 ? received_at + timeout_ms * 1'000'000 : 0;
   InvokeResult result;
 
   asobs::Registry& registry = asobs::Registry::Global();
@@ -106,10 +141,15 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
   registry.GetCounter("alloy_visor_invocations_total", workflow_labels)
       .Add(1);
   auto fail = [&](asbase::Status status) {
-    asobs::Registry::Global()
-        .GetCounter("alloy_visor_invocation_failures_total",
-                    {{"workflow", workflow_name}})
+    asobs::Registry& reg = asobs::Registry::Global();
+    reg.GetCounter("alloy_visor_invocation_failures_total",
+                   {{"workflow", workflow_name}})
         .Add(1);
+    if (status.code() == asbase::ErrorCode::kDeadlineExceeded) {
+      reg.GetCounter("alloy_visor_timeouts_total",
+                     {{"workflow", workflow_name}})
+          .Add(1);
+    }
     return status;
   };
 
@@ -118,36 +158,70 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
   auto trace = std::make_shared<asobs::Trace>(workflow_name);
   asobs::Span root = trace->StartSpan("invoke", "visor");
   root.SetArg("workflow", workflow_name);
-  wfd_options.trace = trace.get();
-  wfd_options.trace_parent = root.id();
 
-  // Step 1 (Fig 4): instantiate the WFD for this invocation.
-  asobs::Span create_span = trace->StartSpan("wfd_create", "visor", root.id());
-  auto wfd_or = Wfd::Create(wfd_options);
-  create_span.End();
-  if (!wfd_or.ok()) {
-    return fail(wfd_or.status());
+  // Step 1 (Fig 4): lease a warm WFD or instantiate one for this
+  // invocation. On a warm hit cold start is skipped entirely; module loads
+  // are accounted as a delta so only *new* loads count against this run.
+  std::unique_ptr<Wfd> wfd = pool->TryAcquireWarm();
+  result.warm_start = wfd != nullptr;
+  int64_t loads_before = 0;
+  if (result.warm_start) {
+    wfd->SetTrace(trace.get(), root.id());
+    loads_before = wfd->libos().TotalLoadNanos();
+    root.SetArg("start", "warm");
+  } else {
+    wfd_options.trace = trace.get();
+    wfd_options.trace_parent = root.id();
+    asobs::Span create_span =
+        trace->StartSpan("wfd_create", "visor", root.id());
+    auto wfd_or = Wfd::Create(wfd_options);
+    create_span.End();
+    if (!wfd_or.ok()) {
+      return fail(wfd_or.status());
+    }
+    wfd = std::move(*wfd_or);
+    result.wfd_create_nanos = wfd->creation_nanos();
+    root.SetArg("start", "cold");
   }
-  std::unique_ptr<Wfd> wfd = std::move(*wfd_or);
-  result.wfd_create_nanos = wfd->creation_nanos();
 
-  // Steps 2-6: run the workflow; modules load on demand inside.
+  // Steps 2-6: run the workflow; modules load on demand inside. The
+  // deadline is enforced cooperatively at stage barriers.
   Orchestrator orchestrator(wfd.get());
-  auto run_or = orchestrator.Run(spec, params);
+  Orchestrator::RunOptions run_options;
+  run_options.deadline_nanos = deadline_nanos;
+  auto run_or = orchestrator.Run(spec, params, run_options);
   if (!run_or.ok()) {
+    // A failed (or timed-out) run leaves the WFD in an unknown state:
+    // destroy it — never re-pool — so the next invocation cold-starts
+    // clean. `wfd` going out of scope does the reclaim.
     return fail(run_or.status());
   }
   result.run = std::move(*run_or);
 
-  result.module_load_nanos = wfd->libos().TotalLoadNanos();
+  result.module_load_nanos = wfd->libos().TotalLoadNanos() - loads_before;
   result.cold_start_nanos = result.wfd_create_nanos + result.module_load_nanos;
   result.modules_loaded = wfd->libos().LoadedModules();
   result.resident_bytes = wfd->ResidentBytes();
 
-  // Step 7: destroy the WFD and reclaim resources. Explicit here so the
-  // root span (and end_to_end_nanos) covers reclaim, and so no code touches
-  // the trace through the WFD's pointer after the span set is finalized.
-  wfd.reset();
+  // Step 7: return the WFD to the pool (reset + park) or destroy it and
+  // reclaim resources. Explicit here so the root span (and
+  // end_to_end_nanos) covers reclaim, and so no code touches the trace
+  // through the WFD's pointer after the span set is finalized.
+  if (pool->capacity() > 0) {
+    asobs::Span reset_span = trace->StartSpan("pool_reset", "visor", root.id());
+    asbase::Status reset = wfd->Reset();
+    reset_span.End();
+    if (reset.ok()) {
+      wfd->SetTrace(nullptr, 0);
+      pool->Park(std::move(wfd));
+    } else {
+      AS_LOG(kWarn) << "WFD reset for '" << workflow_name
+                    << "' failed (" << reset.ToString() << "); destroying";
+      wfd.reset();
+    }
+  } else {
+    wfd.reset();
+  }
   result.end_to_end_nanos = asbase::MonoNanos() - received_at;
   root.End();
 
@@ -177,10 +251,58 @@ asbase::Result<InvokeResult> AsVisor::InvokeFromConfig(
   return Invoke(config["name"].as_string(), params);
 }
 
+// ------------------------------------------------------ admission control
+
+asbase::Status AsVisor::TryAdmit(const std::string& workflow_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = workflows_.find(workflow_name);
+  if (it == workflows_.end()) {
+    return asbase::NotFound("no workflow named '" + workflow_name + "'");
+  }
+  if (inflight_global_ >= serving_.max_inflight) {
+    return asbase::ResourceExhausted(
+        "global in-flight cap (" + std::to_string(serving_.max_inflight) +
+        ") reached");
+  }
+  if (it->second.inflight >= it->second.options.max_concurrency) {
+    return asbase::ResourceExhausted(
+        "workflow '" + workflow_name + "' at max_concurrency (" +
+        std::to_string(it->second.options.max_concurrency) + ")");
+  }
+  ++inflight_global_;
+  ++it->second.inflight;
+  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
+  return asbase::OkStatus();
+}
+
+void AsVisor::ReleaseAdmission(const std::string& workflow_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_global_ > 0) {
+    --inflight_global_;
+  }
+  auto it = workflows_.find(workflow_name);
+  if (it != workflows_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(-1);
+}
+
+// --------------------------------------------------------------- watchdog
+
 asbase::Status AsVisor::StartWatchdog(uint16_t port) {
+  return StartWatchdog(port, ServingOptions{});
+}
+
+asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
   if (watchdog_ != nullptr) {
     return asbase::FailedPrecondition("watchdog already running");
   }
+  if (serving.worker_threads == 0 || serving.max_inflight == 0) {
+    return asbase::InvalidArgument(
+        "worker_threads and max_inflight must be >= 1");
+  }
+  serving_ = serving;
+  serving_pool_ = std::make_unique<asbase::ThreadPool>(serving.worker_threads);
   watchdog_ = std::make_unique<ashttp::HttpServer>(
       [this](const ashttp::HttpRequest& request) {
         ashttp::HttpResponse response;
@@ -195,46 +317,106 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port) {
             request.target.rfind("/trace", 0) == 0) {
           return ServeTrace(request.target);
         }
-        const std::string prefix = "/invoke/";
-        if (request.method != "POST" ||
-            request.target.rfind(prefix, 0) != 0) {
-          response.status = 404;
-          response.reason = "Not Found";
-          response.body = "unknown endpoint";
-          return response;
+        if (request.method == "POST" &&
+            request.target.rfind("/invoke/", 0) == 0) {
+          return HandleInvoke(request);
         }
-        const std::string name = request.target.substr(prefix.size());
-        asbase::Json params;
-        if (!request.body.empty()) {
-          auto parsed = asbase::Json::Parse(request.body);
-          if (!parsed.ok()) {
-            response.status = 400;
-            response.reason = "Bad Request";
-            response.body = parsed.status().ToString();
-            return response;
-          }
-          params = *parsed;
-        }
-        auto invoked = Invoke(name, params);
-        if (!invoked.ok()) {
-          response.status =
-              invoked.status().code() == asbase::ErrorCode::kNotFound ? 404
-                                                                      : 500;
-          response.reason = "Error";
-          response.body = invoked.status().ToString();
-          return response;
-        }
-        asbase::Json body;
-        body.Set("workflow", name);
-        body.Set("cold_start_nanos", invoked->cold_start_nanos);
-        body.Set("end_to_end_nanos", invoked->end_to_end_nanos);
-        body.Set("instances", static_cast<int64_t>(invoked->run.instances_run));
-        body.Set("result", invoked->run.result);
-        response.headers["content-type"] = "application/json";
-        response.body = body.Dump();
+        response.status = 404;
+        response.reason = "Not Found";
+        response.body = "unknown endpoint";
         return response;
       });
   return watchdog_->Start(port);
+}
+
+ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
+  ashttp::HttpResponse response;
+  const std::string name = request.target.substr(std::string("/invoke/").size());
+  asbase::Json params;
+  if (!request.body.empty()) {
+    auto parsed = asbase::Json::Parse(request.body);
+    if (!parsed.ok()) {
+      response.status = 400;
+      response.reason = "Bad Request";
+      response.body = parsed.status().ToString();
+      return response;
+    }
+    params = *parsed;
+  }
+
+  // Admission control: reject — don't queue — when either the workflow's
+  // max_concurrency or the global in-flight cap is reached. The client is
+  // the retry loop; Retry-After tells it when.
+  asbase::Status admitted = TryAdmit(name);
+  if (!admitted.ok()) {
+    if (admitted.code() == asbase::ErrorCode::kNotFound) {
+      response.status = 404;
+      response.reason = "Not Found";
+      response.body = admitted.ToString();
+      return response;
+    }
+    asobs::Registry::Global()
+        .GetCounter("alloy_visor_rejections_total", {{"workflow", name}})
+        .Add(1);
+    response.status = 429;
+    response.reason = "Too Many Requests";
+    response.headers["retry-after"] =
+        std::to_string(serving_.retry_after_seconds);
+    response.body = admitted.ToString();
+    return response;
+  }
+
+  // Dispatch onto the serving pool; the connection thread blocks until the
+  // invocation completes (the admission caps bound how much work can be
+  // queued behind the workers).
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<asbase::Result<InvokeResult>> result;
+  };
+  auto pending = std::make_shared<Pending>();
+  serving_pool_->Submit([this, name, params, pending] {
+    auto invoked = Invoke(name, params);
+    {
+      std::lock_guard<std::mutex> lock(pending->mutex);
+      pending->result.emplace(std::move(invoked));
+    }
+    pending->cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(pending->mutex);
+    pending->cv.wait(lock, [&] { return pending->result.has_value(); });
+  }
+  ReleaseAdmission(name);
+
+  const asbase::Result<InvokeResult>& invoked = *pending->result;
+  if (!invoked.ok()) {
+    switch (invoked.status().code()) {
+      case asbase::ErrorCode::kNotFound:
+        response.status = 404;
+        response.reason = "Not Found";
+        break;
+      case asbase::ErrorCode::kDeadlineExceeded:
+        response.status = 504;
+        response.reason = "Gateway Timeout";
+        break;
+      default:
+        response.status = 500;
+        response.reason = "Error";
+    }
+    response.body = invoked.status().ToString();
+    return response;
+  }
+  asbase::Json body;
+  body.Set("workflow", name);
+  body.Set("cold_start_nanos", invoked->cold_start_nanos);
+  body.Set("end_to_end_nanos", invoked->end_to_end_nanos);
+  body.Set("warm_start", invoked->warm_start);
+  body.Set("instances", static_cast<int64_t>(invoked->run.instances_run));
+  body.Set("result", invoked->run.result);
+  response.headers["content-type"] = "application/json";
+  response.body = body.Dump();
+  return response;
 }
 
 ashttp::HttpResponse AsVisor::ServeMetrics() const {
@@ -289,8 +471,14 @@ uint16_t AsVisor::watchdog_port() const {
 
 void AsVisor::StopWatchdog() {
   if (watchdog_ != nullptr) {
+    // Stop the server first: connection threads block on in-flight
+    // invocations, which need the serving pool alive to finish.
     watchdog_->Stop();
     watchdog_.reset();
+  }
+  if (serving_pool_ != nullptr) {
+    serving_pool_->Drain();
+    serving_pool_.reset();
   }
 }
 
@@ -302,6 +490,20 @@ asbase::Result<asbase::Histogram> AsVisor::LatencyHistogram(
     return asbase::NotFound("no workflow named '" + workflow_name + "'");
   }
   return it->second.latency;
+}
+
+asbase::Result<size_t> AsVisor::WarmWfdCount(
+    const std::string& workflow_name) const {
+  std::shared_ptr<WfdPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return asbase::NotFound("no workflow named '" + workflow_name + "'");
+    }
+    pool = it->second.pool;
+  }
+  return pool->warm_count();
 }
 
 }  // namespace alloy

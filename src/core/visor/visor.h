@@ -1,10 +1,19 @@
 // as-visor: the global runtime layer (§3.3).
 //
-// Owns workflow definitions, instantiates a fresh WFD per invocation,
-// orchestrates the run, destroys the WFD and reclaims resources (§3.2), and
-// exposes the watchdog — an HTTP endpoint (host socket) through which
-// external events trigger workflows. A CLI-style entry (`InvokeFromConfig`)
-// executes workflows straight from JSON configurations (§7.1).
+// Owns workflow definitions, instantiates (or leases from the warm pool) a
+// WFD per invocation, orchestrates the run, returns the WFD to the pool or
+// destroys it (§3.2), and exposes the watchdog — an HTTP endpoint (host
+// socket) through which external events trigger workflows. A CLI-style
+// entry (`InvokeFromConfig`) executes workflows straight from JSON
+// configurations (§7.1).
+//
+// Serving layer (DESIGN.md §8): invocations arriving through the watchdog
+// are dispatched onto a worker thread pool, gated by per-workflow
+// `max_concurrency` and a global in-flight cap — requests beyond either
+// limit are rejected immediately with HTTP 429 + Retry-After rather than
+// queued (admission control). Each invocation may carry a deadline
+// (`timeout_ms`) enforced cooperatively by the orchestrator; an expired run
+// fails with kDeadlineExceeded (HTTP 504).
 
 #ifndef SRC_CORE_VISOR_VISOR_H_
 #define SRC_CORE_VISOR_VISOR_H_
@@ -16,7 +25,9 @@
 #include <string>
 
 #include "src/common/histogram.h"
+#include "src/common/thread_pool.h"
 #include "src/core/visor/orchestrator.h"
+#include "src/core/visor/wfd_pool.h"
 #include "src/http/http.h"
 #include "src/obs/trace.h"
 
@@ -24,9 +35,13 @@ namespace alloy {
 
 struct InvokeResult {
   // Cold start: WFD instantiation + LibOS modules loaded during the run.
+  // A warm start pays neither (wfd_create_nanos == 0) unless the run
+  // touched a module no earlier invocation had loaded.
   int64_t cold_start_nanos = 0;
   int64_t wfd_create_nanos = 0;
   int64_t module_load_nanos = 0;
+  // True when the invocation ran on a pooled warm WFD.
+  bool warm_start = false;
   RunStats run;
   // End-to-end: invocation receipt to workflow completion.
   int64_t end_to_end_nanos = 0;
@@ -42,6 +57,25 @@ class AsVisor {
  public:
   struct WorkflowOptions {
     WfdOptions wfd;
+    // Warm WFDs retained for this workflow; 0 = cold-start every invocation.
+    size_t pool_size = 2;
+    // Concurrent watchdog invocations admitted for this workflow; beyond
+    // this the watchdog answers 429. (Direct Invoke() calls are not gated —
+    // a library caller owns its own concurrency.)
+    int max_concurrency = 4;
+    // Per-invocation deadline in milliseconds; 0 = none.
+    int64_t timeout_ms = 0;
+  };
+
+  // Watchdog-wide serving knobs (admission control + dispatch).
+  struct ServingOptions {
+    // Workers executing invocations; admitted requests queue FIFO when all
+    // workers are busy (the caps below bound that queue).
+    size_t worker_threads = 8;
+    // Global in-flight invocation cap across all workflows.
+    size_t max_inflight = 32;
+    // Retry-After hint (seconds) on 429 responses.
+    int retry_after_seconds = 1;
   };
 
   AsVisor() = default;
@@ -50,14 +84,18 @@ class AsVisor {
   AsVisor(const AsVisor&) = delete;
   AsVisor& operator=(const AsVisor&) = delete;
 
-  // Registers a workflow under spec.name; overwrites an existing entry.
-  void RegisterWorkflow(const WorkflowSpec& spec, WorkflowOptions options = {});
+  // Registers a workflow under spec.name; overwrites an existing entry
+  // (clearing any warm WFDs built with the previous options).
+  void RegisterWorkflow(const WorkflowSpec& spec);
+  void RegisterWorkflow(const WorkflowSpec& spec, WorkflowOptions options);
 
   // Full JSON configuration: workflow spec (+"options": {"ramfs", "load_all",
-  // "reference_passing", "inter_function_isolation", "heap_mb"}).
+  // "reference_passing", "inter_function_isolation", "heap_mb", "disk_mb",
+  // "pool_size", "max_concurrency", "timeout_ms"}).
   asbase::Status RegisterWorkflowFromJson(const asbase::Json& config);
 
-  // Cold-start invocation: new WFD, run, destroy.
+  // One invocation: lease a warm WFD (or cold-start one), run, re-pool on
+  // success / destroy on failure. Enforces the workflow's timeout_ms.
   asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
                                       const asbase::Json& params);
 
@@ -66,17 +104,22 @@ class AsVisor {
                                                 const asbase::Json& params);
 
   // Watchdog: POST /invoke/<workflow> with a JSON params body; responds with
-  // the run result and latency. GET /health answers "ok". GET /metrics
-  // serves the process-wide registry in Prometheus text format; GET
-  // /trace?workflow=<name> serves the last invocations' spans as Chrome
-  // trace JSON (open in about:tracing or ui.perfetto.dev).
+  // the run result and latency (429 when saturated, 504 on deadline).
+  // GET /health answers "ok". GET /metrics serves the process-wide registry
+  // in Prometheus text format; GET /trace?workflow=<name> serves the last
+  // invocations' spans as Chrome trace JSON (open in about:tracing or
+  // ui.perfetto.dev).
   asbase::Status StartWatchdog(uint16_t port = 0);
+  asbase::Status StartWatchdog(uint16_t port, ServingOptions serving);
   uint16_t watchdog_port() const;
   void StopWatchdog();
 
   // Per-workflow end-to-end latency samples (P99 analysis, Fig 17a).
   asbase::Result<asbase::Histogram> LatencyHistogram(
       const std::string& workflow_name) const;
+
+  // Warm WFDs currently parked for a workflow (tests, ops introspection).
+  asbase::Result<size_t> WarmWfdCount(const std::string& workflow_name) const;
 
   // Trace ring depth per workflow served by /trace.
   static constexpr size_t kTraceRing = 8;
@@ -85,16 +128,30 @@ class AsVisor {
   struct Entry {
     WorkflowSpec spec;
     WorkflowOptions options;
+    // Shared so Invoke can use the pool outside mutex_ while a concurrent
+    // re-registration swaps in a fresh one.
+    std::shared_ptr<WfdPool> pool;
+    // Watchdog invocations currently running this workflow (admission).
+    int inflight = 0;
     asbase::Histogram latency;
     // Last kTraceRing invocation traces, oldest first.
     std::deque<std::shared_ptr<const asobs::Trace>> traces;
   };
 
+  // Admission for one watchdog invocation. Returns OkStatus and bumps the
+  // in-flight counts, or kResourceExhausted when either cap is hit.
+  asbase::Status TryAdmit(const std::string& workflow_name);
+  void ReleaseAdmission(const std::string& workflow_name);
+
+  ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
   ashttp::HttpResponse ServeMetrics() const;
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> workflows_;
+  size_t inflight_global_ = 0;  // guarded by mutex_
+  ServingOptions serving_;
+  std::unique_ptr<asbase::ThreadPool> serving_pool_;
   std::unique_ptr<ashttp::HttpServer> watchdog_;
 };
 

@@ -1,0 +1,64 @@
+#include "src/core/visor/wfd_pool.h"
+
+namespace alloy {
+
+WfdPool::WfdPool(const std::string& workflow, size_t capacity)
+    : capacity_(capacity),
+      hits_(asobs::Registry::Global().GetCounter(
+          "alloy_visor_pool_hits_total", {{"workflow", workflow}})),
+      misses_(asobs::Registry::Global().GetCounter(
+          "alloy_visor_pool_misses_total", {{"workflow", workflow}})),
+      evictions_(asobs::Registry::Global().GetCounter(
+          "alloy_visor_pool_evictions_total", {{"workflow", workflow}})) {}
+
+WfdPool::~WfdPool() { Clear(); }
+
+std::unique_ptr<Wfd> WfdPool::TryAcquireWarm() {
+  std::unique_ptr<Wfd> wfd;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!warm_.empty()) {
+      wfd = std::move(warm_.back());
+      warm_.pop_back();
+    }
+  }
+  if (wfd == nullptr) {
+    misses_.Add(1);
+  } else {
+    hits_.Add(1);
+  }
+  return wfd;
+}
+
+void WfdPool::Park(std::unique_ptr<Wfd> wfd) {
+  if (wfd == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (warm_.size() < capacity_) {
+      warm_.push_back(std::move(wfd));
+      return;
+    }
+  }
+  // At capacity: destroy outside the lock (WFD teardown is not cheap).
+  evictions_.Add(1);
+  wfd.reset();
+}
+
+void WfdPool::Clear() {
+  std::vector<std::unique_ptr<Wfd>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doomed.swap(warm_);
+  }
+  evictions_.Add(doomed.size());
+  doomed.clear();
+}
+
+size_t WfdPool::warm_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return warm_.size();
+}
+
+}  // namespace alloy

@@ -1,0 +1,70 @@
+// Warm-WFD pool: caches instantiated WFDs between invocations of one
+// workflow (serving layer, DESIGN.md §8).
+//
+// Cold starts are cheap in AlloyStack but not free — WFD instantiation plus
+// the on-demand module loads a workflow triggers (Fig 10). Under sustained
+// traffic the same modules load again and again; the pool amortizes that by
+// keeping up to `capacity` fully-booted WFDs parked per workflow. Lifecycle:
+//
+//   lease (warm hit)  -> run -> reset ok  -> park warm      (reuse)
+//   lease (miss)      -> Wfd::Create by the caller          (cold start)
+//   run failed        -> destroy, never re-pool             (poisoned WFD)
+//   reset failed      -> destroy                            (unreclaimable)
+//   park while full   -> destroy                            (eviction)
+//
+// The pool only *stores* warm WFDs; creation (and the wfd_create trace
+// span) stays with the visor so a cold start looks identical with or
+// without pooling. Hit/miss/eviction counts feed the per-workflow
+// alloy_visor_pool_*_total metrics.
+
+#ifndef SRC_CORE_VISOR_WFD_POOL_H_
+#define SRC_CORE_VISOR_WFD_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/wfd.h"
+#include "src/obs/metrics.h"
+
+namespace alloy {
+
+class WfdPool {
+ public:
+  // `workflow` labels the metrics; `capacity` is the max parked WFDs.
+  // capacity == 0 disables pooling (every lease misses, every park evicts).
+  WfdPool(const std::string& workflow, size_t capacity);
+  ~WfdPool();
+
+  WfdPool(const WfdPool&) = delete;
+  WfdPool& operator=(const WfdPool&) = delete;
+
+  // Pops a warm WFD (counted as a hit) or returns nullptr (a miss — the
+  // caller cold-starts via Wfd::Create and pays the instantiation).
+  std::unique_ptr<Wfd> TryAcquireWarm();
+
+  // Parks a successfully-reset WFD for reuse. The caller must have called
+  // Wfd::Reset() (ok) and Wfd::SetTrace(nullptr, 0) first. If the pool is
+  // at capacity the WFD is destroyed and counted as an eviction.
+  void Park(std::unique_ptr<Wfd> wfd);
+
+  // Destroys every parked WFD (workflow re-registration, shutdown).
+  // Counted as evictions.
+  void Clear();
+
+  size_t warm_count() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  asobs::Counter& hits_;
+  asobs::Counter& misses_;
+  asobs::Counter& evictions_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Wfd>> warm_;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_VISOR_WFD_POOL_H_

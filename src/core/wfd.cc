@@ -54,6 +54,24 @@ Wfd::~Wfd() {
   }
 }
 
+void Wfd::SetTrace(asobs::Trace* trace, uint32_t trace_parent) {
+  options_.trace = trace;
+  options_.trace_parent = trace_parent;
+  if (libos_ != nullptr) {
+    libos_->SetTrace(trace, trace_parent);
+  }
+}
+
+asbase::Status Wfd::Reset() {
+  if (mpk_ != nullptr) {
+    mpk_->WritePkru(0);
+  }
+  if (libos_ != nullptr) {
+    AS_RETURN_IF_ERROR(libos_->ResetForReuse());
+  }
+  return asbase::OkStatus();
+}
+
 asbase::Result<asmpk::ProtKey> Wfd::RegisterFunctionInstance(
     const std::string& function_name) {
   if (!options_.inter_function_isolation) {

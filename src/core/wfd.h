@@ -74,6 +74,18 @@ class Wfd {
   // cold-start budget. Module load time accrues separately in the LibOS.
   int64_t creation_nanos() const { return creation_nanos_; }
 
+  // Re-points the invocation trace (and the parent span id) this WFD's
+  // spans attach to. A pooled WFD outlives the per-invocation trace it was
+  // created with; the pool calls SetTrace(trace, id) on lease and
+  // SetTrace(nullptr, 0) before parking the WFD warm.
+  void SetTrace(asobs::Trace* trace, uint32_t trace_parent);
+
+  // Prepares the WFD for the next invocation of the same workflow (warm
+  // start): clears per-invocation LibOS state (slots, fds, mmaps) and
+  // reopens the thread's PKRU. Loaded modules and the heap survive. On
+  // failure the WFD must be destroyed, not re-pooled.
+  asbase::Status Reset();
+
   // Under AS-IFI, allocates a dedicated key for a function instance.
   // Returns the WFD user key otherwise.
   asbase::Result<asmpk::ProtKey> RegisterFunctionInstance(

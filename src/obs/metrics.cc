@@ -48,6 +48,12 @@ constexpr struct {
     {"alloy_visor_invocations_total", MetricType::kCounter},
     {"alloy_visor_invocation_failures_total", MetricType::kCounter},
     {"alloy_visor_invoke_nanos", MetricType::kSummary},
+    {"alloy_visor_pool_hits_total", MetricType::kCounter},
+    {"alloy_visor_pool_misses_total", MetricType::kCounter},
+    {"alloy_visor_pool_evictions_total", MetricType::kCounter},
+    {"alloy_visor_timeouts_total", MetricType::kCounter},
+    {"alloy_visor_rejections_total", MetricType::kCounter},
+    {"alloy_visor_inflight", MetricType::kGauge},
     {"alloy_libos_module_loads_total", MetricType::kCounter},
     {"alloy_libos_module_hits_total", MetricType::kCounter},
     {"alloy_libos_module_load_nanos", MetricType::kSummary},

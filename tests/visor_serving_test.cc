@@ -1,0 +1,300 @@
+// Tests for the visor serving layer (DESIGN.md §8): warm-WFD pooling,
+// concurrent watchdog dispatch, admission control (429), cooperative
+// deadlines (504), and the destroy-on-failure rule.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/core/visor/visor.h"
+#include "src/core/visor/wfd_pool.h"
+#include "src/obs/metrics.h"
+
+namespace alloy {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+WfdOptions SmallWfd() {
+  WfdOptions options;
+  options.heap_bytes = 8u << 20;
+  options.disk_blocks = 16 * 1024;  // 8 MiB disk
+  options.mpk_backend = asmpk::MpkBackend::kEmulated;
+  return options;
+}
+
+uint64_t CounterValue(const std::string& name, const std::string& workflow) {
+  return asobs::Registry::Global()
+      .GetCounter(name, {{"workflow", workflow}})
+      .value();
+}
+
+// ------------------------------------------------------------- WfdPool
+
+TEST(WfdPoolTest, LeaseParkEvictLifecycle) {
+  WfdPool pool("pooltest", 1);
+  const uint64_t hits0 = CounterValue("alloy_visor_pool_hits_total", "pooltest");
+  const uint64_t misses0 =
+      CounterValue("alloy_visor_pool_misses_total", "pooltest");
+  const uint64_t evictions0 =
+      CounterValue("alloy_visor_pool_evictions_total", "pooltest");
+
+  // Empty pool: a lease misses.
+  EXPECT_EQ(pool.TryAcquireWarm(), nullptr);
+  EXPECT_EQ(CounterValue("alloy_visor_pool_misses_total", "pooltest"),
+            misses0 + 1);
+
+  auto first = Wfd::Create(SmallWfd());
+  auto second = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Parking beyond capacity evicts (destroys) the extra WFD.
+  pool.Park(std::move(*first));
+  EXPECT_EQ(pool.warm_count(), 1u);
+  pool.Park(std::move(*second));
+  EXPECT_EQ(pool.warm_count(), 1u);
+  EXPECT_EQ(CounterValue("alloy_visor_pool_evictions_total", "pooltest"),
+            evictions0 + 1);
+
+  // Parked WFD comes back as a hit.
+  EXPECT_NE(pool.TryAcquireWarm(), nullptr);
+  EXPECT_EQ(CounterValue("alloy_visor_pool_hits_total", "pooltest"), hits0 + 1);
+  EXPECT_EQ(pool.warm_count(), 0u);
+}
+
+TEST(WfdPoolTest, ZeroCapacityDisablesPooling) {
+  WfdPool pool("pooloff", 0);
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  pool.Park(std::move(*wfd));
+  EXPECT_EQ(pool.warm_count(), 0u);
+  EXPECT_EQ(pool.TryAcquireWarm(), nullptr);
+}
+
+// --------------------------------------------------------- warm serving
+
+TEST(VisorServingTest, PoolReusesWfdAcrossInvocations) {
+  FunctionRegistry::Global().Register(
+      "serving.stateful", [](FunctionContext& ctx) -> asbase::Status {
+        if (ctx.params()["mode"].as_string() == "write") {
+          AS_RETURN_IF_ERROR(
+              ctx.as().WriteWholeFile("/state.txt", Bytes("kept")));
+          ctx.SetResult("wrote");
+          return asbase::OkStatus();
+        }
+        AS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                            ctx.as().ReadWholeFile("/state.txt"));
+        ctx.SetResult(std::string(data.begin(), data.end()));
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "warmwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.stateful", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  visor.RegisterWorkflow(spec, options);
+
+  asbase::Json write_params;
+  write_params.Set("mode", "write");
+  auto cold = visor.Invoke("warmwf", write_params);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->warm_start);
+  EXPECT_GT(cold->cold_start_nanos, 0);
+  ASSERT_EQ(visor.WarmWfdCount("warmwf").value_or(0), 1u);
+
+  // The second invocation leases the parked WFD: no wfd_create, no module
+  // re-loads, and the filesystem written by invocation 1 is still there.
+  asbase::Json read_params;
+  read_params.Set("mode", "read");
+  auto warm = visor.Invoke("warmwf", read_params);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->warm_start);
+  EXPECT_EQ(warm->wfd_create_nanos, 0);
+  EXPECT_EQ(warm->module_load_nanos, 0)
+      << "warm start must not re-load modules the first run loaded";
+  EXPECT_EQ(warm->run.result, "kept");
+  EXPECT_EQ(visor.WarmWfdCount("warmwf").value_or(0), 1u);
+}
+
+TEST(VisorServingTest, ConcurrentWatchdogInvocationsRunInParallel) {
+  FunctionRegistry::Global().Register(
+      "serving.sleep100", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ctx.SetResult("slept");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "parwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.sleep100", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.max_concurrency = 4;
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      ashttp::HttpRequest request;
+      request.method = "POST";
+      request.target = "/invoke/parwf";
+      auto response =
+          ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+      if (response.ok() && response->status == 200) {
+        ++ok_count;
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(ok_count.load(), 4);
+  // Serial execution would take >= 400ms of sleeps alone.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            350)
+      << "4 invocations at max_concurrency=4 must overlap";
+}
+
+TEST(VisorServingTest, SaturationRejectsWith429) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  FunctionRegistry::Global().Register(
+      "serving.block", [&started, &release](FunctionContext& ctx)
+                           -> asbase::Status {
+        started = true;
+        while (!release) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ctx.SetResult("released");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "satwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.block", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.max_concurrency = 1;
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  const uint64_t rejections0 =
+      CounterValue("alloy_visor_rejections_total", "satwf");
+
+  std::thread first([&] {
+    ashttp::HttpRequest request;
+    request.method = "POST";
+    request.target = "/invoke/satwf";
+    auto response =
+        ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  });
+  while (!started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The workflow is at max_concurrency=1: the next request is rejected
+  // immediately, not queued.
+  ashttp::HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/satwf";
+  auto rejected = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 429);
+  EXPECT_EQ(rejected->headers.count("retry-after"), 1u);
+  EXPECT_EQ(CounterValue("alloy_visor_rejections_total", "satwf"),
+            rejections0 + 1);
+
+  release = true;
+  first.join();
+
+  // With the slot free again the workflow is admissible.
+  auto admitted = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->status, 200);
+}
+
+TEST(VisorServingTest, SlowStageTripsDeadline) {
+  FunctionRegistry::Global().Register(
+      "serving.slow", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ctx.SetResult("too late");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "slowwf";
+  // Two stages so the deadline check after the slow stage's barrier stops
+  // the second stage from ever running.
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.slow", 1}}});
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.slow", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.timeout_ms = 50;
+  visor.RegisterWorkflow(spec, options);
+
+  const uint64_t timeouts0 = CounterValue("alloy_visor_timeouts_total", "slowwf");
+  auto result = visor.Invoke("slowwf", asbase::Json());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), asbase::ErrorCode::kDeadlineExceeded)
+      << result.status().ToString();
+  EXPECT_EQ(CounterValue("alloy_visor_timeouts_total", "slowwf"), timeouts0 + 1);
+
+  // Over HTTP the deadline maps to 504 with the status visible in the body.
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+  ashttp::HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/slowwf";
+  auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504);
+  EXPECT_NE(response->body.find("DEADLINE_EXCEEDED"), std::string::npos);
+}
+
+TEST(VisorServingTest, FailedInvocationDestroysWfdInsteadOfRepooling) {
+  FunctionRegistry::Global().Register(
+      "serving.flaky", [](FunctionContext& ctx) -> asbase::Status {
+        if (ctx.params()["fail"].as_bool(false)) {
+          return asbase::Internal("induced failure");
+        }
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "flakywf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.flaky", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 2;
+  visor.RegisterWorkflow(spec, options);
+
+  asbase::Json fail_params;
+  fail_params.Set("fail", true);
+  EXPECT_FALSE(visor.Invoke("flakywf", fail_params).ok());
+  EXPECT_EQ(visor.WarmWfdCount("flakywf").value_or(99), 0u)
+      << "a failed invocation's WFD must be destroyed, never re-pooled";
+
+  // The next invocation therefore cold-starts, then parks its clean WFD.
+  auto recovered = visor.Invoke("flakywf", asbase::Json());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->warm_start);
+  EXPECT_EQ(visor.WarmWfdCount("flakywf").value_or(0), 1u);
+}
+
+}  // namespace
+}  // namespace alloy
