@@ -9,6 +9,10 @@
 //      429 rejections vs 200 completions.
 //   4. open loop                — fixed-rate arrivals, end-to-end latency
 //      distribution under the admission caps.
+//   5. spike                    — the same concurrent burst against three
+//      admission configs: pure-reject (429 + client retry), queue-with-
+//      budget, and queue + pre-warmed floor. Compares time-to-success p99
+//      and cold-start counts.
 //
 // `--quick` shrinks every section to a smoke test (compile-and-run checked
 // by ctest, label `serving`). Emits BENCH_serving.json.
@@ -310,6 +314,137 @@ int Main(int argc, char** argv) {
       doc.Set("open_loop_rejected", static_cast<int64_t>(open_rejected.load()));
       visor.StopWatchdog();
     }
+  }
+
+  // --------------------------------------------------------------- 5. spike
+  {
+    // The same burst hits three admission configs. Every client loops until
+    // it gets a 200 (pure-reject clients retry 429s with a fixed 5ms
+    // backoff), so the histograms measure time-to-success at identical
+    // offered load — the metric a caller with a retry loop actually sees.
+    struct SpikeResult {
+      asbase::Histogram latency;
+      int cold_starts = 0;
+      int retries = 0;
+      int failures = 0;
+    };
+    const int spike_burst = quick ? 12 : 32;
+    auto run_spike = [&](const std::string& name, size_t queue_capacity,
+                         size_t min_warm, bool retry_on_429) {
+      SpikeResult result;
+      AsVisor visor;
+      AsVisor::WorkflowOptions options;
+      options.wfd = BenchWfd();
+      options.pool_size = 4;
+      options.max_concurrency = 4;
+      options.min_warm = min_warm;
+      options.queue_capacity = queue_capacity;
+      options.queueing_budget_ms = 10'000;
+      visor.RegisterWorkflow(OneStage(name, "bench.serve-io"), options);
+      if (min_warm > 0) {
+        // Let the warmer reach the floor so the spike lands on a warm pool.
+        const int64_t give_up = asbase::MonoNanos() + 10'000'000'000;
+        while (asbase::MonoNanos() < give_up) {
+          auto warm = visor.WarmWfdCount(name);
+          if (warm.ok() && *warm >= min_warm) {
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      AsVisor::ServingOptions serving;
+      serving.worker_threads = 16;
+      serving.max_inflight = 64;
+      if (!visor.StartWatchdog(0, serving).ok()) {
+        std::fprintf(stderr, "watchdog start failed\n");
+        return result;
+      }
+      std::mutex mutex;
+      std::vector<std::thread> clients;
+      for (int i = 0; i < spike_burst; ++i) {
+        clients.emplace_back([&] {
+          const int64_t sent = asbase::MonoNanos();
+          for (int attempt = 0; attempt < 200; ++attempt) {
+            auto response = ashttp::HttpCall(
+                "127.0.0.1", visor.watchdog_port(), InvokeRequest(name));
+            if (response.ok() && response->status == 200) {
+              bool cold = false;
+              if (auto body = asbase::Json::Parse(response->body); body.ok()) {
+                cold = !(*body)["warm_start"].as_bool(true);
+              }
+              std::lock_guard<std::mutex> lock(mutex);
+              result.latency.Record(asbase::MonoNanos() - sent);
+              if (cold) {
+                ++result.cold_starts;
+              }
+              return;
+            }
+            if (response.ok() && response->status == 429 && retry_on_429) {
+              {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++result.retries;
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              continue;
+            }
+            break;
+          }
+          std::lock_guard<std::mutex> lock(mutex);
+          ++result.failures;
+        });
+      }
+      for (auto& client : clients) {
+        client.join();
+      }
+      visor.StopWatchdog();
+      return result;
+    };
+
+    SpikeResult reject = run_spike("spike-reject", 0, 0, true);
+    SpikeResult queued = run_spike("spike-queue",
+                                   static_cast<size_t>(spike_burst), 0, false);
+    SpikeResult prewarm = run_spike(
+        "spike-prewarm", static_cast<size_t>(spike_burst), 4, false);
+
+    std::printf("\nspike of %d concurrent (IO workflow, max_concurrency=4)\n",
+                spike_burst);
+    std::printf("  %-22s %10s %10s %8s %8s\n", "", "p50", "p99", "cold",
+                "retries");
+    auto print_row = [](const char* label, const SpikeResult& r) {
+      std::printf("  %-22s %10s %10s %8d %8d\n", label,
+                  Ms(r.latency.Percentile(0.5)).c_str(),
+                  Ms(r.latency.Percentile(0.99)).c_str(), r.cold_starts,
+                  r.retries);
+    };
+    print_row("pure-reject + retry", reject);
+    print_row("queue-with-budget", queued);
+    print_row("queue + prewarm", prewarm);
+    if (reject.failures + queued.failures + prewarm.failures > 0) {
+      std::printf("  failures: reject=%d queue=%d prewarm=%d\n",
+                  reject.failures, queued.failures, prewarm.failures);
+    }
+    std::printf("  queue+prewarm vs pure-reject p99: %.1fx\n",
+                static_cast<double>(reject.latency.Percentile(0.99)) /
+                    static_cast<double>(std::max<int64_t>(
+                        prewarm.latency.Percentile(0.99), 1)));
+
+    series.Set("spike_reject", reject.latency.ToJson());
+    series.Set("spike_queue", queued.latency.ToJson());
+    series.Set("spike_prewarm", prewarm.latency.ToJson());
+    doc.Set("spike_burst", static_cast<int64_t>(spike_burst));
+    doc.Set("spike_reject_p99_nanos", reject.latency.Percentile(0.99));
+    doc.Set("spike_queue_p99_nanos", queued.latency.Percentile(0.99));
+    doc.Set("spike_prewarm_p99_nanos", prewarm.latency.Percentile(0.99));
+    doc.Set("spike_reject_retries", static_cast<int64_t>(reject.retries));
+    doc.Set("spike_reject_cold_starts",
+            static_cast<int64_t>(reject.cold_starts));
+    doc.Set("spike_queue_cold_starts",
+            static_cast<int64_t>(queued.cold_starts));
+    doc.Set("spike_prewarm_cold_starts",
+            static_cast<int64_t>(prewarm.cold_starts));
+    doc.Set("spike_prewarm_beats_reject_p99",
+            prewarm.latency.Percentile(0.99) <
+                reject.latency.Percentile(0.99));
   }
 
   doc.Set("series", std::move(series));

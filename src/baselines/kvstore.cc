@@ -18,6 +18,9 @@ constexpr uint8_t kOpSet = 1;
 constexpr uint8_t kOpGet = 2;
 constexpr uint8_t kOpDel = 3;
 constexpr uint8_t kOpTake = 4;
+// Blocking get: value field carries the timeout as 8 bytes of nanoseconds;
+// the server parks the connection until the key exists or the timeout fires.
+constexpr uint8_t kOpWaitGet = 5;
 // response status
 constexpr uint8_t kOk = 0;
 constexpr uint8_t kMissing = 1;
@@ -84,6 +87,13 @@ void KvServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // Wake connections parked in WAITGET so their worker threads can be
+  // joined below. The empty critical section orders the running_ store
+  // before any waiter's predicate check (no lost wakeup).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  cv_.notify_all();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
@@ -137,11 +147,29 @@ void KvServer::ServeConnection(int fd) {
     ops_.fetch_add(1, std::memory_order_relaxed);
     uint8_t status = kOk;
     std::vector<uint8_t> reply;
-    {
+    if (op == kOpWaitGet) {
+      int64_t timeout_nanos = 0;
+      if (value.size() == sizeof(timeout_nanos)) {
+        std::memcpy(&timeout_nanos, value.data(), sizeof(timeout_nanos));
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::nanoseconds(timeout_nanos);
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_until(lock, deadline, [&] {
+        return !running_.load() || table_.find(key) != table_.end();
+      });
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        reply = it->second;
+      } else {
+        status = kMissing;  // timed out (or server stopping)
+      }
+    } else {
       std::lock_guard<std::mutex> lock(mutex_);
       switch (op) {
         case kOpSet:
           table_[key] = std::move(value);
+          cv_.notify_all();
           break;
         case kOpGet: {
           auto it = table_.find(key);
@@ -252,18 +280,18 @@ asbase::Result<std::vector<uint8_t>> KvClient::Take(const std::string& key) {
 
 asbase::Result<std::vector<uint8_t>> KvClient::WaitGet(
     const std::string& key, std::chrono::nanoseconds timeout) {
-  const int64_t deadline = asbase::MonoNanos() + timeout.count();
-  while (true) {
-    auto value = Get(key);
-    if (value.ok() ||
-        value.status().code() != asbase::ErrorCode::kNotFound) {
-      return value;
-    }
-    if (asbase::MonoNanos() > deadline) {
-      return asbase::Unavailable("timed out waiting for key '" + key + "'");
-    }
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  // One WAITGET round trip: the server blocks on its condition variable
+  // until the key is Set, so no polling traffic crosses the socket.
+  int64_t timeout_nanos = timeout.count();
+  auto value = Call(
+      kOpWaitGet, key,
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(&timeout_nanos),
+          sizeof(timeout_nanos)));
+  if (!value.ok() && value.status().code() == asbase::ErrorCode::kNotFound) {
+    return asbase::Unavailable("timed out waiting for key '" + key + "'");
   }
+  return value;
 }
 
 }  // namespace asbl

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <span>
@@ -42,6 +43,8 @@ class KvServer {
   void ServeConnection(int fd);
 
   mutable std::mutex mutex_;
+  // Wakes WAITGET ops when a Set lands (or the server stops).
+  std::condition_variable cv_;
   std::map<std::string, std::vector<uint8_t>> table_;
   std::atomic<uint64_t> ops_{0};
 
@@ -64,8 +67,9 @@ class KvClient {
   asbase::Status Del(const std::string& key);
   // Atomic get-and-delete (single-consumer transfer take).
   asbase::Result<std::vector<uint8_t>> Take(const std::string& key);
-  // Blocking Get that retries until the key appears (consumer waiting on a
-  // producer) or the deadline passes.
+  // Blocking Get: the *server* parks this connection on a condition variable
+  // until the key appears (consumer waiting on a producer) or the timeout
+  // passes — one round trip, no client-side polling.
   asbase::Result<std::vector<uint8_t>> WaitGet(
       const std::string& key,
       std::chrono::nanoseconds timeout = std::chrono::seconds(10));

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/clock.h"
+
 namespace alloy {
 
 AsFile::~AsFile() {
@@ -57,12 +59,20 @@ asbase::Result<AsFile> AsStd::Open(const std::string& path,
   return AsFile(this, fd);
 }
 
+asbase::Status AsStd::CheckDeadline() const {
+  if (deadline_nanos_ != 0 && asbase::MonoNanos() > deadline_nanos_) {
+    return asbase::DeadlineExceeded("invocation deadline exceeded in as-std");
+  }
+  return asbase::OkStatus();
+}
+
 asbase::Status AsStd::WriteWholeFile(const std::string& path,
                                      std::span<const uint8_t> data) {
   AS_ASSIGN_OR_RETURN(AsFile file,
                       Open(path, asfat::OpenFlags::WriteCreate()));
   size_t done = 0;
   while (done < data.size()) {
+    AS_RETURN_IF_ERROR(CheckDeadline());
     AS_ASSIGN_OR_RETURN(size_t n, file.Write(data.subspan(done)));
     if (n == 0) {
       return asbase::ResourceExhausted("short write to " + path);
@@ -79,6 +89,7 @@ asbase::Result<std::vector<uint8_t>> AsStd::ReadWholeFile(
   std::vector<uint8_t> data(info.size);
   size_t done = 0;
   while (done < data.size()) {
+    AS_RETURN_IF_ERROR(CheckDeadline());
     AS_ASSIGN_OR_RETURN(size_t n,
                         file.Read(std::span<uint8_t>(data).subspan(done)));
     if (n == 0) {
@@ -117,12 +128,22 @@ asbase::Result<int64_t> AsStd::NowMicros() {
 
 asbase::Result<std::unique_ptr<asnet::TcpListener>> AsStd::Bind(
     uint16_t port) {
-  return Syscall([&] { return wfd_->libos().SmolBind(port); });
+  auto listener = Syscall([&] { return wfd_->libos().SmolBind(port); });
+  if (listener.ok()) {
+    // Accept (and every accepted connection) honors the invocation deadline.
+    (*listener)->set_deadline_nanos(deadline_nanos_);
+  }
+  return listener;
 }
 
 asbase::Result<std::unique_ptr<asnet::TcpConnection>> AsStd::Connect(
     asnet::Ipv4Addr dst, uint16_t port) {
-  return Syscall([&] { return wfd_->libos().SmolConnect(dst, port); });
+  auto connection =
+      Syscall([&] { return wfd_->libos().SmolConnect(dst, port); });
+  if (connection.ok()) {
+    (*connection)->set_deadline_nanos(deadline_nanos_);
+  }
+  return connection;
 }
 
 asbase::Result<RawBuffer> AsStd::AllocBuffer(const std::string& slot,

@@ -76,6 +76,17 @@ class AsStd {
   asbase::Status Print(std::string_view text);
   asbase::Result<int64_t> NowMicros();
 
+  // ---- deadlines ----
+  // Absolute MonoNanos deadline for the surrounding invocation, stamped by
+  // the orchestrator. Slow paths below (whole-file chunk loops) check it
+  // between chunks, and sockets minted by Bind/Connect inherit it, so a
+  // function stuck in library code still honors the invocation deadline
+  // without the orchestrator preempting its thread. 0 = none.
+  void set_deadline_nanos(int64_t deadline) { deadline_nanos_ = deadline; }
+  int64_t deadline_nanos() const { return deadline_nanos_; }
+  // kDeadlineExceeded once the deadline has passed, OkStatus before.
+  asbase::Status CheckDeadline() const;
+
   // ---- sockets ----
   asbase::Result<std::unique_ptr<asnet::TcpListener>> Bind(uint16_t port);
   asbase::Result<std::unique_ptr<asnet::TcpConnection>> Connect(
@@ -152,6 +163,7 @@ class AsStd {
 
   Wfd* wfd_;
   std::atomic<uint64_t> syscalls_{0};
+  int64_t deadline_nanos_ = 0;
 };
 
 // Typed reference-passing buffer (Fig 6/8). T must be trivially copyable —

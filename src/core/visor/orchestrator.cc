@@ -131,6 +131,7 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
   const uint64_t switches_before = wfd_->mpk().switch_count();
 
   AsStd as(wfd_);
+  as.set_deadline_nanos(options.deadline_nanos);
   asobs::Trace* trace = wfd_->options().trace;
   const uint32_t trace_parent = wfd_->options().trace_parent;
 

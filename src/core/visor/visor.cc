@@ -1,6 +1,9 @@
 #include "src/core/visor/visor.h"
 
+#include <algorithm>
+#include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <optional>
 
 #include "src/common/clock.h"
@@ -9,6 +12,10 @@
 
 namespace alloy {
 namespace {
+
+// Smoothing for the per-workflow service-time EWMA behind the
+// queue-with-budget admission predictor.
+constexpr double kServiceAlpha = 0.2;
 
 // Query-string value for `key` in an HTTP target ("/trace?workflow=x").
 std::string QueryParam(const std::string& target, const std::string& key) {
@@ -62,14 +69,42 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
                                WorkflowOptions options) {
   Entry entry;
   entry.spec = spec;
-  entry.pool = std::make_shared<WfdPool>(spec.name, options.pool_size);
+  WfdPoolOptions pool_options;
+  pool_options.capacity = options.pool_size;
+  pool_options.min_warm = std::min(options.min_warm, options.pool_size);
+  pool_options.idle_ttl_ms = options.idle_ttl_ms;
+  if (pool_options.capacity > 0 &&
+      (pool_options.min_warm > 0 || pool_options.idle_ttl_ms > 0)) {
+    // The warmer cold-starts WFDs itself; those boots carry no invocation
+    // trace (there is none yet) and count as prewarms, not misses.
+    WfdOptions wfd_options = options.wfd;
+    wfd_options.trace = nullptr;
+    wfd_options.trace_parent = 0;
+    pool_options.factory = [wfd_options] { return Wfd::Create(wfd_options); };
+  }
+  entry.pool = std::make_shared<WfdPool>(spec.name, std::move(pool_options));
   entry.options = std::move(options);
-  std::lock_guard<std::mutex> lock(mutex_);
-  // Overwrite drops the previous entry — including its pool, whose warm
-  // WFDs were built from the old WfdOptions and must not serve the new
-  // registration. In-flight invocations keep the old pool alive via
-  // shared_ptr until they finish.
-  workflows_[spec.name] = std::move(entry);
+  std::shared_ptr<WfdPool> old_pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Overwrite drops the previous entry — including its pool, whose warm
+    // WFDs were built from the old WfdOptions and must not serve the new
+    // registration. In-flight invocations keep the old pool alive via
+    // shared_ptr until they finish.
+    auto it = workflows_.find(spec.name);
+    if (it != workflows_.end()) {
+      old_pool = it->second.pool;
+    }
+    workflows_[spec.name] = std::move(entry);
+  }
+  // Requests queued against the old registration re-evaluate (their ticket
+  // vanished with the old Entry).
+  admission_cv_.notify_all();
+  if (old_pool != nullptr) {
+    // Stop the orphan's warmer now (it joins a thread — never under mutex_)
+    // so it does not keep booting WFDs nobody will lease.
+    old_pool->Shutdown();
+  }
 }
 
 asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
@@ -93,6 +128,34 @@ asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
     if (opts["pool_size"].is_number()) {
       options.pool_size = static_cast<size_t>(opts["pool_size"].as_int());
     }
+    if (opts["min_warm"].is_number()) {
+      const int64_t value = opts["min_warm"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("min_warm must be >= 0");
+      }
+      options.min_warm = static_cast<size_t>(value);
+    }
+    if (opts["idle_ttl_ms"].is_number()) {
+      const int64_t value = opts["idle_ttl_ms"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("idle_ttl_ms must be >= 0");
+      }
+      options.idle_ttl_ms = value;
+    }
+    if (opts["queue_capacity"].is_number()) {
+      const int64_t value = opts["queue_capacity"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("queue_capacity must be >= 0");
+      }
+      options.queue_capacity = static_cast<size_t>(value);
+    }
+    if (opts["queueing_budget_ms"].is_number()) {
+      const int64_t value = opts["queueing_budget_ms"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("queueing_budget_ms must be >= 0");
+      }
+      options.queueing_budget_ms = value;
+    }
     if (opts["max_concurrency"].is_number()) {
       const int64_t value = opts["max_concurrency"].as_int();
       if (value < 1) {
@@ -115,6 +178,12 @@ asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
 
 asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
                                              const asbase::Json& params) {
+  return Invoke(workflow_name, params, InvokeOptions{});
+}
+
+asbase::Result<InvokeResult> AsVisor::Invoke(
+    const std::string& workflow_name, const asbase::Json& params,
+    const InvokeOptions& invoke_options) {
   WorkflowSpec spec;
   WfdOptions wfd_options;
   std::shared_ptr<WfdPool> pool;
@@ -158,11 +227,30 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
   auto trace = std::make_shared<asobs::Trace>(workflow_name);
   asobs::Span root = trace->StartSpan("invoke", "visor");
   root.SetArg("workflow", workflow_name);
+  if (invoke_options.queue_wait_nanos > 0) {
+    // The admission wait happened before this trace existed; backfill it as
+    // a completed span ending where the invoke span starts.
+    trace->RecordSpan("queue_wait", "visor", root.id(),
+                      received_at - invoke_options.queue_wait_nanos,
+                      invoke_options.queue_wait_nanos);
+  }
 
   // Step 1 (Fig 4): lease a warm WFD or instantiate one for this
   // invocation. On a warm hit cold start is skipped entirely; module loads
   // are accounted as a delta so only *new* loads count against this run.
   std::unique_ptr<Wfd> wfd = pool->TryAcquireWarm();
+  // The lease counts toward the pool's warm target until it ends: Park ends
+  // it on the success path, this guard covers every path that destroys the
+  // WFD instead (create/run/reset failure, pooling disabled).
+  struct LeaseEnd {
+    WfdPool* pool;
+    bool armed = true;
+    ~LeaseEnd() {
+      if (armed) {
+        pool->AbandonLease();
+      }
+    }
+  } lease_end{pool.get()};
   result.warm_start = wfd != nullptr;
   int64_t loads_before = 0;
   if (result.warm_start) {
@@ -214,6 +302,7 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
     if (reset.ok()) {
       wfd->SetTrace(nullptr, 0);
       pool->Park(std::move(wfd));
+      lease_end.armed = false;
     } else {
       AS_LOG(kWarn) << "WFD reset for '" << workflow_name
                     << "' failed (" << reset.ToString() << "); destroying";
@@ -235,6 +324,15 @@ asbase::Result<InvokeResult> AsVisor::Invoke(const std::string& workflow_name,
     auto it = workflows_.find(workflow_name);
     if (it != workflows_.end()) {
       it->second.latency.Record(result.end_to_end_nanos);
+      // Service time feeding the admission predictor: execution only (the
+      // queue wait is the quantity being predicted, not part of service).
+      const double sample = static_cast<double>(result.end_to_end_nanos);
+      Entry& entry = it->second;
+      entry.service_ewma_nanos =
+          entry.service_ewma_nanos == 0
+              ? sample
+              : kServiceAlpha * sample +
+                    (1.0 - kServiceAlpha) * entry.service_ewma_nanos;
       it->second.traces.push_back(trace);
       while (it->second.traces.size() > kTraceRing) {
         it->second.traces.pop_front();
@@ -253,38 +351,139 @@ asbase::Result<InvokeResult> AsVisor::InvokeFromConfig(
 
 // ------------------------------------------------------ admission control
 
-asbase::Status AsVisor::TryAdmit(const std::string& workflow_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = workflows_.find(workflow_name);
-  if (it == workflows_.end()) {
-    return asbase::NotFound("no workflow named '" + workflow_name + "'");
-  }
-  if (inflight_global_ >= serving_.max_inflight) {
-    return asbase::ResourceExhausted(
-        "global in-flight cap (" + std::to_string(serving_.max_inflight) +
-        ") reached");
-  }
-  if (it->second.inflight >= it->second.options.max_concurrency) {
-    return asbase::ResourceExhausted(
-        "workflow '" + workflow_name + "' at max_concurrency (" +
-        std::to_string(it->second.options.max_concurrency) + ")");
-  }
-  ++inflight_global_;
-  ++it->second.inflight;
-  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
-  return asbase::OkStatus();
-}
-
 void AsVisor::ReleaseAdmission(const std::string& workflow_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (inflight_global_ > 0) {
-    --inflight_global_;
-  }
-  auto it = workflows_.find(workflow_name);
-  if (it != workflows_.end() && it->second.inflight > 0) {
-    --it->second.inflight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight_global_ > 0) {
+      --inflight_global_;
+    }
+    auto it = workflows_.find(workflow_name);
+    if (it != workflows_.end() && it->second.inflight > 0) {
+      --it->second.inflight;
+    }
   }
   asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(-1);
+  // A slot freed: the head of this workflow's queue (if any) can admit.
+  admission_cv_.notify_all();
+}
+
+int64_t AsVisor::PredictedWaitNanosLocked(const Entry& entry) const {
+  if (entry.service_ewma_nanos <= 0) {
+    return 0;  // no sample yet — optimistically admit
+  }
+  // A new arrival runs after everyone already queued; with max_concurrency
+  // servers draining the queue, expected wait ≈ position × service / c.
+  const double position = static_cast<double>(entry.waiters.size()) + 1.0;
+  const double concurrency =
+      static_cast<double>(std::max(entry.options.max_concurrency, 1));
+  return static_cast<int64_t>(position * entry.service_ewma_nanos /
+                              concurrency);
+}
+
+asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
+                                      int64_t budget_ms_override,
+                                      int64_t* queue_wait_nanos,
+                                      int64_t* predicted_wait_nanos) {
+  *queue_wait_nanos = 0;
+  *predicted_wait_nanos = 0;
+  uint64_t ticket = 0;
+  const int64_t enqueued_at = asbase::MonoNanos();
+  asobs::Gauge& queued_gauge =
+      asobs::Registry::Global().GetGauge("alloy_visor_queued",
+                                         {{"workflow", workflow_name}});
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return asbase::NotFound("no workflow named '" + workflow_name + "'");
+    }
+    Entry& entry = it->second;
+    const bool slot_free =
+        entry.inflight < entry.options.max_concurrency &&
+        inflight_global_ < serving_.max_inflight;
+    if (slot_free && entry.waiters.empty()) {
+      ++inflight_global_;
+      ++entry.inflight;
+      asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
+      return asbase::OkStatus();
+    }
+    // Saturated. Queue only if allowed, not full, and the predicted wait
+    // fits the budget; otherwise reject and report the prediction so the
+    // caller can compute Retry-After.
+    *predicted_wait_nanos = PredictedWaitNanosLocked(entry);
+    if (entry.options.queue_capacity == 0) {
+      return asbase::ResourceExhausted(
+          "workflow '" + workflow_name + "' at max_concurrency (" +
+          std::to_string(entry.options.max_concurrency) + ")");
+    }
+    if (entry.waiters.size() >= entry.options.queue_capacity) {
+      return asbase::ResourceExhausted(
+          "workflow '" + workflow_name + "' admission queue full (" +
+          std::to_string(entry.options.queue_capacity) + ")");
+    }
+    const int64_t budget_ms = budget_ms_override >= 0
+                                  ? budget_ms_override
+                                  : entry.options.queueing_budget_ms;
+    if (*predicted_wait_nanos > budget_ms * 1'000'000) {
+      return asbase::ResourceExhausted(
+          "predicted queue wait " +
+          std::to_string(*predicted_wait_nanos / 1'000'000) +
+          "ms exceeds budget " + std::to_string(budget_ms) + "ms for '" +
+          workflow_name + "'");
+    }
+    ticket = entry.next_ticket++;
+    entry.waiters.push_back(ticket);
+    queued_gauge.Add(1);
+
+    // Wait for our turn: front of the queue AND a free slot. Re-find the
+    // entry each wake — a re-registration replaces it (our ticket vanishes
+    // with the old Entry) and draining aborts the wait.
+    admission_cv_.wait(lock, [&] {
+      if (draining_) {
+        return true;
+      }
+      auto found = workflows_.find(workflow_name);
+      if (found == workflows_.end() || found->second.waiters.empty() ||
+          std::find(found->second.waiters.begin(),
+                    found->second.waiters.end(),
+                    ticket) == found->second.waiters.end()) {
+        return true;  // entry replaced: give up
+      }
+      return found->second.waiters.front() == ticket &&
+             found->second.inflight < found->second.options.max_concurrency &&
+             inflight_global_ < serving_.max_inflight;
+    });
+    queued_gauge.Add(-1);
+    *queue_wait_nanos = asbase::MonoNanos() - enqueued_at;
+
+    auto found = workflows_.find(workflow_name);
+    const bool still_queued =
+        found != workflows_.end() && !found->second.waiters.empty() &&
+        found->second.waiters.front() == ticket;
+    if (still_queued) {
+      found->second.waiters.pop_front();
+    }
+    if (draining_) {
+      // Also unblock whoever is now at the front.
+      lock.unlock();
+      admission_cv_.notify_all();
+      return asbase::Unavailable("watchdog draining");
+    }
+    if (!still_queued) {
+      return asbase::NotFound("workflow '" + workflow_name +
+                              "' re-registered while queued");
+    }
+    ++inflight_global_;
+    ++found->second.inflight;
+  }
+  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
+  asobs::Registry::Global()
+      .GetHistogram("alloy_visor_queue_wait_nanos",
+                    {{"workflow", workflow_name}})
+      .Record(*queue_wait_nanos);
+  // Our pop may have moved a new waiter to the front.
+  admission_cv_.notify_all();
+  return asbase::OkStatus();
 }
 
 // --------------------------------------------------------------- watchdog
@@ -302,6 +501,10 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
         "worker_threads and max_inflight must be >= 1");
   }
   serving_ = serving;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = false;
+  }
   serving_pool_ = std::make_unique<asbase::ThreadPool>(serving.worker_threads);
   watchdog_ = std::make_unique<ashttp::HttpServer>(
       [this](const ashttp::HttpRequest& request) {
@@ -344,14 +547,32 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
     params = *parsed;
   }
 
-  // Admission control: reject — don't queue — when either the workflow's
-  // max_concurrency or the global in-flight cap is reached. The client is
-  // the retry loop; Retry-After tells it when.
-  asbase::Status admitted = TryAdmit(name);
+  // Admission control: admit, queue (when the workflow allows it and the
+  // predicted wait fits this request's budget), or reject with a
+  // Retry-After computed from that prediction.
+  int64_t budget_ms_override = -1;
+  auto budget_header = request.headers.find("x-queue-budget-ms");
+  if (budget_header != request.headers.end()) {
+    budget_ms_override = std::atoll(budget_header->second.c_str());
+    if (budget_ms_override < 0) {
+      budget_ms_override = -1;
+    }
+  }
+  int64_t queue_wait_nanos = 0;
+  int64_t predicted_wait_nanos = 0;
+  asbase::Status admitted = AdmitBlocking(name, budget_ms_override,
+                                          &queue_wait_nanos,
+                                          &predicted_wait_nanos);
   if (!admitted.ok()) {
     if (admitted.code() == asbase::ErrorCode::kNotFound) {
       response.status = 404;
       response.reason = "Not Found";
+      response.body = admitted.ToString();
+      return response;
+    }
+    if (admitted.code() == asbase::ErrorCode::kUnavailable) {
+      response.status = 503;
+      response.reason = "Service Unavailable";
       response.body = admitted.ToString();
       return response;
     }
@@ -360,8 +581,16 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
         .Add(1);
     response.status = 429;
     response.reason = "Too Many Requests";
-    response.headers["retry-after"] =
-        std::to_string(serving_.retry_after_seconds);
+    // Tell the client when a retry is predicted to succeed; fall back to
+    // the static knob before any service-time sample exists.
+    const int retry_after =
+        predicted_wait_nanos > 0
+            ? std::max<int>(
+                  1, static_cast<int>(
+                         std::ceil(static_cast<double>(predicted_wait_nanos) /
+                                   1e9)))
+            : serving_.retry_after_seconds;
+    response.headers["retry-after"] = std::to_string(retry_after);
     response.body = admitted.ToString();
     return response;
   }
@@ -375,8 +604,10 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
     std::optional<asbase::Result<InvokeResult>> result;
   };
   auto pending = std::make_shared<Pending>();
-  serving_pool_->Submit([this, name, params, pending] {
-    auto invoked = Invoke(name, params);
+  serving_pool_->Submit([this, name, params, pending, queue_wait_nanos] {
+    InvokeOptions invoke_options;
+    invoke_options.queue_wait_nanos = queue_wait_nanos;
+    auto invoked = Invoke(name, params, invoke_options);
     {
       std::lock_guard<std::mutex> lock(pending->mutex);
       pending->result.emplace(std::move(invoked));
@@ -470,6 +701,13 @@ uint16_t AsVisor::watchdog_port() const {
 }
 
 void AsVisor::StopWatchdog() {
+  // Abort queued admissions first: their connection threads sit inside
+  // HandleInvoke and the server's Stop() joins them.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  admission_cv_.notify_all();
   if (watchdog_ != nullptr) {
     // Stop the server first: connection threads block on in-flight
     // invocations, which need the serving pool alive to finish.

@@ -9,15 +9,21 @@
 //
 // Serving layer (DESIGN.md §8): invocations arriving through the watchdog
 // are dispatched onto a worker thread pool, gated by per-workflow
-// `max_concurrency` and a global in-flight cap — requests beyond either
-// limit are rejected immediately with HTTP 429 + Retry-After rather than
-// queued (admission control). Each invocation may carry a deadline
-// (`timeout_ms`) enforced cooperatively by the orchestrator; an expired run
-// fails with kDeadlineExceeded (HTTP 504).
+// `max_concurrency` and a global in-flight cap. A saturated workflow may
+// absorb short bursts through a bounded FIFO admission queue: a request
+// queues only when its *predicted* wait (queue position × an EWMA of recent
+// service time / max_concurrency) fits its queueing budget; otherwise it is
+// rejected with HTTP 429 and a Retry-After computed from that prediction.
+// Each invocation may carry a deadline (`timeout_ms`) enforced cooperatively
+// by the orchestrator; an expired run fails with kDeadlineExceeded (HTTP
+// 504). Registration also pre-warms the workflow's WFD pool (WfdPool
+// warmer) so a traffic spike pays at most the cold starts already in
+// flight when it lands.
 
 #ifndef SRC_CORE_VISOR_VISOR_H_
 #define SRC_CORE_VISOR_VISOR_H_
 
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -59,10 +65,25 @@ class AsVisor {
     WfdOptions wfd;
     // Warm WFDs retained for this workflow; 0 = cold-start every invocation.
     size_t pool_size = 2;
+    // Pool pre-warm floor (clamped to pool_size): RegisterWorkflow
+    // asynchronously boots this many WFDs, and the pool's warmer refills on
+    // drain (sized by an arrival-rate EWMA). 0 keeps the pool reactive.
+    size_t min_warm = 0;
+    // Evict all parked WFDs after this long without traffic (the pool of a
+    // quiet workflow shrinks to zero, releasing its heap + disk). 0 = never.
+    int64_t idle_ttl_ms = 0;
     // Concurrent watchdog invocations admitted for this workflow; beyond
-    // this the watchdog answers 429. (Direct Invoke() calls are not gated —
+    // this requests queue (if queue_capacity > 0 and the predicted wait
+    // fits the budget) or get 429. (Direct Invoke() calls are not gated —
     // a library caller owns its own concurrency.)
     int max_concurrency = 4;
+    // Bounded FIFO admission queue depth for saturated arrivals. 0 =
+    // pure reject-at-cap (the pre-queue behavior).
+    size_t queue_capacity = 0;
+    // Default per-request queueing budget: a request queues only if its
+    // predicted wait fits; a client may override per request via the
+    // `x-queue-budget-ms` header.
+    int64_t queueing_budget_ms = 250;
     // Per-invocation deadline in milliseconds; 0 = none.
     int64_t timeout_ms = 0;
   };
@@ -74,8 +95,17 @@ class AsVisor {
     size_t worker_threads = 8;
     // Global in-flight invocation cap across all workflows.
     size_t max_inflight = 32;
-    // Retry-After hint (seconds) on 429 responses.
+    // Retry-After fallback (seconds) on 429 responses when no service-time
+    // EWMA exists yet; once it does, Retry-After is computed from the
+    // predicted wait instead.
     int retry_after_seconds = 1;
+  };
+
+  // Serving-path context for one invocation (watchdog admission).
+  struct InvokeOptions {
+    // Time this request spent in the admission queue before Invoke; recorded
+    // as a `queue_wait` span and excluded from the service-time EWMA.
+    int64_t queue_wait_nanos = 0;
   };
 
   AsVisor() = default;
@@ -98,6 +128,9 @@ class AsVisor {
   // success / destroy on failure. Enforces the workflow's timeout_ms.
   asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
                                       const asbase::Json& params);
+  asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
+                                      const asbase::Json& params,
+                                      const InvokeOptions& invoke_options);
 
   // One-shot CLI gateway: parse config, register, invoke once.
   asbase::Result<InvokeResult> InvokeFromConfig(const std::string& config_json,
@@ -133,21 +166,43 @@ class AsVisor {
     std::shared_ptr<WfdPool> pool;
     // Watchdog invocations currently running this workflow (admission).
     int inflight = 0;
+    // FIFO admission queue: tickets of requests waiting for a concurrency
+    // slot, front = next to run. Bounded by options.queue_capacity.
+    std::deque<uint64_t> waiters;
+    uint64_t next_ticket = 1;
+    // EWMA of recent service time (Invoke wall time, queue wait excluded);
+    // drives the predicted-wait admission decision and Retry-After.
+    double service_ewma_nanos = 0;
     asbase::Histogram latency;
     // Last kTraceRing invocation traces, oldest first.
     std::deque<std::shared_ptr<const asobs::Trace>> traces;
   };
 
-  // Admission for one watchdog invocation. Returns OkStatus and bumps the
-  // in-flight counts, or kResourceExhausted when either cap is hit.
-  asbase::Status TryAdmit(const std::string& workflow_name);
   void ReleaseAdmission(const std::string& workflow_name);
+
+  // Queue-with-budget admission (DESIGN.md §8): admit immediately when a
+  // slot is free, else queue FIFO if the predicted wait fits the budget
+  // (workflow default, or budget_ms_override >= 0 from the request), else
+  // reject kResourceExhausted. On rejection *predicted_wait_nanos carries
+  // the prediction so the caller can compute Retry-After; on admission
+  // *queue_wait_nanos is the time actually spent queued.
+  asbase::Status AdmitBlocking(const std::string& workflow_name,
+                               int64_t budget_ms_override,
+                               int64_t* queue_wait_nanos,
+                               int64_t* predicted_wait_nanos);
+  // Wait the next arrival would see: (position) × service EWMA scaled by
+  // the workflow's concurrency. Zero until a service-time sample exists.
+  int64_t PredictedWaitNanosLocked(const Entry& entry) const;
 
   ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
   ashttp::HttpResponse ServeMetrics() const;
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
 
   mutable std::mutex mutex_;
+  // Wakes queued requests when a slot frees, a queue position advances, or
+  // the watchdog drains.
+  std::condition_variable admission_cv_;
+  bool draining_ = false;  // guarded by mutex_; set by StopWatchdog
   std::map<std::string, Entry> workflows_;
   size_t inflight_global_ = 0;  // guarded by mutex_
   ServingOptions serving_;

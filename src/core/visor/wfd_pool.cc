@@ -1,31 +1,112 @@
 #include "src/core/visor/wfd_pool.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
 namespace alloy {
+namespace {
+
+WfdPoolOptions ReactiveOptions(size_t capacity) {
+  WfdPoolOptions options;
+  options.capacity = capacity;
+  return options;
+}
+
+}  // namespace
 
 WfdPool::WfdPool(const std::string& workflow, size_t capacity)
-    : capacity_(capacity),
+    : WfdPool(workflow, ReactiveOptions(capacity)) {}
+
+WfdPool::WfdPool(const std::string& workflow, WfdPoolOptions options)
+    : options_(std::move(options)),
       hits_(asobs::Registry::Global().GetCounter(
           "alloy_visor_pool_hits_total", {{"workflow", workflow}})),
       misses_(asobs::Registry::Global().GetCounter(
           "alloy_visor_pool_misses_total", {{"workflow", workflow}})),
       evictions_(asobs::Registry::Global().GetCounter(
-          "alloy_visor_pool_evictions_total", {{"workflow", workflow}})) {}
+          "alloy_visor_pool_evictions_total", {{"workflow", workflow}})),
+      prewarms_(asobs::Registry::Global().GetCounter(
+          "alloy_visor_prewarms_total", {{"workflow", workflow}})),
+      resident_gauge_(asobs::Registry::Global().GetGauge(
+          "alloy_visor_pool_resident_bytes", {{"workflow", workflow}})) {
+  last_activity_nanos_ = asbase::MonoNanos();
+  // The warmer only exists when it has something to do: a floor or a
+  // predictive refill needs the factory; the idle-TTL evictor does not.
+  const bool needs_warmer =
+      options_.capacity > 0 &&
+      ((options_.factory != nullptr) || options_.idle_ttl_ms > 0);
+  if (needs_warmer) {
+    warmer_ = std::thread([this] { WarmerLoop(); });
+  }
+}
 
-WfdPool::~WfdPool() { Clear(); }
+WfdPool::~WfdPool() { Shutdown(); }
+
+void WfdPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  warmer_cv_.notify_all();
+  if (warmer_.joinable()) {
+    warmer_.join();
+  }
+  Clear();
+}
+
+std::unique_ptr<Wfd> WfdPool::PopWarmLocked() {
+  if (warm_.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<Wfd> wfd = std::move(warm_.back());
+  warm_.pop_back();
+  const size_t bytes = wfd->ResidentBytes();
+  resident_bytes_ -= std::min(resident_bytes_, bytes);
+  resident_gauge_.Set(static_cast<int64_t>(resident_bytes_));
+  return wfd;
+}
+
+void WfdPool::AddWarmLocked(std::unique_ptr<Wfd> wfd) {
+  resident_bytes_ += wfd->ResidentBytes();
+  resident_gauge_.Set(static_cast<int64_t>(resident_bytes_));
+  warm_.push_back(std::move(wfd));
+}
 
 std::unique_ptr<Wfd> WfdPool::TryAcquireWarm() {
   std::unique_ptr<Wfd> wfd;
+  bool drained_below_target = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!warm_.empty()) {
-      wfd = std::move(warm_.back());
-      warm_.pop_back();
+    const int64_t now = asbase::MonoNanos();
+    if (last_arrival_nanos_ != 0) {
+      const double interval = static_cast<double>(now - last_arrival_nanos_);
+      ewma_interarrival_nanos_ =
+          ewma_interarrival_nanos_ == 0
+              ? interval
+              : kArrivalAlpha * interval +
+                    (1.0 - kArrivalAlpha) * ewma_interarrival_nanos_;
     }
+    last_arrival_nanos_ = now;
+    last_activity_nanos_ = now;
+    wfd = PopWarmLocked();
+    ++outstanding_;
+    drained_below_target =
+        warm_.size() + prewarming_ + outstanding_ < TargetWarmLocked(now);
   }
   if (wfd == nullptr) {
     misses_.Add(1);
   } else {
     hits_.Add(1);
+  }
+  if (drained_below_target) {
+    warmer_cv_.notify_all();
   }
   return wfd;
 }
@@ -36,8 +117,12 @@ void WfdPool::Park(std::unique_ptr<Wfd> wfd) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (warm_.size() < capacity_) {
-      warm_.push_back(std::move(wfd));
+    last_activity_nanos_ = asbase::MonoNanos();
+    if (outstanding_ > 0) {
+      --outstanding_;
+    }
+    if (!stopping_ && warm_.size() < options_.capacity) {
+      AddWarmLocked(std::move(wfd));
       return;
     }
   }
@@ -46,11 +131,25 @@ void WfdPool::Park(std::unique_ptr<Wfd> wfd) {
   wfd.reset();
 }
 
+void WfdPool::AbandonLease() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outstanding_ > 0) {
+      --outstanding_;
+    }
+  }
+  // The WFD this lease would have returned is gone: the pool may now be
+  // below target, so give the warmer a chance to boot a replacement.
+  warmer_cv_.notify_all();
+}
+
 void WfdPool::Clear() {
   std::vector<std::unique_ptr<Wfd>> doomed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     doomed.swap(warm_);
+    resident_bytes_ = 0;
+    resident_gauge_.Set(0);
   }
   evictions_.Add(doomed.size());
   doomed.clear();
@@ -59,6 +158,96 @@ void WfdPool::Clear() {
 size_t WfdPool::warm_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return warm_.size();
+}
+
+size_t WfdPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+size_t WfdPool::target_warm() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return TargetWarmLocked(asbase::MonoNanos());
+}
+
+bool WfdPool::IdleLocked(int64_t now) const {
+  return options_.idle_ttl_ms > 0 &&
+         now - last_activity_nanos_ > options_.idle_ttl_ms * 1'000'000;
+}
+
+size_t WfdPool::TargetWarmLocked(int64_t now) const {
+  if (IdleLocked(now)) {
+    return 0;  // quiet workflow: let the pool drain entirely
+  }
+  size_t target = options_.min_warm;
+  if (ewma_interarrival_nanos_ > 0 && last_arrival_nanos_ != 0) {
+    // Age the EWMA against the gap since the last arrival so a finished
+    // burst cannot pin the target high until the idle TTL fires.
+    const double interarrival =
+        std::max(ewma_interarrival_nanos_,
+                 static_cast<double>(now - last_arrival_nanos_));
+    const double predicted_arrivals =
+        static_cast<double>(kWarmHorizonNanos) / interarrival;
+    target = std::max(target,
+                      static_cast<size_t>(std::ceil(predicted_arrivals)));
+  }
+  return std::min(target, options_.capacity);
+}
+
+void WfdPool::WarmerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const int64_t now = asbase::MonoNanos();
+
+    // Idle-TTL eviction: a quiet workflow's parked WFDs pin heap + disk for
+    // nothing; drop them all (destruction happens off-lock).
+    if (IdleLocked(now) && !warm_.empty()) {
+      std::vector<std::unique_ptr<Wfd>> doomed;
+      doomed.swap(warm_);
+      resident_bytes_ = 0;
+      resident_gauge_.Set(0);
+      lock.unlock();
+      evictions_.Add(doomed.size());
+      doomed.clear();
+      lock.lock();
+      continue;
+    }
+
+    // Pre-warm toward the target, one WFD per iteration so a stop request
+    // or an idle transition is honored between creations. Outstanding
+    // leases count as provisioned: each comes back via Park, and a
+    // replacement booted meanwhile would only evict it on return — churn
+    // that costs a module reload on the next lease.
+    if (options_.factory != nullptr &&
+        warm_.size() + prewarming_ + outstanding_ < TargetWarmLocked(now)) {
+      ++prewarming_;
+      lock.unlock();
+      auto wfd_or = options_.factory();
+      lock.lock();
+      --prewarming_;
+      if (!wfd_or.ok()) {
+        AS_LOG(kWarn) << "pre-warm factory failed ("
+                      << wfd_or.status().ToString() << "); backing off";
+        warmer_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                            [this] { return stopping_; });
+      } else if (!stopping_ && warm_.size() < options_.capacity) {
+        prewarms_.Add(1);
+        AddWarmLocked(std::move(*wfd_or));
+      } else {
+        // Raced with shutdown or a concurrent fill: destroy off-lock.
+        std::unique_ptr<Wfd> doomed = std::move(*wfd_or);
+        lock.unlock();
+        evictions_.Add(1);
+        doomed.reset();
+        lock.lock();
+      }
+      continue;
+    }
+
+    // Nothing to do: sleep until a drain notifies us or the next TTL check
+    // is due.
+    warmer_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
 }
 
 }  // namespace alloy

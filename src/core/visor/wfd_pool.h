@@ -12,17 +12,30 @@
 //   reset failed      -> destroy                            (unreclaimable)
 //   park while full   -> destroy                            (eviction)
 //
-// The pool only *stores* warm WFDs; creation (and the wfd_create trace
-// span) stays with the visor so a cold start looks identical with or
-// without pooling. Hit/miss/eviction counts feed the per-workflow
-// alloy_visor_pool_*_total metrics.
+// On top of the reactive store the pool runs a closed-loop *warmer*: a
+// background thread that (a) fills the pool to a `min_warm` floor as soon as
+// the workflow is registered, (b) refills on drain, sized by an EWMA of the
+// workflow's arrival rate so a traffic spike pays at most the cold starts
+// already in flight when it lands, and (c) evicts every parked WFD once the
+// workflow has been idle past `idle_ttl_ms`, so a quiet workflow's pool —
+// and the heap + disk its WFDs pin — shrinks to zero. The warmer needs a
+// `factory` callback (provided by the visor) to instantiate WFDs itself;
+// caller-side cold starts (and the wfd_create trace span) stay with the
+// visor so a cold start looks identical with or without pooling.
+//
+// Metrics, all labelled {workflow=...}: alloy_visor_pool_{hits,misses,
+// evictions}_total, alloy_visor_prewarms_total (WFDs booted by the warmer),
+// and alloy_visor_pool_resident_bytes (heap pinned by parked WFDs).
 
 #ifndef SRC_CORE_VISOR_WFD_POOL_H_
 #define SRC_CORE_VISOR_WFD_POOL_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/wfd.h"
@@ -30,39 +43,105 @@
 
 namespace alloy {
 
+struct WfdPoolOptions {
+  // Max parked WFDs. 0 disables pooling (every lease misses, every park
+  // evicts) and the warmer never starts.
+  size_t capacity = 2;
+  // Floor the warmer fills to proactively (clamped to capacity). 0 keeps the
+  // pool purely reactive.
+  size_t min_warm = 0;
+  // Evict all parked WFDs after this long without a lease or a park. 0 =
+  // parked WFDs never expire. Idleness overrides min_warm — the floor is
+  // re-filled when traffic returns.
+  int64_t idle_ttl_ms = 0;
+  // Instantiates one fully-booted WFD for this workflow (blocking; called
+  // off the pool lock). Required for the warmer; without it min_warm and the
+  // EWMA refill are inert and only the reactive store + idle TTL work.
+  std::function<asbase::Result<std::unique_ptr<Wfd>>()> factory;
+};
+
 class WfdPool {
  public:
-  // `workflow` labels the metrics; `capacity` is the max parked WFDs.
-  // capacity == 0 disables pooling (every lease misses, every park evicts).
+  // Reactive-only pool (no warmer); `workflow` labels the metrics.
   WfdPool(const std::string& workflow, size_t capacity);
+  WfdPool(const std::string& workflow, WfdPoolOptions options);
   ~WfdPool();
 
   WfdPool(const WfdPool&) = delete;
   WfdPool& operator=(const WfdPool&) = delete;
 
   // Pops a warm WFD (counted as a hit) or returns nullptr (a miss — the
-  // caller cold-starts via Wfd::Create and pays the instantiation).
+  // caller cold-starts via Wfd::Create and pays the instantiation). Every
+  // call counts as an arrival for the warmer's rate EWMA.
   std::unique_ptr<Wfd> TryAcquireWarm();
 
-  // Parks a successfully-reset WFD for reuse. The caller must have called
-  // Wfd::Reset() (ok) and Wfd::SetTrace(nullptr, 0) first. If the pool is
-  // at capacity the WFD is destroyed and counted as an eviction.
+  // Parks a successfully-reset WFD for reuse, ending the lease started by
+  // the matching TryAcquireWarm. The caller must have called Wfd::Reset()
+  // (ok) and Wfd::SetTrace(nullptr, 0) first. If the pool is at capacity
+  // the WFD is destroyed and counted as an eviction.
   void Park(std::unique_ptr<Wfd> wfd);
+
+  // Ends a lease whose WFD will NOT come back (failed run, failed reset,
+  // pooling disabled). Every TryAcquireWarm must be balanced by exactly one
+  // Park or AbandonLease, or the warmer under-provisions forever.
+  void AbandonLease();
 
   // Destroys every parked WFD (workflow re-registration, shutdown).
   // Counted as evictions.
   void Clear();
 
+  // Stops the warmer thread and clears the pool. Called by the destructor;
+  // the visor also calls it when a re-registration replaces this pool, so an
+  // orphaned pool does not keep pre-warming WFDs nobody will lease.
+  void Shutdown();
+
   size_t warm_count() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const { return options_.capacity; }
+  size_t min_warm() const { return options_.min_warm; }
+
+  // Bytes of WFD heap currently pinned by parked WFDs (mirrors the
+  // alloy_visor_pool_resident_bytes gauge).
+  size_t resident_bytes() const;
+
+  // Warm WFDs the warmer currently aims to keep parked (tests, ops).
+  size_t target_warm() const;
 
  private:
-  const size_t capacity_;
+  // How far ahead the warmer provisions: enough warm WFDs to absorb the
+  // arrivals the EWMA predicts for the next horizon.
+  static constexpr int64_t kWarmHorizonNanos = 100'000'000;  // 100 ms
+  static constexpr double kArrivalAlpha = 0.2;
+
+  void WarmerLoop();
+  size_t TargetWarmLocked(int64_t now) const;
+  bool IdleLocked(int64_t now) const;
+  void AddWarmLocked(std::unique_ptr<Wfd> wfd);
+  std::unique_ptr<Wfd> PopWarmLocked();
+
+  const WfdPoolOptions options_;
   asobs::Counter& hits_;
   asobs::Counter& misses_;
   asobs::Counter& evictions_;
+  asobs::Counter& prewarms_;
+  asobs::Gauge& resident_gauge_;
+
   mutable std::mutex mutex_;
+  std::condition_variable warmer_cv_;
   std::vector<std::unique_ptr<Wfd>> warm_;
+  size_t resident_bytes_ = 0;   // sum of parked WFDs' ResidentBytes()
+  size_t prewarming_ = 0;       // warmer creations in flight (off-lock)
+  // Leases in flight (TryAcquireWarm without a matching Park/AbandonLease).
+  // They count toward the warm target: each will be parked back shortly, so
+  // booting a replacement would only evict the experienced WFD on return.
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+
+  // Arrival-rate EWMA (leases = arrivals) + idle tracking.
+  double ewma_interarrival_nanos_ = 0;
+  int64_t last_arrival_nanos_ = 0;
+  int64_t last_activity_nanos_ = 0;
+
+  std::thread warmer_;
 };
 
 }  // namespace alloy

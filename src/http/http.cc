@@ -252,12 +252,16 @@ void HttpServer::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  // Wake the accept loop with shutdown() alone; close only after the loop
+  // has exited. Closing first races the loop's read of listen_fd_, and a
+  // concurrently opened fd could be assigned the same number and accepted
+  // on by mistake.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
   std::lock_guard<std::mutex> lock(workers_mutex_);
   for (auto& worker : workers_) {
     worker.join();

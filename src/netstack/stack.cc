@@ -24,6 +24,13 @@ struct NetCounters {
   asobs::Counter& rx_packets;
   asobs::Counter& rx_bytes;
   asobs::Counter& poll_iterations;
+  // RX drops by reason — a packet the stack received but never delivered
+  // used to vanish silently; these make every drop path observable.
+  asobs::Counter& rx_dropped_bad_ipv4;
+  asobs::Counter& rx_dropped_dst_mismatch;
+  asobs::Counter& rx_dropped_bad_tcp;
+  asobs::Counter& rx_dropped_bad_udp;
+  asobs::Counter& rx_dropped_no_listener;
 };
 
 NetCounters& Counters() {
@@ -33,6 +40,16 @@ NetCounters& Counters() {
       asobs::Registry::Global().GetCounter("alloy_net_rx_packets_total"),
       asobs::Registry::Global().GetCounter("alloy_net_rx_bytes_total"),
       asobs::Registry::Global().GetCounter("alloy_net_poll_iterations_total"),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "bad_ipv4"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "dst_mismatch"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "bad_tcp"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "bad_udp"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "no_listener"}}),
   };
   return *counters;
 }
@@ -321,12 +338,16 @@ void NetStack::HandlePacket(const Packet& packet) {
   Ipv4Header ip;
   auto l4 = ParseIpv4(packet, &ip);
   if (!l4.ok()) {
+    counters.rx_dropped_bad_ipv4.Add(1);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.checksum_failures;
     return;
   }
   if (ip.dst != addr()) {
-    return;  // not for us (switch shouldn't let this happen)
+    // Not for us (switch shouldn't let this happen) — but count it: a
+    // misconfigured route shows up here, not as silent packet loss.
+    counters.rx_dropped_dst_mismatch.Add(1);
+    return;
   }
   switch (ip.proto) {
     case IpProto::kTcp:
@@ -346,6 +367,7 @@ void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   auto payload_or = ParseTcp(ip.src, ip.dst, l4, &header);
   std::unique_lock<std::mutex> lock(mutex_);
   if (!payload_or.ok()) {
+    Counters().rx_dropped_bad_tcp.Add(1);
     ++stats_.checksum_failures;
     return;
   }
@@ -516,11 +538,13 @@ void NetStack::HandleUdp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   auto payload = ParseUdp(ip.src, ip.dst, l4, &header);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!payload.ok()) {
+    Counters().rx_dropped_bad_udp.Add(1);
     ++stats_.checksum_failures;
     return;
   }
   auto it = udp_pcbs_.find(header.dst_port);
   if (it == udp_pcbs_.end() || !it->second.open) {
+    Counters().rx_dropped_no_listener.Add(1);
     return;  // no ICMP port-unreachable yet
   }
   UdpSocket::Datagram datagram;
@@ -600,17 +624,29 @@ void NetStack::CheckTimersLocked() {
 
 // --------------------------------------------------------- handle plumbing
 
-asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out) {
+asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out,
+                                         int64_t deadline_nanos) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = tcbs_.find(id);
   if (it == tcbs_.end()) {
     return asbase::FailedPrecondition("connection is gone");
   }
   Tcb& tcb = *it->second;
-  cv_.wait(lock, [&] {
+  auto readable = [&] {
     return !tcb.recv_buffer.empty() || tcb.peer_fin || tcb.aborted ||
            tcb.state == TcpState::kClosed;
-  });
+  };
+  if (deadline_nanos == 0) {
+    cv_.wait(lock, readable);
+  } else {
+    while (!readable()) {
+      const int64_t now = asbase::MonoNanos();
+      if (now >= deadline_nanos) {
+        return asbase::DeadlineExceeded("recv past invocation deadline");
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(deadline_nanos - now));
+    }
+  }
   if (tcb.aborted) {
     return asbase::Unavailable("connection reset by peer");
   }
@@ -626,7 +662,8 @@ asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out) {
 }
 
 asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
-                                         std::span<const uint8_t> data) {
+                                         std::span<const uint8_t> data,
+                                         int64_t deadline_nanos) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = tcbs_.find(id);
   if (it == tcbs_.end()) {
@@ -635,10 +672,21 @@ asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
   Tcb& tcb = *it->second;
   size_t queued = 0;
   while (queued < data.size()) {
-    cv_.wait(lock, [&] {
+    auto writable = [&] {
       return tcb.send_buffer.size() < kSendBufferCap || tcb.aborted ||
              tcb.fin_queued || tcb.state == TcpState::kClosed;
-    });
+    };
+    if (deadline_nanos == 0) {
+      cv_.wait(lock, writable);
+    } else {
+      while (!writable()) {
+        const int64_t now = asbase::MonoNanos();
+        if (now >= deadline_nanos) {
+          return asbase::DeadlineExceeded("send past invocation deadline");
+        }
+        cv_.wait_for(lock, std::chrono::nanoseconds(deadline_nanos - now));
+      }
+    }
     if (tcb.fin_queued) {
       return asbase::FailedPrecondition("send after close");
     }
@@ -718,11 +766,11 @@ void NetStack::UdpRelease(uint16_t port) {
 TcpConnection::~TcpConnection() { stack_->TcpRelease(id_); }
 
 asbase::Result<size_t> TcpConnection::Recv(std::span<uint8_t> out) {
-  return stack_->TcpRecv(id_, out);
+  return stack_->TcpRecv(id_, out, deadline_nanos_);
 }
 
 asbase::Result<size_t> TcpConnection::Send(std::span<const uint8_t> data) {
-  return stack_->TcpSend(id_, data);
+  return stack_->TcpSend(id_, data, deadline_nanos_);
 }
 
 asbase::Result<size_t> TcpConnection::RecvAll(std::span<uint8_t> out) {
@@ -744,12 +792,24 @@ TcpListener::~TcpListener() { stack_->ListenerRelease(port_); }
 asbase::Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(
     std::chrono::nanoseconds timeout) {
   std::unique_lock<std::mutex> lock(stack_->mutex_);
+  // The invocation deadline (when set) caps the accept wait too.
+  std::chrono::nanoseconds wait = timeout;
+  if (deadline_nanos_ != 0) {
+    const int64_t remaining = deadline_nanos_ - asbase::MonoNanos();
+    if (remaining <= 0) {
+      return asbase::DeadlineExceeded("accept past invocation deadline");
+    }
+    wait = std::min(wait, std::chrono::nanoseconds(remaining));
+  }
   auto deadline =
       std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(wait);
   auto& listener = stack_->listeners_.at(port_);
   if (!stack_->cv_.wait_until(lock, deadline,
                               [&] { return !listener.pending.empty(); })) {
+    if (deadline_nanos_ != 0 && asbase::MonoNanos() >= deadline_nanos_) {
+      return asbase::DeadlineExceeded("accept past invocation deadline");
+    }
     return asbase::Unavailable("accept timeout");
   }
   const uint64_t id = listener.pending.front();
@@ -759,8 +819,10 @@ asbase::Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(
     return asbase::Unavailable("connection vanished before accept");
   }
   NetStack::Tcb& tcb = *it->second;
-  return std::unique_ptr<TcpConnection>(new TcpConnection(
+  auto connection = std::unique_ptr<TcpConnection>(new TcpConnection(
       stack_, id, tcb.remote_ip, tcb.remote_port, tcb.local_port));
+  connection->set_deadline_nanos(deadline_nanos_);
+  return connection;
 }
 
 UdpSocket::~UdpSocket() { stack_->UdpRelease(port_); }

@@ -46,6 +46,12 @@ class TcpConnection {
   // Reads exactly out.size() bytes unless EOF intervenes.
   asbase::Result<size_t> RecvAll(std::span<uint8_t> out);
 
+  // Absolute MonoNanos instant after which blocking Recv/Send fail with
+  // kDeadlineExceeded instead of waiting (cooperative invocation deadlines;
+  // as-std stamps this from the surrounding run). 0 = wait forever.
+  void set_deadline_nanos(int64_t deadline) { deadline_nanos_ = deadline; }
+  int64_t deadline_nanos() const { return deadline_nanos_; }
+
   // Graceful shutdown: queues a FIN after pending data. Idempotent.
   void Close();
 
@@ -66,6 +72,7 @@ class TcpConnection {
   Ipv4Addr remote_addr_;
   uint16_t remote_port_;
   uint16_t local_port_;
+  int64_t deadline_nanos_ = 0;
 };
 
 class TcpListener {
@@ -78,11 +85,17 @@ class TcpListener {
 
   uint16_t port() const { return port_; }
 
+  // Deadline inherited by every accepted connection (and capping Accept's
+  // own wait). 0 = none.
+  void set_deadline_nanos(int64_t deadline) { deadline_nanos_ = deadline; }
+  int64_t deadline_nanos() const { return deadline_nanos_; }
+
  private:
   friend class NetStack;
   TcpListener(NetStack* stack, uint16_t port) : stack_(stack), port_(port) {}
   NetStack* stack_;
   uint16_t port_;
+  int64_t deadline_nanos_ = 0;
 };
 
 class UdpSocket {
@@ -224,9 +237,12 @@ class NetStack {
   uint16_t AllocatePortLocked();
   void DestroyTcbLocked(uint64_t id);
 
-  // Called by the user-handle classes.
-  asbase::Result<size_t> TcpRecv(uint64_t id, std::span<uint8_t> out);
-  asbase::Result<size_t> TcpSend(uint64_t id, std::span<const uint8_t> data);
+  // Called by the user-handle classes. A non-zero deadline (absolute
+  // MonoNanos) bounds the blocking wait with kDeadlineExceeded.
+  asbase::Result<size_t> TcpRecv(uint64_t id, std::span<uint8_t> out,
+                                 int64_t deadline_nanos);
+  asbase::Result<size_t> TcpSend(uint64_t id, std::span<const uint8_t> data,
+                                 int64_t deadline_nanos);
   void TcpClose(uint64_t id);
   void TcpRelease(uint64_t id);  // handle destroyed
   void ListenerRelease(uint16_t port);

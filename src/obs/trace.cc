@@ -61,6 +61,22 @@ Span Trace::StartSpan(std::string name, std::string category,
   return Span(this, id, parent, std::move(name), std::move(category));
 }
 
+uint32_t Trace::RecordSpan(std::string name, std::string category,
+                           uint32_t parent, int64_t start_nanos,
+                           int64_t duration_nanos) {
+  const uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord record;
+  record.id = id;
+  record.parent = parent;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.start_nanos = start_nanos;
+  record.duration_nanos = duration_nanos;
+  record.thread_id = 0;
+  Record(std::move(record));
+  return id;
+}
+
 void Trace::Record(SpanRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.push_back(std::move(record));

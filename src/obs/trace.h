@@ -87,6 +87,11 @@ class Trace {
   // Opens a span. parent == 0 makes a root-level span.
   Span StartSpan(std::string name, std::string category, uint32_t parent = 0);
 
+  // Records an already-finished interval (e.g. time spent in the admission
+  // queue before the trace existed) as a completed span.
+  uint32_t RecordSpan(std::string name, std::string category, uint32_t parent,
+                      int64_t start_nanos, int64_t duration_nanos);
+
   // Completed spans, in end order.
   std::vector<SpanRecord> Spans() const;
 

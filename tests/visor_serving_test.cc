@@ -1,11 +1,13 @@
 // Tests for the visor serving layer (DESIGN.md §8): warm-WFD pooling,
-// concurrent watchdog dispatch, admission control (429), cooperative
-// deadlines (504), and the destroy-on-failure rule.
+// pre-warm floor + idle-TTL eviction, concurrent watchdog dispatch,
+// admission control (queue-with-budget, 429 + computed Retry-After),
+// cooperative deadlines (504), and the destroy-on-failure rule.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -75,6 +77,60 @@ TEST(WfdPoolTest, ZeroCapacityDisablesPooling) {
   pool.Park(std::move(*wfd));
   EXPECT_EQ(pool.warm_count(), 0u);
   EXPECT_EQ(pool.TryAcquireWarm(), nullptr);
+}
+
+TEST(WfdPoolTest, IdleTtlEvictsParkedWfdsAndDropsResidentGauge) {
+  WfdPoolOptions options;
+  options.capacity = 2;
+  options.idle_ttl_ms = 50;
+  WfdPool pool("ttltest", std::move(options));
+  const uint64_t evictions0 =
+      CounterValue("alloy_visor_pool_evictions_total", "ttltest");
+
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  // Touch heap pages so the parked WFD has a real resident footprint
+  // (ResidentBytes is mincore-based: untouched reservations count zero).
+  auto buffer = (*wfd)->libos().AllocBuffer("ttl", 256 * 1024, 16, 1);
+  ASSERT_TRUE(buffer.ok());
+  std::memset(*buffer, 0xab, 256 * 1024);
+  pool.Park(std::move(*wfd));
+  ASSERT_EQ(pool.warm_count(), 1u);
+  EXPECT_GT(pool.resident_bytes(), 0u);
+  asobs::Gauge& gauge = asobs::Registry::Global().GetGauge(
+      "alloy_visor_pool_resident_bytes", {{"workflow", "ttltest"}});
+  EXPECT_GT(gauge.value(), 0);
+
+  // No traffic: after the TTL the evictor empties the pool and the
+  // resident-bytes gauge drops to zero.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (pool.warm_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pool.warm_count(), 0u) << "idle pool must shrink to zero";
+  EXPECT_EQ(pool.resident_bytes(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(CounterValue("alloy_visor_pool_evictions_total", "ttltest"),
+            evictions0 + 1);
+}
+
+TEST(WfdPoolTest, WarmerFillsToMinWarmFloor) {
+  WfdPoolOptions options;
+  options.capacity = 2;
+  options.min_warm = 2;
+  options.factory = [] { return Wfd::Create(SmallWfd()); };
+  WfdPool pool("floortest", std::move(options));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (pool.warm_count() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pool.warm_count(), 2u);
+  EXPECT_GE(CounterValue("alloy_visor_prewarms_total", "floortest"), 2u);
 }
 
 // --------------------------------------------------------- warm serving
@@ -294,6 +350,178 @@ TEST(VisorServingTest, FailedInvocationDestroysWfdInsteadOfRepooling) {
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_FALSE(recovered->warm_start);
   EXPECT_EQ(visor.WarmWfdCount("flakywf").value_or(0), 1u);
+}
+
+// ------------------------------------------- queue-with-budget admission
+
+ashttp::HttpRequest InvokeRequest(const std::string& workflow,
+                                  const std::string& body = "") {
+  ashttp::HttpRequest request;
+  request.method = "POST";
+  request.target = "/invoke/" + workflow;
+  request.body = body;
+  return request;
+}
+
+TEST(VisorServingTest, BurstQueuesThenServesWithinBudget) {
+  FunctionRegistry::Global().Register(
+      "serving.sleep30", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "queuewf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.sleep30", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  options.max_concurrency = 1;
+  options.queue_capacity = 8;
+  options.queueing_budget_ms = 10'000;
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  const uint64_t rejections0 =
+      CounterValue("alloy_visor_rejections_total", "queuewf");
+
+  // 4 concurrent requests against max_concurrency=1: pre-queue behavior
+  // rejected 3 of them; with a queue and a generous budget all 4 serve.
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                       InvokeRequest("queuewf"));
+      if (response.ok() && response->status == 200) {
+        ++ok_count;
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(ok_count.load(), 4);
+  EXPECT_EQ(CounterValue("alloy_visor_rejections_total", "queuewf"),
+            rejections0);
+  // At least the non-first requests waited in the queue.
+  const auto queue_wait = asobs::Registry::Global()
+                              .GetHistogram("alloy_visor_queue_wait_nanos",
+                                            {{"workflow", "queuewf"}})
+                              .Snapshot();
+  EXPECT_GE(queue_wait.count(), 3u);
+}
+
+TEST(VisorServingTest, OverBudgetRejectsWithComputedRetryAfter) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  FunctionRegistry::Global().Register(
+      "serving.tunable",
+      [&started, &release](FunctionContext& ctx) -> asbase::Status {
+        const int64_t sleep_ms = ctx.params()["sleep_ms"].as_int(0);
+        if (sleep_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        } else {
+          started = true;
+          while (!release) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "budgetwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.tunable", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  options.max_concurrency = 1;
+  options.queue_capacity = 4;
+  options.queueing_budget_ms = 250;
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  // Seed the service-time EWMA with one ~1.5s run so the predictor has a
+  // sample: predicted wait for the next queued arrival = 1 × 1.5s / 1.
+  asbase::Json seed;
+  seed.Set("sleep_ms", static_cast<int64_t>(1500));
+  ASSERT_TRUE(visor.Invoke("budgetwf", seed).ok());
+
+  // Saturate the single slot with a request we control.
+  std::thread blocker([&] {
+    auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                     InvokeRequest("budgetwf"));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  });
+  while (!started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Default budget 250ms < predicted 1.5s: rejected, and Retry-After is
+  // computed from the prediction (ceil(1.5s) = 2s), not the static
+  // fallback of 1s.
+  auto rejected = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                   InvokeRequest("budgetwf"));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 429);
+  ASSERT_EQ(rejected->headers.count("retry-after"), 1u);
+  EXPECT_EQ(rejected->headers.at("retry-after"), "2");
+
+  // A client with a bigger budget (x-queue-budget-ms header) queues
+  // instead, and serves once the blocker releases the slot.
+  std::thread patient([&] {
+    asbase::Json params;
+    params.Set("sleep_ms", static_cast<int64_t>(1));
+    auto request = InvokeRequest("budgetwf", params.Dump());
+    request.headers["x-queue-budget-ms"] = "30000";
+    auto response =
+        ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  });
+  // Give the patient request time to enter the queue, then free the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release = true;
+  blocker.join();
+  patient.join();
+}
+
+TEST(VisorServingTest, RegisterWorkflowPrewarmsToFloorWithoutInvocation) {
+  FunctionRegistry::Global().Register(
+      "serving.noop", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("noop");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "prewarmwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.noop", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 2;
+  options.min_warm = 2;
+  visor.RegisterWorkflow(spec, options);
+
+  // No invocation: the pool warmer alone fills the floor.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (visor.WarmWfdCount("prewarmwf").value_or(0) < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(visor.WarmWfdCount("prewarmwf").value_or(0), 2u);
+  EXPECT_GE(CounterValue("alloy_visor_prewarms_total", "prewarmwf"), 2u);
+
+  // A pre-warmed WFD serves the first invocation warm — the spike pays no
+  // cold start.
+  auto first = visor.Invoke("prewarmwf", asbase::Json());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->warm_start);
+  EXPECT_EQ(first->wfd_create_nanos, 0);
 }
 
 }  // namespace
