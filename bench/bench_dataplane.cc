@@ -1,0 +1,195 @@
+// Data-plane benchmark (DESIGN.md "Event-driven data plane", EXPERIMENTS.md
+// "dataplane"):
+//
+//   1. stage dispatch           — warm multi-stage invocation latency and
+//      closed-loop RPS with the legacy spawn-per-stage path vs the per-WFD
+//      worker pool, plus the thread-spawn count over the measured window
+//      (zero on the reused-WFD pool path is the whole point).
+//   2. idle poller CPU          — poll-loop iterations of idle netstacks
+//      over a fixed window, against the ~1 iteration/ms/stack the old
+//      tick-based poller burned.
+//
+// `--quick` shrinks both sections to a smoke test (compile-and-run checked
+// by ctest, label `dataplane`). Emits BENCH_dataplane.json.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/netstack/channel.h"
+#include "src/netstack/stack.h"
+#include "src/obs/metrics.h"
+
+namespace asbench {
+namespace {
+
+using alloy::FunctionContext;
+using alloy::FunctionRegistry;
+using alloy::FunctionSpec;
+using alloy::StageSpec;
+using alloy::WorkflowSpec;
+
+alloy::WfdOptions BenchWfd() {
+  alloy::WfdOptions options;
+  options.heap_bytes = 8u << 20;
+  options.disk_blocks = 16 * 1024;
+  options.mpk_backend = asmpk::MpkBackend::kEmulated;
+  return options;
+}
+
+int64_t RunOnce(alloy::Orchestrator& orchestrator, const WorkflowSpec& spec,
+                bool spawn_per_stage) {
+  alloy::Orchestrator::RunOptions options;
+  options.spawn_per_stage = spawn_per_stage;
+  const int64_t start = asbase::MonoNanos();
+  auto stats = orchestrator.Run(spec, asbase::Json(), options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "workflow failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 0;
+  }
+  return asbase::MonoNanos() - start;
+}
+
+int Main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int warm_iters = quick ? 5 : 50;
+  const int64_t idle_window_ms = quick ? 150 : 500;
+
+  PrintHeader("dataplane",
+              "event-driven data plane: worker-pool dispatch + sleeping poller");
+
+  FunctionRegistry::Global().Register(
+      "bench.dp-noop", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  // 4 stages × 4 instances of a no-op function: with no user work, stage
+  // dispatch (thread spawn vs pool submit) dominates the run.
+  WorkflowSpec spec;
+  spec.name = "dp";
+  for (int stage = 0; stage < 4; ++stage) {
+    spec.stages.push_back(StageSpec{{FunctionSpec{"bench.dp-noop", 4}}});
+  }
+
+  asbase::Json doc;
+  doc.Set("bench", "dataplane");
+  doc.Set("scale", asbase::SimCostModel::Global().scale);
+  asbase::Json series{asbase::JsonObject{}};
+
+  // ---------------- section 1: spawn-per-stage vs per-WFD worker pool
+  asobs::Counter& spawns = asobs::Registry::Global().GetCounter(
+      "alloy_orch_thread_spawns_total");
+  auto measure = [&](bool spawn_per_stage, uint64_t* warm_spawns) {
+    asbase::Histogram hist;
+    auto wfd = alloy::Wfd::Create(BenchWfd());
+    if (!wfd.ok()) {
+      std::fprintf(stderr, "WFD create failed: %s\n",
+                   wfd.status().ToString().c_str());
+      *warm_spawns = 0;
+      return hist;
+    }
+    alloy::Orchestrator orchestrator(wfd->get());
+    // Warm-up run: on the pool path this spawns the workers once; every
+    // measured iteration below reuses them.
+    RunOnce(orchestrator, spec, spawn_per_stage);
+    const uint64_t spawns_before = spawns.value();
+    for (int i = 0; i < warm_iters; ++i) {
+      hist.Record(RunOnce(orchestrator, spec, spawn_per_stage));
+    }
+    *warm_spawns = spawns.value() - spawns_before;
+    return hist;
+  };
+
+  uint64_t pool_spawns = 0;
+  uint64_t legacy_spawns = 0;
+  asbase::Histogram pool_hist = measure(/*spawn_per_stage=*/false,
+                                        &pool_spawns);
+  asbase::Histogram legacy_hist = measure(/*spawn_per_stage=*/true,
+                                          &legacy_spawns);
+
+  auto rps = [](const asbase::Histogram& hist) {
+    return hist.mean() > 0 ? 1e9 / hist.mean() : 0.0;
+  };
+  const int64_t pool_p50 = pool_hist.Percentile(0.5);
+  const int64_t legacy_p50 = legacy_hist.Percentile(0.5);
+  const double improvement_pct =
+      legacy_p50 > 0
+          ? 100.0 * static_cast<double>(legacy_p50 - pool_p50) /
+                static_cast<double>(legacy_p50)
+          : 0.0;
+
+  std::printf("\nwarm 4-stage x4-instance invocation (%d iterations)\n",
+              warm_iters);
+  std::printf("  %-18s %10s %10s %10s %8s\n", "", "p50", "p99", "RPS",
+              "spawns");
+  std::printf("  %-18s %10s %10s %10.0f %8llu\n", "spawn-per-stage",
+              Ms(legacy_p50).c_str(),
+              Ms(legacy_hist.Percentile(0.99)).c_str(), rps(legacy_hist),
+              static_cast<unsigned long long>(legacy_spawns));
+  std::printf("  %-18s %10s %10s %10.0f %8llu\n", "worker pool",
+              Ms(pool_p50).c_str(), Ms(pool_hist.Percentile(0.99)).c_str(),
+              rps(pool_hist), static_cast<unsigned long long>(pool_spawns));
+  std::printf("  pool p50 improvement: %.1f%%  (reused-WFD spawns: %llu)\n",
+              improvement_pct, static_cast<unsigned long long>(pool_spawns));
+
+  series.Set("dispatch_pool", pool_hist.ToJson());
+  series.Set("dispatch_spawn_per_stage", legacy_hist.ToJson());
+  doc.Set("pool_p50_nanos", pool_p50);
+  doc.Set("spawn_per_stage_p50_nanos", legacy_p50);
+  doc.Set("pool_p50_improvement_pct", improvement_pct);
+  doc.Set("pool_rps", rps(pool_hist));
+  doc.Set("spawn_per_stage_rps", rps(legacy_hist));
+  doc.Set("pool_warm_spawns", static_cast<int64_t>(pool_spawns));
+  doc.Set("spawn_per_stage_warm_spawns",
+          static_cast<int64_t>(legacy_spawns));
+
+  // ---------------- section 2: idle poller CPU
+  {
+    asobs::Counter& iterations = asobs::Registry::Global().GetCounter(
+        "alloy_net_poll_iterations_total");
+    asnet::VirtualSwitch fabric;
+    std::vector<std::unique_ptr<asnet::NetStack>> stacks;
+    constexpr int kStacks = 4;
+    for (int i = 0; i < kStacks; ++i) {
+      stacks.push_back(std::make_unique<asnet::NetStack>(
+          fabric.Attach(asnet::MakeAddr(10, 0, 0, static_cast<uint8_t>(i + 1)))));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const uint64_t before = iterations.value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(idle_window_ms));
+    const uint64_t idle_iterations = iterations.value() - before;
+    // The old poller ticked every 1 ms regardless of traffic.
+    const uint64_t tick_model_iterations =
+        static_cast<uint64_t>(kStacks) * static_cast<uint64_t>(idle_window_ms);
+
+    std::printf("\nidle poller: %d stacks over %lld ms\n", kStacks,
+                static_cast<long long>(idle_window_ms));
+    std::printf("  1ms-tick model:   %8llu iterations\n",
+                static_cast<unsigned long long>(tick_model_iterations));
+    std::printf("  event-driven:     %8llu iterations\n",
+                static_cast<unsigned long long>(idle_iterations));
+
+    doc.Set("idle_stacks", static_cast<int64_t>(kStacks));
+    doc.Set("idle_window_ms", idle_window_ms);
+    doc.Set("idle_poll_iterations", static_cast<int64_t>(idle_iterations));
+    doc.Set("idle_tick_model_iterations",
+            static_cast<int64_t>(tick_model_iterations));
+  }
+
+  doc.Set("series", std::move(series));
+  const std::string text = doc.Dump(2);
+  if (FILE* f = std::fopen("BENCH_dataplane.json", "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_dataplane.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace asbench
+
+int main(int argc, char** argv) { return asbench::Main(argc, argv); }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: the full tier-1 suite, then the serving layer again under
-# TSan — the admission queue, the pool warmer, and the watchdog pipeline are
-# the most thread-heavy code in the tree, so they get the race detector even
-# when the full TSan suite would be too slow.
+# CI entry point: the full tier-1 suite, then the serving layer and the
+# netstack again under TSan — the admission queue, the pool warmer, the
+# watchdog pipeline, and the poller/timer/backpressure paths are the most
+# thread-heavy code in the tree, so they get the race detector even when the
+# full TSan suite would be too slow.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -15,13 +16,15 @@ cmake -S . -B "${BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD}" -j "$(nproc)"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
-echo "==> serving tests under ThreadSanitizer (${BUILD}-tsan)"
+echo "==> serving + netstack tests under ThreadSanitizer (${BUILD}-tsan)"
 cmake -S . -B "${BUILD}-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DALLOY_SANITIZE=thread >/dev/null
 cmake --build "${BUILD}-tsan" -j "$(nproc)"
 ctest --test-dir "${BUILD}-tsan" -L serving --output-on-failure
+ctest --test-dir "${BUILD}-tsan" -L netstack --output-on-failure
 
-echo "==> serving bench smoke (--quick)"
+echo "==> serving + dataplane bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)
+(cd "${BUILD}" && ./bench/bench_dataplane --quick >/dev/null)
 
 echo "CI OK"

@@ -58,13 +58,14 @@ class BlockingQueue {
     return item;
   }
 
-  // Waits at most `timeout`; nullopt on timeout or closed-and-drained.
+  // Waits at most `timeout`; nullopt on timeout, closed-and-drained, or a
+  // Kick(). A pending kick is consumed by the first call that observes it.
   std::optional<T> PopWithTimeout(std::chrono::nanoseconds timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
-    }
+    not_empty_.wait_for(lock, timeout, [&] {
+      return closed_ || kicked_ || !items_.empty();
+    });
+    kicked_ = false;
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -72,6 +73,16 @@ class BlockingQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  // Wakes a consumer blocked in PopWithTimeout without enqueuing an item:
+  // the waiter returns nullopt early (the netstack poller uses this to
+  // re-evaluate its timer deadline). Sticky — if no consumer is waiting, the
+  // next PopWithTimeout call returns immediately instead.
+  void Kick() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    kicked_ = true;
+    not_empty_.notify_all();
   }
 
   std::optional<T> TryPop() {
@@ -111,6 +122,7 @@ class BlockingQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  bool kicked_ = false;
 };
 
 }  // namespace asbase

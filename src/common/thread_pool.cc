@@ -5,15 +5,12 @@
 namespace asbase {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  AS_CHECK(num_threads > 0);
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  EnsureAtLeast(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
   tasks_.Close();
+  std::lock_guard<std::mutex> lock(workers_mutex_);
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -31,6 +28,21 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Drain() {
   std::unique_lock<std::mutex> lock(drain_mutex_);
   drain_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+size_t ThreadPool::EnsureAtLeast(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  size_t spawned = 0;
+  while (workers_.size() < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    ++spawned;
+  }
+  return spawned;
+}
+
+size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  return workers_.size();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,5 +1,6 @@
-// Fixed-size worker pool. Used by the orchestrator for stage fan-out and by
-// benches that drive open-loop load.
+// Worker pool. Used by the orchestrator for stage fan-out (one resizable
+// pool per WFD), the watchdog serving pipeline, and benches that drive
+// open-loop load.
 
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
@@ -14,6 +15,7 @@ namespace asbase {
 
 class ThreadPool {
  public:
+  // `num_threads` may be 0 for a pool grown later via EnsureAtLeast.
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -26,12 +28,19 @@ class ThreadPool {
   // Block until every task submitted so far has finished executing.
   void Drain();
 
-  size_t num_threads() const { return workers_.size(); }
+  // Grows the pool to at least `num_threads` workers (never shrinks).
+  // Returns how many workers were actually spawned — 0 when the pool is
+  // already big enough, which is what makes reuse observable
+  // (alloy_orch_thread_spawns_total stays flat on a warm WFD).
+  size_t EnsureAtLeast(size_t num_threads);
+
+  size_t num_threads() const;
 
  private:
   void WorkerLoop();
 
   BlockingQueue<std::function<void()>> tasks_;
+  mutable std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
 
   std::mutex drain_mutex_;

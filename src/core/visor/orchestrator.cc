@@ -1,12 +1,40 @@
 #include "src/core/visor/orchestrator.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace alloy {
+namespace {
+
+// Data-plane metrics: how many OS threads stage dispatch actually creates
+// (zero on a reused WFD — the whole point of the per-WFD worker pool) and
+// how long an instance waits between submit and a worker picking it up.
+struct OrchMetrics {
+  asobs::Counter& thread_spawns;
+  asobs::LatencyHistogram& dispatch_nanos;
+};
+
+OrchMetrics& Metrics() {
+  static auto* metrics = new OrchMetrics{
+      asobs::Registry::Global().GetCounter("alloy_orch_thread_spawns_total"),
+      asobs::Registry::Global().GetHistogram("alloy_orch_dispatch_nanos"),
+  };
+  return *metrics;
+}
+
+// Worker-cached user PKRU. Outside AS-IFI, RegisterFunctionInstance returns
+// the WFD's shared user key, so the derived PKRU is a per-WFD constant: each
+// pool worker computes it on its first instance and reuses it across every
+// later invocation on this WFD (workers live exactly as long as their WFD).
+thread_local const Wfd* cached_pkru_wfd = nullptr;
+thread_local uint32_t cached_user_pkru = 0;
+
+}  // namespace
 
 void FunctionContext::BeginPhase(Phase phase) {
   const int64_t now = asbase::MonoNanos();
@@ -118,6 +146,18 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
   return Run(workflow, params, RunOptions{});
 }
 
+size_t Orchestrator::MaxStageFanout(const WorkflowSpec& workflow) {
+  size_t fanout = 0;
+  for (const StageSpec& stage : workflow.stages) {
+    size_t instances = 0;
+    for (const FunctionSpec& fn : stage.functions) {
+      instances += static_cast<size_t>(fn.instances);
+    }
+    fanout = std::max(fanout, instances);
+  }
+  return fanout;
+}
+
 asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
                                            const asbase::Json& params,
                                            const RunOptions& options) {
@@ -134,6 +174,20 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
   as.set_deadline_nanos(options.deadline_nanos);
   asobs::Trace* trace = wfd_->options().trace;
   const uint32_t trace_parent = wfd_->options().trace_parent;
+
+  // Stage instances dispatch onto the WFD's resident worker pool, sized once
+  // to the workflow's max fan-out. On a fresh WFD this spawns the workers
+  // (counted in alloy_orch_thread_spawns_total); on a reused WFD the pool is
+  // already up and a whole invocation runs with zero thread spawns.
+  asbase::ThreadPool* pool = nullptr;
+  if (!options.spawn_per_stage) {
+    const size_t fanout = std::max<size_t>(MaxStageFanout(workflow), 1);
+    const size_t spawned = wfd_->EnsureStageWorkers(fanout);
+    if (spawned > 0) {
+      Metrics().thread_spawns.Add(spawned);
+    }
+    pool = wfd_->stage_workers();
+  }
 
   for (size_t stage_index = 0; stage_index < workflow.stages.size();
        ++stage_index) {
@@ -172,9 +226,10 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
         runs.push_back(std::move(run));
 
         const int max_retries = fn_spec.max_retries;
-        threads.emplace_back([this, run_ptr, fn, max_retries, trace,
-                              stage_span_id, instance,
-                              fn_name = fn_spec.name] {
+        const int64_t submitted_at = asbase::MonoNanos();
+        auto body = [this, run_ptr, fn, max_retries, trace, stage_span_id,
+                     instance, submitted_at, fn_name = fn_spec.name] {
+          Metrics().dispatch_nanos.Record(asbase::MonoNanos() - submitted_at);
           // Started on the instance thread so the span carries its real tid.
           asobs::Span fn_span;
           if (trace != nullptr) {
@@ -182,9 +237,21 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
                 fn_name + "#" + std::to_string(instance), "function",
                 stage_span_id);
           }
-          auto fn_key = wfd_->RegisterFunctionInstance(fn_name);
-          const uint32_t user_pkru =
-              wfd_->UserPkru(fn_key.ok() ? *fn_key : wfd_->user_key());
+          uint32_t user_pkru;
+          const bool cacheable = !wfd_->options().inter_function_isolation;
+          if (cacheable && cached_pkru_wfd == wfd_) {
+            // Warm worker: the instance key and PKRU were derived on an
+            // earlier invocation of this WFD.
+            user_pkru = cached_user_pkru;
+          } else {
+            auto fn_key = wfd_->RegisterFunctionInstance(fn_name);
+            user_pkru =
+                wfd_->UserPkru(fn_key.ok() ? *fn_key : wfd_->user_key());
+            if (cacheable) {
+              cached_pkru_wfd = wfd_;
+              cached_user_pkru = user_pkru;
+            }
+          }
           // Run with user permissions; functions regain system access only
           // through the as-std trampoline.
           wfd_->mpk().WritePkru(user_pkru);
@@ -210,10 +277,21 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
           run_ptr->status = status;
           run_ptr->finished_at = asbase::MonoNanos();
           wfd_->mpk().WritePkru(0);  // leave the thread fully open again
-        });
+        };
+        if (pool != nullptr) {
+          pool->Submit(std::move(body));
+        } else {
+          Metrics().thread_spawns.Add(1);
+          threads.emplace_back(std::move(body));
+        }
       }
     }
 
+    // Stage barrier: the pool runs only this stage's tasks (one run per WFD
+    // at a time), so Drain() is the fan-in wait.
+    if (pool != nullptr) {
+      pool->Drain();
+    }
     for (auto& thread : threads) {
       thread.join();
     }

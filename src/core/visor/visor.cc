@@ -69,6 +69,10 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
                                WorkflowOptions options) {
   Entry entry;
   entry.spec = spec;
+  entry.warmup = std::make_shared<WarmupProfile>();
+  // The fan-out is known from the spec; the module set is learned from the
+  // first completed invocation (see Invoke).
+  entry.warmup->stage_workers = Orchestrator::MaxStageFanout(spec);
   WfdPoolOptions pool_options;
   pool_options.capacity = options.pool_size;
   pool_options.min_warm = std::min(options.min_warm, options.pool_size);
@@ -76,11 +80,39 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   if (pool_options.capacity > 0 &&
       (pool_options.min_warm > 0 || pool_options.idle_ttl_ms > 0)) {
     // The warmer cold-starts WFDs itself; those boots carry no invocation
-    // trace (there is none yet) and count as prewarms, not misses.
+    // trace (there is none yet) and count as prewarms, not misses. Captures
+    // the WarmupProfile (not `this`): the warmer may outlive the
+    // registration, and the profile has its own lock.
     WfdOptions wfd_options = options.wfd;
     wfd_options.trace = nullptr;
     wfd_options.trace_parent = 0;
-    pool_options.factory = [wfd_options] { return Wfd::Create(wfd_options); };
+    pool_options.factory =
+        [wfd_options, warmup = entry.warmup]()
+        -> asbase::Result<std::unique_ptr<Wfd>> {
+      AS_ASSIGN_OR_RETURN(std::unique_ptr<Wfd> wfd,
+                          Wfd::Create(wfd_options));
+      std::vector<ModuleKind> modules;
+      size_t workers = 0;
+      {
+        std::lock_guard<std::mutex> lock(warmup->mutex);
+        modules = warmup->modules;
+        workers = warmup->stage_workers;
+      }
+      // Replay what real runs touched so the pre-warmed WFD is hot, not
+      // just booted. Best-effort: a module that fails to load here will be
+      // retried (and properly surfaced) by the invocation that needs it.
+      for (ModuleKind kind : modules) {
+        asbase::Status loaded = wfd->libos().EnsureLoaded(kind);
+        if (!loaded.ok()) {
+          AS_LOG(kWarn) << "pre-warm module load failed ("
+                        << loaded.ToString() << ")";
+        }
+      }
+      if (workers > 0) {
+        wfd->EnsureStageWorkers(workers);
+      }
+      return wfd;
+    };
   }
   entry.pool = std::make_shared<WfdPool>(spec.name, std::move(pool_options));
   entry.options = std::move(options);
@@ -337,6 +369,14 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
       while (it->second.traces.size() > kTraceRing) {
         it->second.traces.pop_front();
       }
+      if (it->second.warmup != nullptr) {
+        // Teach the pool warmer what this workflow actually loads, so the
+        // next pre-warmed WFD arrives with these modules already up.
+        // (Lock order: mutex_ then the profile lock; the factory takes only
+        // the profile lock, so there is no inversion.)
+        std::lock_guard<std::mutex> warmup_lock(it->second.warmup->mutex);
+        it->second.warmup->modules = result.modules_loaded;
+      }
     }
   }
   return result;
@@ -380,6 +420,28 @@ int64_t AsVisor::PredictedWaitNanosLocked(const Entry& entry) const {
                               concurrency);
 }
 
+std::string AsVisor::NextEligibleWorkflowLocked() const {
+  auto eligible = [](const Entry& entry) {
+    return !entry.waiters.empty() &&
+           entry.inflight < entry.options.max_concurrency;
+  };
+  // Scan in name order starting strictly after the previous grant, wrapping:
+  // every workflow with a runnable queue head gets a turn before any
+  // workflow gets two.
+  auto start = workflows_.upper_bound(last_admitted_workflow_);
+  for (auto it = start; it != workflows_.end(); ++it) {
+    if (eligible(it->second)) {
+      return it->first;
+    }
+  }
+  for (auto it = workflows_.begin(); it != start; ++it) {
+    if (eligible(it->second)) {
+      return it->first;
+    }
+  }
+  return "";
+}
+
 asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
                                       int64_t budget_ms_override,
                                       int64_t* queue_wait_nanos,
@@ -401,7 +463,11 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
     const bool slot_free =
         entry.inflight < entry.options.max_concurrency &&
         inflight_global_ < serving_.max_inflight;
-    if (slot_free && entry.waiters.empty()) {
+    // Fast path: admit only when no other workflow has a runnable waiter —
+    // a fresh arrival must not leapfrog a co-tenant already queued for a
+    // global slot.
+    if (slot_free && entry.waiters.empty() &&
+        NextEligibleWorkflowLocked().empty()) {
       ++inflight_global_;
       ++entry.inflight;
       asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
@@ -449,19 +515,28 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
                     ticket) == found->second.waiters.end()) {
         return true;  // entry replaced: give up
       }
+      // Front of our workflow's queue, slots free, and it is our
+      // workflow's round-robin turn for the global slot.
       return found->second.waiters.front() == ticket &&
              found->second.inflight < found->second.options.max_concurrency &&
-             inflight_global_ < serving_.max_inflight;
+             inflight_global_ < serving_.max_inflight &&
+             NextEligibleWorkflowLocked() == workflow_name;
     });
     queued_gauge.Add(-1);
     *queue_wait_nanos = asbase::MonoNanos() - enqueued_at;
 
     auto found = workflows_.find(workflow_name);
-    const bool still_queued =
-        found != workflows_.end() && !found->second.waiters.empty() &&
-        found->second.waiters.front() == ticket;
-    if (still_queued) {
-      found->second.waiters.pop_front();
+    bool granted = false;
+    if (found != workflows_.end()) {
+      auto& waiters = found->second.waiters;
+      auto pos = std::find(waiters.begin(), waiters.end(), ticket);
+      if (pos != waiters.end()) {
+        granted = pos == waiters.begin();
+        // Remove the ticket on every exit path: a stale ticket abandoned by
+        // a drained waiter would keep this workflow "eligible" forever and
+        // wedge the round-robin for every co-tenant.
+        waiters.erase(pos);
+      }
     }
     if (draining_) {
       // Also unblock whoever is now at the front.
@@ -469,10 +544,11 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
       admission_cv_.notify_all();
       return asbase::Unavailable("watchdog draining");
     }
-    if (!still_queued) {
+    if (!granted) {
       return asbase::NotFound("workflow '" + workflow_name +
                               "' re-registered while queued");
     }
+    last_admitted_workflow_ = workflow_name;
     ++inflight_global_;
     ++found->second.inflight;
   }

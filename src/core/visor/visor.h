@@ -158,12 +158,26 @@ class AsVisor {
   static constexpr size_t kTraceRing = 8;
 
  private:
+  // What this workflow's runs actually warm up: the LibOS modules its last
+  // completed invocation had loaded and the stage-worker fan-out its spec
+  // needs. The pool warmer's factory replays both, so a pre-warmed WFD is
+  // hot (fdtab/fatfs constructed, workers up), not just booted. Shared with
+  // the factory closure and guarded by its own mutex so the warmer never
+  // touches visor state (a draining pool may outlive the registration).
+  struct WarmupProfile {
+    std::mutex mutex;
+    std::vector<ModuleKind> modules;
+    size_t stage_workers = 0;
+  };
+
   struct Entry {
     WorkflowSpec spec;
     WorkflowOptions options;
     // Shared so Invoke can use the pool outside mutex_ while a concurrent
     // re-registration swaps in a fresh one.
     std::shared_ptr<WfdPool> pool;
+    // Warm-up recording for the pool factory (see WarmupProfile).
+    std::shared_ptr<WarmupProfile> warmup;
     // Watchdog invocations currently running this workflow (admission).
     int inflight = 0;
     // FIFO admission queue: tickets of requests waiting for a concurrency
@@ -194,6 +208,14 @@ class AsVisor {
   // the workflow's concurrency. Zero until a service-time sample exists.
   int64_t PredictedWaitNanosLocked(const Entry& entry) const;
 
+  // Round-robin fairness across workflows competing for global in-flight
+  // slots: the workflow whose queue head gets the next free slot — first
+  // workflow in name order after the previous grant with waiters and
+  // per-workflow headroom. Empty when nobody eligible is queued. Without
+  // this, whichever workflow's waiters win the cv race monopolize the
+  // global slots and a lighter co-tenant starves.
+  std::string NextEligibleWorkflowLocked() const;
+
   ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
   ashttp::HttpResponse ServeMetrics() const;
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
@@ -205,6 +227,9 @@ class AsVisor {
   bool draining_ = false;  // guarded by mutex_; set by StopWatchdog
   std::map<std::string, Entry> workflows_;
   size_t inflight_global_ = 0;  // guarded by mutex_
+  // Workflow granted the most recent queued admission (round-robin cursor);
+  // guarded by mutex_.
+  std::string last_admitted_workflow_;
   ServingOptions serving_;
   std::unique_ptr<asbase::ThreadPool> serving_pool_;
   std::unique_ptr<ashttp::HttpServer> watchdog_;

@@ -102,4 +102,17 @@ size_t Wfd::ResidentBytes() const {
   return libos_ == nullptr ? 0 : libos_->ResidentHeapBytes();
 }
 
+size_t Wfd::EnsureStageWorkers(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(stage_workers_mutex_);
+  if (stage_workers_ == nullptr) {
+    stage_workers_ = std::make_unique<asbase::ThreadPool>(0);
+  }
+  return stage_workers_->EnsureAtLeast(num_threads);
+}
+
+size_t Wfd::stage_worker_count() const {
+  std::lock_guard<std::mutex> lock(stage_workers_mutex_);
+  return stage_workers_ == nullptr ? 0 : stage_workers_->num_threads();
+}
+
 }  // namespace alloy

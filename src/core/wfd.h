@@ -17,8 +17,10 @@
 #define SRC_CORE_WFD_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "src/common/thread_pool.h"
 #include "src/core/libos/libos.h"
 #include "src/mpk/trampoline.h"
 
@@ -101,6 +103,18 @@ class Wfd {
   // Resident memory attributable to this WFD (Fig 17b).
   size_t ResidentBytes() const;
 
+  // ---- stage worker pool (orchestrator data plane) ----
+  // Grows this WFD's worker pool to at least `num_threads` (the workflow's
+  // max stage fan-out) and returns how many threads were actually spawned.
+  // The pool is lazily created on the first run and survives Reset() and
+  // pool park, so a reused WFD dispatches stage instances with zero spawns;
+  // the pool's threads die with the WFD. The warmer factory calls this too,
+  // so pre-warmed WFDs arrive with their workers already up.
+  size_t EnsureStageWorkers(size_t num_threads);
+  // The pool itself (nullptr until EnsureStageWorkers ran once).
+  asbase::ThreadPool* stage_workers() { return stage_workers_.get(); }
+  size_t stage_worker_count() const;
+
  private:
   Wfd() = default;
 
@@ -111,6 +125,11 @@ class Wfd {
   std::unique_ptr<asmpk::Trampoline> trampoline_;
   std::unique_ptr<Libos> libos_;
   int64_t creation_nanos_ = 0;
+
+  // Declared last so the workers join before the LibOS (heap, netstack)
+  // they may have touched is torn down.
+  mutable std::mutex stage_workers_mutex_;
+  std::unique_ptr<asbase::ThreadPool> stage_workers_;
 };
 
 }  // namespace alloy

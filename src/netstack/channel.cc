@@ -30,6 +30,8 @@ std::optional<Packet> TunPort::Receive(std::chrono::nanoseconds timeout) {
   }
 }
 
+void TunPort::Kick() { rx_.Kick(); }
+
 void TunPort::Detach() { rx_.Close(); }
 
 std::shared_ptr<TunPort> VirtualSwitch::Attach(Ipv4Addr addr) {

@@ -49,6 +49,11 @@ class TunPort {
   // Blocks up to `timeout`; nullopt on timeout or detached switch.
   std::optional<Packet> Receive(std::chrono::nanoseconds timeout);
 
+  // Wakes a thread blocked in Receive without delivering a packet (it
+  // returns nullopt early). The stack kicks the poller when a user thread
+  // arms a TCP timer earlier than the poller's current sleep deadline.
+  void Kick();
+
   void Detach();
 
   uint64_t packets_sent() const { return sent_.load(); }

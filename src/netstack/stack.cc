@@ -13,7 +13,12 @@ namespace {
 // Seq number of the first byte held in the send buffer.
 // (Stored per-tcb as `data_base`; helper docs only.)
 
-constexpr std::chrono::nanoseconds kPollTick = std::chrono::milliseconds(1);
+// Upper bound on the poller's event wait. With no packets and no armed TCP
+// timers the poller sleeps this long per iteration — a hygiene cap against a
+// lost wakeup, not a tick (an idle stack does ~2 iterations/sec instead of
+// the 1000/sec the old 1 ms tick cost).
+constexpr std::chrono::nanoseconds kMaxIdleWait =
+    std::chrono::milliseconds(500);
 
 // Process-wide packet counters (all stacks aggregate into one series; the
 // per-stack view stays in NetStack::Stats). Registry references are stable,
@@ -31,6 +36,8 @@ struct NetCounters {
   asobs::Counter& rx_dropped_bad_tcp;
   asobs::Counter& rx_dropped_bad_udp;
   asobs::Counter& rx_dropped_no_listener;
+  // Time senders spent blocked on a full send buffer (kSendBufferCap).
+  asobs::LatencyHistogram& tx_backpressure;
 };
 
 NetCounters& Counters() {
@@ -50,6 +57,8 @@ NetCounters& Counters() {
                                            {{"reason", "bad_udp"}}),
       asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
                                            {{"reason", "no_listener"}}),
+      asobs::Registry::Global().GetHistogram(
+          "alloy_net_tx_backpressure_nanos"),
   };
   return *counters;
 }
@@ -303,7 +312,21 @@ void NetStack::ArmTimerLocked(Tcb& tcb) {
   }
   if (tcb.rto_deadline == 0) {
     tcb.rto_deadline = asbase::MonoNanos() + kRtoNanos;
+    NoteTimerDeadlineLocked(tcb.rto_deadline);
   }
+}
+
+void NetStack::NoteTimerDeadlineLocked(int64_t deadline) {
+  const int64_t current =
+      next_timer_deadline_.load(std::memory_order_relaxed);
+  if (current != 0 && current <= deadline) {
+    return;  // the poller already wakes in time
+  }
+  next_timer_deadline_.store(deadline, std::memory_order_release);
+  // The poller may be mid-sleep with the stale (later or absent) deadline.
+  // The kick is sticky, so it also covers the window where the poller read
+  // the old value but has not entered its wait yet.
+  port_->Kick();
 }
 
 // ----------------------------------------------------------------- poller
@@ -311,7 +334,18 @@ void NetStack::ArmTimerLocked(Tcb& tcb) {
 void NetStack::PollerLoop() {
   while (running_.load()) {
     Counters().poll_iterations.Add(1);
-    auto packet = port_->Receive(kPollTick);
+    // Event wait: block until a packet arrives (queue condvar), a user
+    // thread arms an earlier timer (Kick), or the earliest armed TCP timer
+    // is due. An idle stack — no traffic, nothing in flight — just sleeps.
+    std::chrono::nanoseconds wait = kMaxIdleWait;
+    const int64_t next_deadline =
+        next_timer_deadline_.load(std::memory_order_acquire);
+    if (next_deadline != 0) {
+      const int64_t until = next_deadline - asbase::MonoNanos();
+      wait = std::min(wait,
+                      std::chrono::nanoseconds(std::max<int64_t>(until, 0)));
+    }
+    auto packet = port_->Receive(wait);
     if (packet.has_value()) {
       HandlePacket(*packet);
       // Drain without timer checks while traffic is hot.
@@ -590,6 +624,7 @@ void NetStack::CheckTimersLocked() {
     if (++tcb.retries > kMaxRetries) {
       tcb.aborted = true;
       tcb.state = TcpState::kClosed;
+      tcb.rto_deadline = 0;
       cv_.notify_all();
       continue;
     }
@@ -620,6 +655,21 @@ void NetStack::CheckTimersLocked() {
     const int backoff_shift = std::min(tcb.retries, 6);
     tcb.rto_deadline = now + (kRtoNanos << backoff_shift);
   }
+
+  // Re-derive the exact earliest armed deadline for the poller's next event
+  // wait. Runs on the poller thread, so no kick is needed: the fresh value
+  // is read right before the next sleep.
+  int64_t next = 0;
+  for (const auto& [id, tcb_ptr] : tcbs_) {
+    const Tcb& tcb = *tcb_ptr;
+    if (tcb.rto_deadline == 0 || tcb.state == TcpState::kClosed) {
+      continue;
+    }
+    if (next == 0 || tcb.rto_deadline < next) {
+      next = tcb.rto_deadline;
+    }
+  }
+  next_timer_deadline_.store(next, std::memory_order_release);
 }
 
 // --------------------------------------------------------- handle plumbing
@@ -676,16 +726,24 @@ asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
       return tcb.send_buffer.size() < kSendBufferCap || tcb.aborted ||
              tcb.fin_queued || tcb.state == TcpState::kClosed;
     };
-    if (deadline_nanos == 0) {
-      cv_.wait(lock, writable);
-    } else {
-      while (!writable()) {
-        const int64_t now = asbase::MonoNanos();
-        if (now >= deadline_nanos) {
-          return asbase::DeadlineExceeded("send past invocation deadline");
+    if (!writable()) {
+      // Backpressure: the send buffer is at kSendBufferCap and the sender
+      // blocks (deadline-aware) until ACK processing trims it. The blocked
+      // time is the `alloy_net_tx_backpressure_nanos` summary.
+      const int64_t blocked_at = asbase::MonoNanos();
+      if (deadline_nanos == 0) {
+        cv_.wait(lock, writable);
+      } else {
+        while (!writable()) {
+          const int64_t now = asbase::MonoNanos();
+          if (now >= deadline_nanos) {
+            Counters().tx_backpressure.Record(now - blocked_at);
+            return asbase::DeadlineExceeded("send past invocation deadline");
+          }
+          cv_.wait_for(lock, std::chrono::nanoseconds(deadline_nanos - now));
         }
-        cv_.wait_for(lock, std::chrono::nanoseconds(deadline_nanos - now));
       }
+      Counters().tx_backpressure.Record(asbase::MonoNanos() - blocked_at);
     }
     if (tcb.fin_queued) {
       return asbase::FailedPrecondition("send after close");

@@ -217,6 +217,11 @@ class NetStack {
   };
 
   void PollerLoop();
+  // Records `deadline` as a candidate earliest-armed-timer instant and kicks
+  // the poller out of its event wait if this moves the wakeup earlier.
+  // Requires `mutex_` held. The poller itself re-derives the exact earliest
+  // deadline from the TCBs at the end of every timer pass.
+  void NoteTimerDeadlineLocked(int64_t deadline);
   // Counts the frame into /metrics (alloy_net_tx_*) and hands it to the port.
   void Transmit(Packet frame);
   void HandlePacket(const Packet& packet);
@@ -266,6 +271,11 @@ class NetStack {
   std::condition_variable ping_cv_;
 
   Stats stats_;
+
+  // Earliest armed TCP timer (absolute MonoNanos), 0 = none. Written under
+  // `mutex_`; read lock-free by the poller to size its event wait so an idle
+  // stack sleeps instead of ticking (DESIGN.md data plane).
+  std::atomic<int64_t> next_timer_deadline_{0};
 
   std::atomic<bool> running_{true};
   std::thread poller_;

@@ -58,6 +58,8 @@ constexpr struct {
     {"alloy_visor_queue_wait_nanos", MetricType::kSummary},
     {"alloy_visor_prewarms_total", MetricType::kCounter},
     {"alloy_visor_pool_resident_bytes", MetricType::kGauge},
+    {"alloy_orch_thread_spawns_total", MetricType::kCounter},
+    {"alloy_orch_dispatch_nanos", MetricType::kSummary},
     {"alloy_libos_module_loads_total", MetricType::kCounter},
     {"alloy_libos_module_hits_total", MetricType::kCounter},
     {"alloy_libos_module_load_nanos", MetricType::kSummary},
@@ -71,6 +73,7 @@ constexpr struct {
     {"alloy_net_rx_bytes_total", MetricType::kCounter},
     {"alloy_net_poll_iterations_total", MetricType::kCounter},
     {"alloy_net_rx_dropped_total", MetricType::kCounter},
+    {"alloy_net_tx_backpressure_nanos", MetricType::kSummary},
     {"alloy_fs_read_ops_total", MetricType::kCounter},
     {"alloy_fs_write_ops_total", MetricType::kCounter},
     {"alloy_fs_read_bytes_total", MetricType::kCounter},

@@ -6,11 +6,14 @@
 
 #include <atomic>
 #include <cstring>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/core/asstd/asstd.h"
 #include "src/core/asstd/wasi.h"
 #include "src/core/visor/visor.h"
+#include "src/obs/metrics.h"
 
 namespace alloy {
 namespace {
@@ -337,6 +340,67 @@ TEST(OrchestratorTest, FailingFunctionAbortsRun) {
   spec.stages.push_back(StageSpec{{FunctionSpec{"test.fails", 1}}});
   Orchestrator orchestrator(wfd->get());
   EXPECT_FALSE(orchestrator.Run(spec, asbase::Json()).ok());
+}
+
+TEST(OrchestratorTest, WorkerPoolReusesThreadsAcrossInvocations) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+
+  std::mutex ids_mutex;
+  std::vector<std::thread::id> ids;
+  FunctionRegistry::Global().Register(
+      "test.tid", [&](FunctionContext&) -> asbase::Status {
+        std::lock_guard<std::mutex> lock(ids_mutex);
+        ids.push_back(std::this_thread::get_id());
+        return asbase::OkStatus();
+      });
+  WorkflowSpec spec;
+  spec.name = "tid";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.tid", 1}}});
+
+  asobs::Counter& spawns = asobs::Registry::Global().GetCounter(
+      "alloy_orch_thread_spawns_total");
+  Orchestrator orchestrator(wfd->get());
+  ASSERT_TRUE(orchestrator.Run(spec, asbase::Json()).ok());
+  EXPECT_EQ((*wfd)->stage_worker_count(), 1u);
+  const uint64_t spawns_after_first = spawns.value();
+
+  // Warm reuse: reset between invocations, like the pool does.
+  ASSERT_TRUE((*wfd)->Reset().ok());
+  ASSERT_TRUE(orchestrator.Run(spec, asbase::Json()).ok());
+
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], ids[1])
+      << "a reused WFD must run stage instances on the same pool worker";
+  EXPECT_EQ(spawns.value(), spawns_after_first)
+      << "the second invocation on a warm WFD must spawn zero threads";
+}
+
+TEST(OrchestratorTest, SpawnPerStageFallbackStillRunsAndCountsSpawns) {
+  auto wfd = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd.ok());
+  FunctionRegistry::Global().Register(
+      "test.noop2", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  WorkflowSpec spec;
+  spec.name = "legacy";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"test.noop2", 3}}});
+
+  asobs::Counter& spawns = asobs::Registry::Global().GetCounter(
+      "alloy_orch_thread_spawns_total");
+  const uint64_t before = spawns.value();
+  Orchestrator orchestrator(wfd->get());
+  Orchestrator::RunOptions options;
+  options.spawn_per_stage = true;
+  auto stats = orchestrator.Run(spec, asbase::Json(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->instances_run, 3u);
+  EXPECT_EQ(spawns.value() - before, 3u)
+      << "the legacy path spawns one thread per stage instance";
+  EXPECT_EQ((*wfd)->stage_worker_count(), 0u)
+      << "spawn_per_stage must not create the worker pool";
 }
 
 TEST(OrchestratorTest, RetryRecoversIdempotentFunction) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -522,6 +523,120 @@ TEST(VisorServingTest, RegisterWorkflowPrewarmsToFloorWithoutInvocation) {
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_TRUE(first->warm_start);
   EXPECT_EQ(first->wfd_create_nanos, 0);
+}
+
+TEST(VisorServingTest, PrewarmedWfdsReplayLearnedModuleSet) {
+  FunctionRegistry::Global().Register(
+      "serving.warmod", [](FunctionContext& ctx) -> asbase::Status {
+        AS_RETURN_IF_ERROR(ctx.as().WriteWholeFile("/warm.txt", Bytes("w")));
+        if (ctx.params()["fail"].as_bool(false)) {
+          return asbase::Internal("deliberate failure");
+        }
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "warmodwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.warmod", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  options.min_warm = 1;
+  visor.RegisterWorkflow(spec, options);
+
+  auto wait_for_warm = [&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (visor.WarmWfdCount("warmodwf").value_or(0) < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return visor.WarmWfdCount("warmodwf").value_or(0);
+  };
+  ASSERT_EQ(wait_for_warm(), 1u);
+
+  // The first run lands on an unprofiled pre-warmed WFD: it pays the module
+  // loads itself and teaches the warmer what this workflow touches.
+  auto first = visor.Invoke("warmodwf", asbase::Json());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->warm_start);
+  EXPECT_GT(first->module_load_nanos, 0);
+
+  // A failed invocation destroys its WFD, draining the pool; the warmer
+  // boots a replacement through the factory — now with the learned profile.
+  asbase::Json fail_params;
+  fail_params.Set("fail", true);
+  EXPECT_FALSE(visor.Invoke("warmodwf", fail_params).ok());
+  ASSERT_EQ(wait_for_warm(), 1u);
+
+  // The replacement arrives hot: the same run now loads zero modules.
+  auto replayed = visor.Invoke("warmodwf", asbase::Json());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed->warm_start);
+  EXPECT_EQ(replayed->module_load_nanos, 0)
+      << "the pre-warm factory must replay the recorded module set";
+}
+
+// --------------------------------------------- cross-workflow queue fairness
+
+TEST(VisorServingTest, AdmissionRoundRobinPreventsCrossWorkflowStarvation) {
+  FunctionRegistry::Global().Register(
+      "serving.sleep20", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  auto register_workflow = [&](const std::string& name) {
+    WorkflowSpec spec;
+    spec.name = name;
+    spec.stages.push_back(StageSpec{{FunctionSpec{"serving.sleep20", 1}}});
+    AsVisor::WorkflowOptions options;
+    options.wfd = SmallWfd();
+    options.pool_size = 1;
+    options.max_concurrency = 1;
+    options.queue_capacity = 8;
+    options.queueing_budget_ms = 60'000;
+    visor.RegisterWorkflow(spec, options);
+  };
+  register_workflow("heavywf");
+  register_workflow("lightwf");
+  AsVisor::ServingOptions serving;
+  serving.worker_threads = 8;
+  serving.max_inflight = 1;  // one global slot: the workflows must share it
+  ASSERT_TRUE(visor.StartWatchdog(0, serving).ok());
+
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  std::vector<std::thread> clients;
+  auto fire = [&](const std::string& name) {
+    clients.emplace_back([&, name] {
+      auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                       InvokeRequest(name));
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->status, 200) << response->body;
+      std::lock_guard<std::mutex> lock(order_mutex);
+      completion_order.push_back(name);
+    });
+  };
+  // A heavy backlog first, then one light request: if the global slot went
+  // to whichever waiter raced first, the light workflow could drain behind
+  // the entire heavy queue. Round-robin grants interleave it.
+  for (int i = 0; i < 4; ++i) {
+    fire("heavywf");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  fire("lightwf");
+  for (auto& client : clients) {
+    client.join();
+  }
+  ASSERT_EQ(completion_order.size(), 5u);
+  const auto light_at = std::find(completion_order.begin(),
+                                  completion_order.end(), "lightwf");
+  ASSERT_NE(light_at, completion_order.end());
+  EXPECT_LT(light_at - completion_order.begin(), 4)
+      << "the light workflow must not wait out the whole heavy backlog";
 }
 
 }  // namespace
