@@ -20,11 +20,16 @@ echo "==> serving + netstack tests under ThreadSanitizer (${BUILD}-tsan)"
 cmake -S . -B "${BUILD}-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DALLOY_SANITIZE=thread >/dev/null
 cmake --build "${BUILD}-tsan" -j "$(nproc)"
-ctest --test-dir "${BUILD}-tsan" -L serving --output-on-failure
+# ALLOY_VISOR_SHARDS=4 makes every default-constructed router in the
+# serving tests (and the bench smoke) run 4 shards, so the TSan pass
+# covers cross-shard drain, the shared /metrics scrape, and the
+# per-shard admission queues.
+ALLOY_VISOR_SHARDS=4 ctest --test-dir "${BUILD}-tsan" -L serving --output-on-failure
 ctest --test-dir "${BUILD}-tsan" -L netstack --output-on-failure
 
-echo "==> serving + dataplane bench smoke (--quick)"
+echo "==> serving + dataplane + sharding bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_dataplane --quick >/dev/null)
+(cd "${BUILD}" && ./bench/bench_sharding --quick >/dev/null)
 
 echo "CI OK"

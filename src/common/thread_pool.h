@@ -34,14 +34,27 @@ class ThreadPool {
   // (alloy_orch_thread_spawns_total stays flat on a warm WFD).
   size_t EnsureAtLeast(size_t num_threads);
 
+  // Pins every current and future worker to `cpus` via
+  // pthread_setaffinity_np (multi-visor sharding: a shard's stage workers
+  // stay on the shard's core set). Best-effort: an empty or invalid set —
+  // the no-affinity fallback when a shard's cpuset is too small for the
+  // machine — leaves threads unpinned. Returns how many existing workers
+  // were successfully pinned.
+  size_t PinToCpus(const std::vector<int>& cpus);
+
+  // The cpuset workers are pinned to (empty = unpinned).
+  std::vector<int> pinned_cpus() const;
+
   size_t num_threads() const;
 
  private:
   void WorkerLoop();
+  static bool PinThread(std::thread& thread, const std::vector<int>& cpus);
 
   BlockingQueue<std::function<void()>> tasks_;
   mutable std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
+  std::vector<int> pinned_cpus_;  // guarded by workers_mutex_
 
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;

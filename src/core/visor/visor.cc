@@ -59,7 +59,31 @@ asbase::Json SummarizeTrace(const asobs::Trace& trace) {
 
 }  // namespace
 
-AsVisor::~AsVisor() { StopWatchdog(); }
+AsVisor::AsVisor(ShardIdentity shard)
+    : shard_(std::move(shard)),
+      inflight_gauge_(&asobs::Registry::Global().GetGauge(
+          "alloy_visor_inflight", ShardLabels())) {}
+
+AsVisor::~AsVisor() {
+  StopWatchdog();
+  ShutdownPools();
+}
+
+asobs::Labels AsVisor::ShardLabels() const {
+  if (shard_.index < 0) {
+    return {};
+  }
+  return {{"alloy_visor_shard", std::to_string(shard_.index)}};
+}
+
+asobs::Labels AsVisor::WorkflowLabels(
+    const std::string& workflow_name) const {
+  asobs::Labels labels = {{"workflow", workflow_name}};
+  if (shard_.index >= 0) {
+    labels.push_back({"alloy_visor_shard", std::to_string(shard_.index)});
+  }
+  return labels;
+}
 
 void AsVisor::RegisterWorkflow(const WorkflowSpec& spec) {
   RegisterWorkflow(spec, WorkflowOptions{});
@@ -67,9 +91,33 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec) {
 
 void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
                                WorkflowOptions options) {
+  if (!(options.weight >= 1e-6)) {  // also catches NaN
+    options.weight = 1.0;
+  }
+  // Sharded visor: this shard's WFDs (and their stage workers) stay on the
+  // shard's core set unless the caller pinned them elsewhere explicitly.
+  if (options.wfd.cpu_affinity.empty() && !shard_.cpus.empty()) {
+    options.wfd.cpu_affinity = shard_.cpus;
+  }
   Entry entry;
   entry.spec = spec;
   entry.warmup = std::make_shared<WarmupProfile>();
+  {
+    asobs::Registry& registry = asobs::Registry::Global();
+    const asobs::Labels labels = WorkflowLabels(spec.name);
+    entry.invocations =
+        &registry.GetCounter("alloy_visor_invocations_total", labels);
+    entry.failures =
+        &registry.GetCounter("alloy_visor_invocation_failures_total", labels);
+    entry.timeouts = &registry.GetCounter("alloy_visor_timeouts_total", labels);
+    entry.rejections =
+        &registry.GetCounter("alloy_visor_rejections_total", labels);
+    entry.queued_gauge = &registry.GetGauge("alloy_visor_queued", labels);
+    entry.invoke_hist =
+        &registry.GetHistogram("alloy_visor_invoke_nanos", labels);
+    entry.queue_wait_hist =
+        &registry.GetHistogram("alloy_visor_queue_wait_nanos", labels);
+  }
   // The fan-out is known from the spec; the module set is learned from the
   // first completed invocation (see Invoke).
   entry.warmup->stage_workers = Orchestrator::MaxStageFanout(spec);
@@ -77,6 +125,7 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   pool_options.capacity = options.pool_size;
   pool_options.min_warm = std::min(options.min_warm, options.pool_size);
   pool_options.idle_ttl_ms = options.idle_ttl_ms;
+  pool_options.extra_labels = ShardLabels();
   if (pool_options.capacity > 0 &&
       (pool_options.min_warm > 0 || pool_options.idle_ttl_ms > 0)) {
     // The warmer cold-starts WFDs itself; those boots carry no invocation
@@ -137,6 +186,26 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
     // so it does not keep booting WFDs nobody will lease.
     old_pool->Shutdown();
   }
+}
+
+bool AsVisor::UnregisterWorkflow(const std::string& workflow_name) {
+  std::shared_ptr<WfdPool> old_pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return false;
+    }
+    old_pool = it->second.pool;
+    workflows_.erase(it);
+  }
+  // Queued admissions for this workflow wake, find their ticket gone, and
+  // unwind with NotFound.
+  admission_cv_.notify_all();
+  if (old_pool != nullptr) {
+    old_pool->Shutdown();
+  }
+  return true;
 }
 
 asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
@@ -202,6 +271,20 @@ asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
       }
       options.timeout_ms = value;
     }
+    if (opts["weight"].is_number()) {
+      const double value = opts["weight"].as_double();
+      if (!(value > 0)) {
+        return asbase::InvalidArgument("weight must be > 0");
+      }
+      options.weight = value;
+    }
+    if (opts["pin_shard"].is_number()) {
+      const int64_t value = opts["pin_shard"].as_int();
+      if (value < -1) {
+        return asbase::InvalidArgument("pin_shard must be >= -1");
+      }
+      options.pin_shard = static_cast<int>(value);
+    }
   }
   options.wfd.name = spec.name;
   RegisterWorkflow(spec, std::move(options));
@@ -220,6 +303,10 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   WfdOptions wfd_options;
   std::shared_ptr<WfdPool> pool;
   int64_t timeout_ms = 0;
+  asobs::Counter* invocations = nullptr;
+  asobs::Counter* failures = nullptr;
+  asobs::Counter* timeouts = nullptr;
+  asobs::LatencyHistogram* invoke_hist = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
@@ -230,6 +317,12 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     wfd_options = it->second.options.wfd;
     pool = it->second.pool;
     timeout_ms = it->second.options.timeout_ms;
+    // Registry series cached at registration (see Entry): the hot path must
+    // not take the process-global registry mutex, which every shard shares.
+    invocations = it->second.invocations;
+    failures = it->second.failures;
+    timeouts = it->second.timeouts;
+    invoke_hist = it->second.invoke_hist;
   }
 
   const int64_t received_at = asbase::MonoNanos();
@@ -237,19 +330,11 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
       timeout_ms > 0 ? received_at + timeout_ms * 1'000'000 : 0;
   InvokeResult result;
 
-  asobs::Registry& registry = asobs::Registry::Global();
-  const asobs::Labels workflow_labels = {{"workflow", workflow_name}};
-  registry.GetCounter("alloy_visor_invocations_total", workflow_labels)
-      .Add(1);
+  invocations->Add(1);
   auto fail = [&](asbase::Status status) {
-    asobs::Registry& reg = asobs::Registry::Global();
-    reg.GetCounter("alloy_visor_invocation_failures_total",
-                   {{"workflow", workflow_name}})
-        .Add(1);
+    failures->Add(1);
     if (status.code() == asbase::ErrorCode::kDeadlineExceeded) {
-      reg.GetCounter("alloy_visor_timeouts_total",
-                     {{"workflow", workflow_name}})
-          .Add(1);
+      timeouts->Add(1);
     }
     return status;
   };
@@ -346,8 +431,7 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   result.end_to_end_nanos = asbase::MonoNanos() - received_at;
   root.End();
 
-  registry.GetHistogram("alloy_visor_invoke_nanos", workflow_labels)
-      .Record(result.end_to_end_nanos);
+  invoke_hist->Record(result.end_to_end_nanos);
   result.trace = trace;
   result.span_summary = SummarizeTrace(*trace);
 
@@ -402,7 +486,7 @@ void AsVisor::ReleaseAdmission(const std::string& workflow_name) {
       --it->second.inflight;
     }
   }
-  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(-1);
+  inflight_gauge_->Add(-1);
   // A slot freed: the head of this workflow's queue (if any) can admit.
   admission_cv_.notify_all();
 }
@@ -420,26 +504,86 @@ int64_t AsVisor::PredictedWaitNanosLocked(const Entry& entry) const {
                               concurrency);
 }
 
-std::string AsVisor::NextEligibleWorkflowLocked() const {
-  auto eligible = [](const Entry& entry) {
-    return !entry.waiters.empty() &&
-           entry.inflight < entry.options.max_concurrency;
-  };
-  // Scan in name order starting strictly after the previous grant, wrapping:
-  // every workflow with a runnable queue head gets a turn before any
-  // workflow gets two.
-  auto start = workflows_.upper_bound(last_admitted_workflow_);
-  for (auto it = start; it != workflows_.end(); ++it) {
-    if (eligible(it->second)) {
-      return it->first;
+namespace {
+
+bool EligibleWaiter(const AsVisor::WorkflowOptions& options, int inflight,
+                    bool has_waiters) {
+  return has_waiters && inflight < options.max_concurrency;
+}
+
+}  // namespace
+
+std::string AsVisor::NextWeightedWorkflowLocked() const {
+  // Pass 1: the minimum number of whole DRR rounds until some eligible
+  // workflow's deficit reaches 1 (0 when someone already has credit).
+  double min_rounds = -1;
+  for (const auto& [name, entry] : workflows_) {
+    if (!EligibleWaiter(entry.options, entry.inflight,
+                        !entry.waiters.empty())) {
+      continue;
+    }
+    const double rounds =
+        entry.deficit >= 1.0
+            ? 0.0
+            : std::ceil((1.0 - entry.deficit) / entry.options.weight);
+    if (min_rounds < 0 || rounds < min_rounds) {
+      min_rounds = rounds;
     }
   }
-  for (auto it = workflows_.begin(); it != start; ++it) {
-    if (eligible(it->second)) {
-      return it->first;
+  if (min_rounds < 0) {
+    return "";  // nobody eligible is queued
+  }
+  // Pass 2: after advancing everyone by min_rounds, the highest deficit
+  // wins; ties go to the smallest name (map order + strict >).
+  std::string winner;
+  double best = 0;
+  for (const auto& [name, entry] : workflows_) {
+    if (!EligibleWaiter(entry.options, entry.inflight,
+                        !entry.waiters.empty())) {
+      continue;
+    }
+    const double credited = entry.deficit + min_rounds * entry.options.weight;
+    if (credited >= 1.0 - 1e-9 && (winner.empty() || credited > best)) {
+      winner = name;
+      best = credited;
     }
   }
-  return "";
+  return winner;
+}
+
+void AsVisor::ChargeGrantLocked(const std::string& winner) {
+  double min_rounds = -1;
+  for (const auto& [name, entry] : workflows_) {
+    if (!EligibleWaiter(entry.options, entry.inflight,
+                        !entry.waiters.empty())) {
+      continue;
+    }
+    const double rounds =
+        entry.deficit >= 1.0
+            ? 0.0
+            : std::ceil((1.0 - entry.deficit) / entry.options.weight);
+    if (min_rounds < 0 || rounds < min_rounds) {
+      min_rounds = rounds;
+    }
+  }
+  if (min_rounds < 0) {
+    return;
+  }
+  for (auto& [name, entry] : workflows_) {
+    if (!EligibleWaiter(entry.options, entry.inflight,
+                        !entry.waiters.empty())) {
+      continue;
+    }
+    const double weight = entry.options.weight;
+    // Cap banked credit so a long-uncontested workflow cannot starve
+    // everyone for many grants once contention returns.
+    entry.deficit = std::min(entry.deficit + min_rounds * weight,
+                             std::max(1.0, weight) + weight);
+  }
+  auto it = workflows_.find(winner);
+  if (it != workflows_.end()) {
+    it->second.deficit -= 1.0;
+  }
 }
 
 asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
@@ -450,9 +594,8 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
   *predicted_wait_nanos = 0;
   uint64_t ticket = 0;
   const int64_t enqueued_at = asbase::MonoNanos();
-  asobs::Gauge& queued_gauge =
-      asobs::Registry::Global().GetGauge("alloy_visor_queued",
-                                         {{"workflow", workflow_name}});
+  asobs::Gauge* queued_gauge = nullptr;
+  asobs::LatencyHistogram* queue_wait_hist = nullptr;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
@@ -460,6 +603,10 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
       return asbase::NotFound("no workflow named '" + workflow_name + "'");
     }
     Entry& entry = it->second;
+    // Same registry series even if the entry is replaced while we wait (the
+    // registry dedupes by name+labels), so the gauge pointer stays valid.
+    queued_gauge = entry.queued_gauge;
+    queue_wait_hist = entry.queue_wait_hist;
     const bool slot_free =
         entry.inflight < entry.options.max_concurrency &&
         inflight_global_ < serving_.max_inflight;
@@ -467,10 +614,10 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
     // a fresh arrival must not leapfrog a co-tenant already queued for a
     // global slot.
     if (slot_free && entry.waiters.empty() &&
-        NextEligibleWorkflowLocked().empty()) {
+        NextWeightedWorkflowLocked().empty()) {
       ++inflight_global_;
       ++entry.inflight;
-      asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
+      inflight_gauge_->Add(1);
       return asbase::OkStatus();
     }
     // Saturated. Queue only if allowed, not full, and the predicted wait
@@ -499,7 +646,7 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
     }
     ticket = entry.next_ticket++;
     entry.waiters.push_back(ticket);
-    queued_gauge.Add(1);
+    queued_gauge->Add(1);
 
     // Wait for our turn: front of the queue AND a free slot. Re-find the
     // entry each wake — a re-registration replaces it (our ticket vanishes
@@ -516,13 +663,13 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
         return true;  // entry replaced: give up
       }
       // Front of our workflow's queue, slots free, and it is our
-      // workflow's round-robin turn for the global slot.
+      // workflow's deficit-round-robin turn for the global slot.
       return found->second.waiters.front() == ticket &&
              found->second.inflight < found->second.options.max_concurrency &&
              inflight_global_ < serving_.max_inflight &&
-             NextEligibleWorkflowLocked() == workflow_name;
+             NextWeightedWorkflowLocked() == workflow_name;
     });
-    queued_gauge.Add(-1);
+    queued_gauge->Add(-1);
     *queue_wait_nanos = asbase::MonoNanos() - enqueued_at;
 
     auto found = workflows_.find(workflow_name);
@@ -532,10 +679,20 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
       auto pos = std::find(waiters.begin(), waiters.end(), ticket);
       if (pos != waiters.end()) {
         granted = pos == waiters.begin();
+        if (granted && !draining_) {
+          // DRR bookkeeping happens while our ticket is still queued so the
+          // eligible set matches what the selector saw when it picked us.
+          ChargeGrantLocked(workflow_name);
+        }
         // Remove the ticket on every exit path: a stale ticket abandoned by
         // a drained waiter would keep this workflow "eligible" forever and
         // wedge the round-robin for every co-tenant.
         waiters.erase(pos);
+        if (waiters.empty()) {
+          // Credit is only meaningful under contention; a drained queue
+          // starts from scratch next time.
+          found->second.deficit = 0;
+        }
       }
     }
     if (draining_) {
@@ -548,21 +705,91 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
       return asbase::NotFound("workflow '" + workflow_name +
                               "' re-registered while queued");
     }
-    last_admitted_workflow_ = workflow_name;
     ++inflight_global_;
     ++found->second.inflight;
   }
-  asobs::Registry::Global().GetGauge("alloy_visor_inflight").Add(1);
-  asobs::Registry::Global()
-      .GetHistogram("alloy_visor_queue_wait_nanos",
-                    {{"workflow", workflow_name}})
-      .Record(*queue_wait_nanos);
+  inflight_gauge_->Add(1);
+  queue_wait_hist->Record(*queue_wait_nanos);
   // Our pop may have moved a new waiter to the front.
   admission_cv_.notify_all();
   return asbase::OkStatus();
 }
 
 // --------------------------------------------------------------- watchdog
+
+asbase::Status AsVisor::StartServing(const ServingOptions& serving) {
+  if (serving.worker_threads == 0 || serving.max_inflight == 0) {
+    return asbase::InvalidArgument(
+        "worker_threads and max_inflight must be >= 1");
+  }
+  if (serving_pool_ != nullptr) {
+    return asbase::FailedPrecondition("serving already started");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serving_ = serving;
+    draining_ = false;
+  }
+  serving_pool_ = std::make_unique<asbase::ThreadPool>(serving.worker_threads);
+  return asbase::OkStatus();
+}
+
+void AsVisor::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  admission_cv_.notify_all();
+}
+
+void AsVisor::StopServing() {
+  BeginDrain();
+  if (serving_pool_ != nullptr) {
+    serving_pool_->Drain();
+    serving_pool_.reset();
+  }
+}
+
+void AsVisor::ShutdownPools() {
+  // Collect under the lock, join outside it (Shutdown joins the warmer
+  // thread). Map order makes the teardown sequence deterministic.
+  std::vector<std::shared_ptr<WfdPool>> pools;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : workflows_) {
+      if (entry.pool != nullptr) {
+        pools.push_back(entry.pool);
+      }
+    }
+  }
+  for (const auto& pool : pools) {
+    pool->Shutdown();
+  }
+}
+
+void AsVisor::SetMaxInflight(size_t max_inflight) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serving_.max_inflight = std::max<size_t>(1, max_inflight);
+  }
+  // A raised cap may make queued waiters runnable immediately.
+  admission_cv_.notify_all();
+}
+
+size_t AsVisor::max_inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return serving_.max_inflight;
+}
+
+std::vector<std::string> AsVisor::WorkflowNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  names.reserve(workflows_.size());
+  for (const auto& [name, entry] : workflows_) {
+    names.push_back(name);
+  }
+  return names;
+}
 
 asbase::Status AsVisor::StartWatchdog(uint16_t port) {
   return StartWatchdog(port, ServingOptions{});
@@ -572,16 +799,7 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
   if (watchdog_ != nullptr) {
     return asbase::FailedPrecondition("watchdog already running");
   }
-  if (serving.worker_threads == 0 || serving.max_inflight == 0) {
-    return asbase::InvalidArgument(
-        "worker_threads and max_inflight must be >= 1");
-  }
-  serving_ = serving;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = false;
-  }
-  serving_pool_ = std::make_unique<asbase::ThreadPool>(serving.worker_threads);
+  AS_RETURN_IF_ERROR(StartServing(serving));
   watchdog_ = std::make_unique<ashttp::HttpServer>(
       [this](const ashttp::HttpRequest& request) {
         ashttp::HttpResponse response;
@@ -605,11 +823,22 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
         response.body = "unknown endpoint";
         return response;
       });
-  return watchdog_->Start(port);
+  asbase::Status started = watchdog_->Start(port);
+  if (!started.ok()) {
+    watchdog_.reset();
+    StopServing();
+  }
+  return started;
 }
 
 ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
   ashttp::HttpResponse response;
+  if (serving_pool_ == nullptr) {
+    response.status = 503;
+    response.reason = "Service Unavailable";
+    response.body = "serving not started";
+    return response;
+  }
   const std::string name = request.target.substr(std::string("/invoke/").size());
   asbase::Json params;
   if (!request.body.empty()) {
@@ -653,10 +882,15 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
       return response;
     }
     asobs::Registry::Global()
-        .GetCounter("alloy_visor_rejections_total", {{"workflow", name}})
+        .GetCounter("alloy_visor_rejections_total", WorkflowLabels(name))
         .Add(1);
     response.status = 429;
     response.reason = "Too Many Requests";
+    int retry_after_fallback = 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      retry_after_fallback = serving_.retry_after_seconds;
+    }
     // Tell the client when a retry is predicted to succeed; fall back to
     // the static knob before any service-time sample exists.
     const int retry_after =
@@ -665,7 +899,7 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
                   1, static_cast<int>(
                          std::ceil(static_cast<double>(predicted_wait_nanos) /
                                    1e9)))
-            : serving_.retry_after_seconds;
+            : retry_after_fallback;
     response.headers["retry-after"] = std::to_string(retry_after);
     response.body = admitted.ToString();
     return response;
@@ -779,21 +1013,14 @@ uint16_t AsVisor::watchdog_port() const {
 void AsVisor::StopWatchdog() {
   // Abort queued admissions first: their connection threads sit inside
   // HandleInvoke and the server's Stop() joins them.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
-  }
-  admission_cv_.notify_all();
+  BeginDrain();
   if (watchdog_ != nullptr) {
     // Stop the server first: connection threads block on in-flight
     // invocations, which need the serving pool alive to finish.
     watchdog_->Stop();
     watchdog_.reset();
   }
-  if (serving_pool_ != nullptr) {
-    serving_pool_->Drain();
-    serving_pool_.reset();
-  }
+  StopServing();
 }
 
 asbase::Result<asbase::Histogram> AsVisor::LatencyHistogram(

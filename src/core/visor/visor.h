@@ -29,12 +29,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/thread_pool.h"
 #include "src/core/visor/orchestrator.h"
 #include "src/core/visor/wfd_pool.h"
 #include "src/http/http.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace alloy {
@@ -86,6 +88,15 @@ class AsVisor {
     int64_t queueing_budget_ms = 250;
     // Per-invocation deadline in milliseconds; 0 = none.
     int64_t timeout_ms = 0;
+    // Share of admission slots under contention: queued workflows are
+    // granted slots deficit-round-robin, so a weight-3 workflow receives
+    // ~3 grants for every grant a weight-1 co-tenant gets. Values < 1e-6
+    // are treated as 1.
+    double weight = 1.0;
+    // Shard pin override for AsVisorRouter: >= 0 forces the workflow onto
+    // that shard (modulo shard count) instead of the consistent-hash
+    // placement. Ignored by a standalone AsVisor.
+    int pin_shard = -1;
   };
 
   // Watchdog-wide serving knobs (admission control + dispatch).
@@ -108,7 +119,21 @@ class AsVisor {
     int64_t queue_wait_nanos = 0;
   };
 
-  AsVisor() = default;
+  // Identity of this visor inside an AsVisorRouter. A standalone visor
+  // (index -1) behaves exactly as before sharding: unlabelled metrics, no
+  // worker affinity.
+  struct ShardIdentity {
+    // Shard number, stamped onto every metric series this visor writes as
+    // `alloy_visor_shard="<index>"`. -1 = unsharded.
+    int index = -1;
+    // Core set this shard's WFD stage workers pin to (empty = no affinity;
+    // the router leaves it empty when the machine has fewer cores than
+    // shards).
+    std::vector<int> cpus;
+  };
+
+  AsVisor() : AsVisor(ShardIdentity{}) {}
+  explicit AsVisor(ShardIdentity shard);
   ~AsVisor();
 
   AsVisor(const AsVisor&) = delete;
@@ -118,6 +143,12 @@ class AsVisor {
   // (clearing any warm WFDs built with the previous options).
   void RegisterWorkflow(const WorkflowSpec& spec);
   void RegisterWorkflow(const WorkflowSpec& spec, WorkflowOptions options);
+
+  // Removes a workflow: queued admissions for it give up (404), its pool's
+  // warmer stops and its warm WFDs are destroyed. Returns false when no
+  // such workflow exists. The router uses this to migrate a pinned workflow
+  // between shards without a double registration ever being visible.
+  bool UnregisterWorkflow(const std::string& workflow_name);
 
   // Full JSON configuration: workflow spec (+"options": {"ramfs", "load_all",
   // "reference_passing", "inter_function_isolation", "heap_mb", "disk_mb",
@@ -146,6 +177,35 @@ class AsVisor {
   asbase::Status StartWatchdog(uint16_t port, ServingOptions serving);
   uint16_t watchdog_port() const;
   void StopWatchdog();
+
+  // ---- serving lifecycle pieces (used standalone by the router, which
+  // ---- owns the shared HTTP server itself) ----
+  // Brings up the admission state + worker pool without an HTTP server.
+  asbase::Status StartServing(const ServingOptions& serving);
+  // Non-blocking: flips draining so every queued admission unwinds with
+  // kUnavailable (503). Safe to call on all shards before any join.
+  void BeginDrain();
+  // BeginDrain + drain and destroy the worker pool. Callers must stop the
+  // HTTP server delivering requests first (its connection threads block on
+  // the pool's invocations).
+  void StopServing();
+  // Shuts down every workflow's pool warmer and destroys parked WFDs, in
+  // workflow-name order (deterministic thread joins on teardown).
+  void ShutdownPools();
+
+  // Serving-path entry points, public so the router's shared server can
+  // dispatch to the owning shard without a cross-shard lock.
+  ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
+  ashttp::HttpResponse ServeTrace(const std::string& target) const;
+
+  // Rebalance hook: replaces this shard's slice of the global in-flight
+  // budget (clamped to >= 1) and wakes queued admissions to re-evaluate.
+  void SetMaxInflight(size_t max_inflight);
+  size_t max_inflight() const;
+
+  std::vector<std::string> WorkflowNames() const;
+  int shard_index() const { return shard_.index; }
+  const std::vector<int>& shard_cpus() const { return shard_.cpus; }
 
   // Per-workflow end-to-end latency samples (P99 analysis, Fig 17a).
   asbase::Result<asbase::Histogram> LatencyHistogram(
@@ -184,12 +244,27 @@ class AsVisor {
     // slot, front = next to run. Bounded by options.queue_capacity.
     std::deque<uint64_t> waiters;
     uint64_t next_ticket = 1;
+    // Deficit-round-robin credit toward the next admission grant: each
+    // contested grant adds `weight` per round to every workflow with a
+    // runnable queue head and costs the winner 1. Reset when the queue
+    // empties.
+    double deficit = 0;
     // EWMA of recent service time (Invoke wall time, queue wait excluded);
     // drives the predicted-wait admission decision and Retry-After.
     double service_ewma_nanos = 0;
     asbase::Histogram latency;
     // Last kTraceRing invocation traces, oldest first.
     std::deque<std::shared_ptr<const asobs::Trace>> traces;
+    // Cached registry series (registry-owned, immortal) so the invoke and
+    // admission hot paths never take the global registry mutex — with N
+    // shards that mutex would be the one lock every shard still shares.
+    asobs::Counter* invocations = nullptr;
+    asobs::Counter* failures = nullptr;
+    asobs::Counter* timeouts = nullptr;
+    asobs::Counter* rejections = nullptr;
+    asobs::Gauge* queued_gauge = nullptr;
+    asobs::LatencyHistogram* invoke_hist = nullptr;
+    asobs::LatencyHistogram* queue_wait_hist = nullptr;
   };
 
   void ReleaseAdmission(const std::string& workflow_name);
@@ -208,29 +283,41 @@ class AsVisor {
   // the workflow's concurrency. Zero until a service-time sample exists.
   int64_t PredictedWaitNanosLocked(const Entry& entry) const;
 
-  // Round-robin fairness across workflows competing for global in-flight
-  // slots: the workflow whose queue head gets the next free slot — first
-  // workflow in name order after the previous grant with waiters and
-  // per-workflow headroom. Empty when nobody eligible is queued. Without
-  // this, whichever workflow's waiters win the cv race monopolize the
-  // global slots and a lighter co-tenant starves.
-  std::string NextEligibleWorkflowLocked() const;
+  // Deficit-round-robin fairness across workflows competing for global
+  // in-flight slots (ROADMAP "weighted slot shares"): among workflows with
+  // a runnable queue head, advance every deficit by the minimum number of
+  // whole rounds (deficit += rounds × weight) that makes someone reach 1,
+  // and pick the highest resulting deficit (ties: smallest name). A
+  // weight-3 workflow therefore banks credit 3× as fast and wins ~3 of
+  // every 4 contested grants against a weight-1 co-tenant, while equal
+  // weights degenerate to plain round-robin. Pure — the cv predicate calls
+  // it; ChargeGrantLocked applies the mutation once per actual grant.
+  // Empty when nobody eligible is queued.
+  std::string NextWeightedWorkflowLocked() const;
+  // Applies the DRR bookkeeping for granting `winner` a slot. Must run
+  // while the winner's ticket is still queued (so the eligible set matches
+  // what NextWeightedWorkflowLocked saw).
+  void ChargeGrantLocked(const std::string& winner);
 
-  ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
+  // {workflow=<name>} plus this shard's label (if sharded).
+  asobs::Labels WorkflowLabels(const std::string& workflow_name) const;
+  asobs::Labels ShardLabels() const;
+
   ashttp::HttpResponse ServeMetrics() const;
-  ashttp::HttpResponse ServeTrace(const std::string& target) const;
+
+  const ShardIdentity shard_;
+  // Cached like Entry's series: the inflight gauge moves on every admission
+  // and release.
+  asobs::Gauge* inflight_gauge_ = nullptr;
 
   mutable std::mutex mutex_;
   // Wakes queued requests when a slot frees, a queue position advances, or
   // the watchdog drains.
   std::condition_variable admission_cv_;
-  bool draining_ = false;  // guarded by mutex_; set by StopWatchdog
+  bool draining_ = false;  // guarded by mutex_; set by BeginDrain
   std::map<std::string, Entry> workflows_;
   size_t inflight_global_ = 0;  // guarded by mutex_
-  // Workflow granted the most recent queued admission (round-robin cursor);
-  // guarded by mutex_.
-  std::string last_admitted_workflow_;
-  ServingOptions serving_;
+  ServingOptions serving_;  // guarded by mutex_ (max_inflight can rebalance)
   std::unique_ptr<asbase::ThreadPool> serving_pool_;
   std::unique_ptr<ashttp::HttpServer> watchdog_;
 };

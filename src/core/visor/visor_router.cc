@@ -1,0 +1,371 @@
+#include "src/core/visor/visor_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace alloy {
+namespace {
+
+constexpr size_t kVnodesPerShard = 64;
+constexpr size_t kMaxShards = 64;
+
+// FNV-1a 64-bit with a murmur-style finalizer. Deterministic across builds
+// and platforms, unlike std::hash — shard placement must be stable so a
+// workflow's warm pool is found again after a process restart with the same
+// shard count. The finalizer matters: raw FNV-1a barely diffuses trailing
+// bytes into the high bits, so short keys differing only in their suffix
+// ("shard-3#17", "wf-42") cluster on the ring and one vnode ends up owning
+// nearly every key.
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+size_t ResolveShardCount(size_t requested) {
+  size_t shards = requested;
+  if (shards == 0) {
+    const char* env = std::getenv("ALLOY_VISOR_SHARDS");
+    if (env != nullptr && *env != '\0') {
+      shards = static_cast<size_t>(std::max(0L, std::atol(env)));
+    }
+  }
+  if (shards == 0) {
+    shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::min(shards, kMaxShards);
+}
+
+// Shard i's core slice: cores {j : j mod N == i}. Empty (no affinity) when
+// the machine has fewer cores than shards — a 2-core box running 8 shards
+// should time-share, not fight over a bogus pin.
+std::vector<int> ShardCpus(size_t shard, size_t shard_count) {
+  const size_t cores = std::thread::hardware_concurrency();
+  if (cores < shard_count) {
+    return {};
+  }
+  std::vector<int> cpus;
+  for (size_t j = shard; j < cores; j += shard_count) {
+    cpus.push_back(static_cast<int>(j));
+  }
+  return cpus;
+}
+
+// Query-string value for `key` in an HTTP target ("/trace?workflow=x").
+std::string QueryParam(const std::string& target, const std::string& key) {
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    return "";
+  }
+  std::string query = target.substr(question + 1);
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+// total budget -> shard `i`'s slice: even division, remainder to the lowest
+// shards, never below 1.
+size_t ShardSlice(size_t total, size_t shard, size_t shard_count) {
+  const size_t base = total / shard_count;
+  const size_t extra = shard < total % shard_count ? 1 : 0;
+  return std::max<size_t>(1, base + extra);
+}
+
+}  // namespace
+
+AsVisorRouter::AsVisorRouter(RouterOptions options) {
+  const size_t shard_count = ResolveShardCount(options.shards);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    AsVisor::ShardIdentity identity;
+    identity.index = static_cast<int>(i);
+    identity.cpus = ShardCpus(i, shard_count);
+    shards_.push_back(std::make_unique<AsVisor>(std::move(identity)));
+  }
+  ring_.reserve(shard_count * kVnodesPerShard);
+  for (size_t i = 0; i < shard_count; ++i) {
+    for (size_t v = 0; v < kVnodesPerShard; ++v) {
+      ring_.push_back({Fnv1a("shard-" + std::to_string(i) + "#" +
+                             std::to_string(v)),
+                       i});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+            });
+}
+
+AsVisorRouter::~AsVisorRouter() {
+  StopWatchdog();
+  // Join every shard's pool warmer in index order (each shard joins its own
+  // pools in workflow-name order) so teardown is deterministic.
+  for (const auto& shard : shards_) {
+    shard->ShutdownPools();
+  }
+}
+
+size_t AsVisorRouter::HashShard(const std::string& workflow_name) const {
+  const uint64_t hash = Fnv1a(workflow_name);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const RingPoint& point, uint64_t value) { return point.hash < value; });
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around the ring
+  }
+  return it->shard;
+}
+
+size_t AsVisorRouter::ShardOf(const std::string& workflow_name) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(workflow_name);
+    if (it != routes_.end()) {
+      return it->second;
+    }
+  }
+  return HashShard(workflow_name);
+}
+
+void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec) {
+  RegisterWorkflow(spec, AsVisor::WorkflowOptions{});
+}
+
+void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec,
+                                     AsVisor::WorkflowOptions options) {
+  const size_t target = options.pin_shard >= 0
+                            ? static_cast<size_t>(options.pin_shard) %
+                                  shards_.size()
+                            : HashShard(spec.name);
+  size_t previous = target;
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(spec.name);
+    if (it != routes_.end()) {
+      previous = it->second;
+      it->second = target;
+    } else {
+      routes_.emplace(spec.name, target);
+    }
+  }
+  if (previous != target) {
+    // Placement changed (new pin, or pin dropped): migrate — the old
+    // shard's entry (queued tickets, warm pool) goes away before the new
+    // one exists, so the workflow is never registered twice.
+    shards_[previous]->UnregisterWorkflow(spec.name);
+  }
+  shards_[target]->RegisterWorkflow(spec, std::move(options));
+}
+
+asbase::Status AsVisorRouter::RegisterWorkflowFromJson(
+    const asbase::Json& config) {
+  AS_ASSIGN_OR_RETURN(WorkflowSpec spec, WorkflowSpec::FromJson(config));
+  int pin_shard = -1;
+  const asbase::Json& opts = config["options"];
+  if (opts.is_object() && opts["pin_shard"].is_number()) {
+    pin_shard = static_cast<int>(opts["pin_shard"].as_int());
+  }
+  const size_t target =
+      pin_shard >= 0 ? static_cast<size_t>(pin_shard) % shards_.size()
+                     : HashShard(spec.name);
+  size_t previous = target;
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(spec.name);
+    if (it != routes_.end()) {
+      previous = it->second;
+      it->second = target;
+    } else {
+      routes_.emplace(spec.name, target);
+    }
+  }
+  if (previous != target) {
+    shards_[previous]->UnregisterWorkflow(spec.name);
+  }
+  return shards_[target]->RegisterWorkflowFromJson(config);
+}
+
+bool AsVisorRouter::UnregisterWorkflow(const std::string& workflow_name) {
+  size_t owner = shards_.size();
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(workflow_name);
+    if (it == routes_.end()) {
+      return false;
+    }
+    owner = it->second;
+    routes_.erase(it);
+  }
+  return shards_[owner]->UnregisterWorkflow(workflow_name);
+}
+
+asbase::Result<InvokeResult> AsVisorRouter::Invoke(
+    const std::string& workflow_name, const asbase::Json& params) {
+  return shards_[ShardOf(workflow_name)]->Invoke(workflow_name, params);
+}
+
+asbase::Result<InvokeResult> AsVisorRouter::Invoke(
+    const std::string& workflow_name, const asbase::Json& params,
+    const AsVisor::InvokeOptions& options) {
+  return shards_[ShardOf(workflow_name)]->Invoke(workflow_name, params,
+                                                 options);
+}
+
+// --------------------------------------------------------------- watchdog
+
+asbase::Status AsVisorRouter::StartWatchdog(uint16_t port) {
+  return StartWatchdog(port, AsVisor::ServingOptions{});
+}
+
+asbase::Status AsVisorRouter::StartWatchdog(uint16_t port,
+                                            AsVisor::ServingOptions serving) {
+  if (server_ != nullptr) {
+    return asbase::FailedPrecondition("watchdog already running");
+  }
+  if (serving.worker_threads == 0 || serving.max_inflight == 0) {
+    return asbase::InvalidArgument(
+        "worker_threads and max_inflight must be >= 1");
+  }
+  serving_total_ = serving;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    AsVisor::ServingOptions slice = serving;
+    slice.max_inflight = ShardSlice(serving.max_inflight, i, shards_.size());
+    slice.worker_threads =
+        ShardSlice(serving.worker_threads, i, shards_.size());
+    asbase::Status started = shards_[i]->StartServing(slice);
+    if (!started.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        shards_[j]->StopServing();
+      }
+      return started;
+    }
+  }
+  server_ = std::make_unique<ashttp::HttpServer>(
+      [this](const ashttp::HttpRequest& request) {
+        ashttp::HttpResponse response;
+        if (request.method == "GET" && request.target == "/health") {
+          response.body = "ok";
+          return response;
+        }
+        if (request.method == "GET" && request.target == "/metrics") {
+          // One registry serves all shards; their series are kept apart by
+          // the alloy_visor_shard label.
+          response.headers["content-type"] = "text/plain; version=0.0.4";
+          response.body = asobs::Registry::Global().RenderPrometheus();
+          return response;
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/trace", 0) == 0) {
+          return ServeTrace(request.target);
+        }
+        if (request.method == "POST" &&
+            request.target.rfind("/invoke/", 0) == 0) {
+          return Dispatch(request);
+        }
+        response.status = 404;
+        response.reason = "Not Found";
+        response.body = "unknown endpoint";
+        return response;
+      });
+  asbase::Status started = server_->Start(port);
+  if (!started.ok()) {
+    server_.reset();
+    StopWatchdog();
+  }
+  return started;
+}
+
+ashttp::HttpResponse AsVisorRouter::Dispatch(
+    const ashttp::HttpRequest& request) {
+  const std::string name =
+      request.target.substr(std::string("/invoke/").size());
+  // Routing is the only shared step on the hot path, and it takes a read
+  // lock at most — an unregistered name falls through to the hash shard,
+  // which answers 404 itself.
+  return shards_[ShardOf(name)]->HandleInvoke(request);
+}
+
+ashttp::HttpResponse AsVisorRouter::ServeTrace(
+    const std::string& target) const {
+  const std::string workflow = QueryParam(target, "workflow");
+  if (workflow.empty()) {
+    ashttp::HttpResponse response;
+    response.status = 400;
+    response.reason = "Bad Request";
+    std::string names;
+    for (const auto& shard : shards_) {
+      for (const std::string& name : shard->WorkflowNames()) {
+        names += names.empty() ? name : ", " + name;
+      }
+    }
+    response.body = "usage: /trace?workflow=<name>; registered: " + names;
+    return response;
+  }
+  return shards_[ShardOf(workflow)]->ServeTrace(target);
+}
+
+uint16_t AsVisorRouter::watchdog_port() const {
+  return server_ == nullptr ? 0 : server_->port();
+}
+
+void AsVisorRouter::StopWatchdog() {
+  // Phase 1: flip every shard to draining (index order, non-blocking) so
+  // queued admissions across ALL shards start unwinding with 503 before any
+  // join below can wait on them.
+  for (const auto& shard : shards_) {
+    shard->BeginDrain();
+  }
+  // Phase 2: stop the shared server — joins its connection threads, whose
+  // queued waiters just unwound.
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+  }
+  // Phase 3: drain + destroy each shard's worker pool, index order.
+  for (const auto& shard : shards_) {
+    shard->StopServing();
+  }
+}
+
+void AsVisorRouter::SetMaxInflightTotal(size_t max_inflight) {
+  serving_total_.max_inflight = std::max<size_t>(1, max_inflight);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->SetMaxInflight(
+        ShardSlice(serving_total_.max_inflight, i, shards_.size()));
+  }
+}
+
+asbase::Result<asbase::Histogram> AsVisorRouter::LatencyHistogram(
+    const std::string& workflow_name) const {
+  return shards_[ShardOf(workflow_name)]->LatencyHistogram(workflow_name);
+}
+
+asbase::Result<size_t> AsVisorRouter::WarmWfdCount(
+    const std::string& workflow_name) const {
+  return shards_[ShardOf(workflow_name)]->WarmWfdCount(workflow_name);
+}
+
+}  // namespace alloy

@@ -1,0 +1,131 @@
+// Multi-visor sharding (DESIGN.md §10): N per-core AsVisor shards behind a
+// consistent-hash router.
+//
+// A single AsVisor serializes every admission decision, pool lease, and
+// queue wake-up on one mutex — and every ReleaseAdmission broadcast wakes
+// *all* queued waiters, each of which re-locks that mutex and re-runs an
+// O(workflows + queue depth) eligibility predicate. Past a few dozen
+// concurrent requests the control plane burns more CPU thundering than
+// serving. The router splits the world into N independent shards: each
+// workflow lives on exactly one shard (consistent hash on its name, or an
+// explicit `pin_shard` override), so admission state, the condvar herd, the
+// WfdPool + warmer, and the service-time EWMAs are all shard-local and the
+// per-completion wake cost divides by N.
+//
+// Placement is a 64-vnode/shard FNV-1a hash ring, so growing the shard
+// count moves only ~1/N of the workflows (tested). Global serving budgets
+// (`max_inflight`, worker threads) are divided into per-shard slices at
+// StartWatchdog with a rebalance hook (`SetMaxInflightTotal`). One shared
+// HttpServer fronts all shards: `/invoke/<wf>` routes to the owning shard
+// with no cross-shard lock on the hot path, `/metrics` serves the shared
+// registry (shards label their series `alloy_visor_shard="<i>"`), `/trace`
+// routes by the workflow query param. Shard stage workers pin to the
+// shard's core slice when the machine has at least one core per shard.
+//
+// The router exposes the same surface as AsVisor (RegisterWorkflow /
+// Invoke / StartWatchdog), so the watchdog, benches, and tests swap over
+// by constructing an AsVisorRouter instead of an AsVisor.
+
+#ifndef SRC_CORE_VISOR_VISOR_ROUTER_H_
+#define SRC_CORE_VISOR_VISOR_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/visor/visor.h"
+
+namespace alloy {
+
+struct RouterOptions {
+  // Shard count. 0 = the ALLOY_VISOR_SHARDS environment variable if set,
+  // else hardware_concurrency (min 1).
+  size_t shards = 0;
+};
+
+class AsVisorRouter {
+ public:
+  explicit AsVisorRouter(RouterOptions options = {});
+  ~AsVisorRouter();
+
+  AsVisorRouter(const AsVisorRouter&) = delete;
+  AsVisorRouter& operator=(const AsVisorRouter&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  // Direct shard access (tests, ops introspection).
+  AsVisor& shard(size_t index) { return *shards_[index]; }
+
+  // ---- AsVisor-compatible surface ----
+  // Registers on the owning shard (consistent hash, or options.pin_shard
+  // modulo shard count when >= 0). A workflow whose placement changed —
+  // pinned somewhere new, or re-registered after its pin was dropped — is
+  // unregistered from the old shard first, so it is never registered twice.
+  void RegisterWorkflow(const WorkflowSpec& spec);
+  void RegisterWorkflow(const WorkflowSpec& spec,
+                        AsVisor::WorkflowOptions options);
+  asbase::Status RegisterWorkflowFromJson(const asbase::Json& config);
+  bool UnregisterWorkflow(const std::string& workflow_name);
+
+  asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
+                                      const asbase::Json& params);
+  asbase::Result<InvokeResult> Invoke(const std::string& workflow_name,
+                                      const asbase::Json& params,
+                                      const AsVisor::InvokeOptions& options);
+
+  // One shared HTTP server for all shards. `serving` carries the GLOBAL
+  // budgets; the router divides max_inflight and worker_threads into
+  // per-shard slices (each at least 1, remainder to the lowest shards).
+  asbase::Status StartWatchdog(uint16_t port = 0);
+  asbase::Status StartWatchdog(uint16_t port, AsVisor::ServingOptions serving);
+  uint16_t watchdog_port() const;
+  // Three deterministic phases: (1) BeginDrain on every shard in index
+  // order — queued admissions unwind with 503; (2) stop the shared server,
+  // joining its connection threads; (3) StopServing each shard in index
+  // order (drains + destroys its worker pool).
+  void StopWatchdog();
+
+  // The serving pipeline without the HTTP socket: routes the request to the
+  // owning shard's HandleInvoke (admission + dispatch + response mapping).
+  // What the shared server's handler calls; benches drive it directly.
+  ashttp::HttpResponse Dispatch(const ashttp::HttpRequest& request);
+
+  // Rebalance hook: re-divides a new global in-flight budget across shards
+  // and wakes their queued admissions.
+  void SetMaxInflightTotal(size_t max_inflight);
+
+  // Where `workflow_name` is (registered) or would be (hash) placed.
+  size_t ShardOf(const std::string& workflow_name) const;
+  // Pure ring placement, ignoring pins and registrations (tests).
+  size_t HashShard(const std::string& workflow_name) const;
+
+  // Convenience pass-throughs to the owning shard.
+  asbase::Result<asbase::Histogram> LatencyHistogram(
+      const std::string& workflow_name) const;
+  asbase::Result<size_t> WarmWfdCount(const std::string& workflow_name) const;
+
+ private:
+  struct RingPoint {
+    uint64_t hash;
+    size_t shard;
+  };
+
+  ashttp::HttpResponse ServeTrace(const std::string& target) const;
+
+  std::vector<std::unique_ptr<AsVisor>> shards_;
+  // 64 vnodes per shard, sorted by hash; immutable after construction.
+  std::vector<RingPoint> ring_;
+
+  // workflow -> owning shard, fixed at registration. shared_mutex: the
+  // /invoke hot path only ever takes the read side.
+  mutable std::shared_mutex routes_mutex_;
+  std::map<std::string, size_t> routes_;
+
+  AsVisor::ServingOptions serving_total_;
+  std::unique_ptr<ashttp::HttpServer> server_;
+};
+
+}  // namespace alloy
+
+#endif  // SRC_CORE_VISOR_VISOR_ROUTER_H_

@@ -16,6 +16,13 @@ WfdPoolOptions ReactiveOptions(size_t capacity) {
   return options;
 }
 
+asobs::Labels PoolLabels(const std::string& workflow,
+                         const asobs::Labels& extra) {
+  asobs::Labels labels = {{"workflow", workflow}};
+  labels.insert(labels.end(), extra.begin(), extra.end());
+  return labels;
+}
+
 }  // namespace
 
 WfdPool::WfdPool(const std::string& workflow, size_t capacity)
@@ -24,15 +31,20 @@ WfdPool::WfdPool(const std::string& workflow, size_t capacity)
 WfdPool::WfdPool(const std::string& workflow, WfdPoolOptions options)
     : options_(std::move(options)),
       hits_(asobs::Registry::Global().GetCounter(
-          "alloy_visor_pool_hits_total", {{"workflow", workflow}})),
+          "alloy_visor_pool_hits_total",
+          PoolLabels(workflow, options_.extra_labels))),
       misses_(asobs::Registry::Global().GetCounter(
-          "alloy_visor_pool_misses_total", {{"workflow", workflow}})),
+          "alloy_visor_pool_misses_total",
+          PoolLabels(workflow, options_.extra_labels))),
       evictions_(asobs::Registry::Global().GetCounter(
-          "alloy_visor_pool_evictions_total", {{"workflow", workflow}})),
+          "alloy_visor_pool_evictions_total",
+          PoolLabels(workflow, options_.extra_labels))),
       prewarms_(asobs::Registry::Global().GetCounter(
-          "alloy_visor_prewarms_total", {{"workflow", workflow}})),
+          "alloy_visor_prewarms_total",
+          PoolLabels(workflow, options_.extra_labels))),
       resident_gauge_(asobs::Registry::Global().GetGauge(
-          "alloy_visor_pool_resident_bytes", {{"workflow", workflow}})) {
+          "alloy_visor_pool_resident_bytes",
+          PoolLabels(workflow, options_.extra_labels))) {
   last_activity_nanos_ = asbase::MonoNanos();
   // The warmer only exists when it has something to do: a floor or a
   // predictive refill needs the factory; the idle-TTL evictor does not.
@@ -65,18 +77,34 @@ std::unique_ptr<Wfd> WfdPool::PopWarmLocked() {
   if (warm_.empty()) {
     return nullptr;
   }
-  std::unique_ptr<Wfd> wfd = std::move(warm_.back());
+  Parked parked = std::move(warm_.back());
   warm_.pop_back();
-  const size_t bytes = wfd->ResidentBytes();
-  resident_bytes_ -= std::min(resident_bytes_, bytes);
-  resident_gauge_.Set(static_cast<int64_t>(resident_bytes_));
-  return wfd;
+  // Un-charge exactly what was charged at park time, not ResidentBytes()
+  // now — the two can differ, and the gauge is shared with other pools.
+  resident_bytes_ -= std::min(resident_bytes_, parked.bytes);
+  resident_gauge_.Add(-static_cast<int64_t>(parked.bytes));
+  return std::move(parked.wfd);
 }
 
 void WfdPool::AddWarmLocked(std::unique_ptr<Wfd> wfd) {
-  resident_bytes_ += wfd->ResidentBytes();
-  resident_gauge_.Set(static_cast<int64_t>(resident_bytes_));
-  warm_.push_back(std::move(wfd));
+  Parked parked;
+  parked.bytes = wfd->ResidentBytes();
+  parked.wfd = std::move(wfd);
+  resident_bytes_ += parked.bytes;
+  resident_gauge_.Add(static_cast<int64_t>(parked.bytes));
+  warm_.push_back(std::move(parked));
+}
+
+std::vector<WfdPool::Parked> WfdPool::TakeAllLocked() {
+  std::vector<Parked> doomed;
+  doomed.swap(warm_);
+  int64_t charged = 0;
+  for (const Parked& parked : doomed) {
+    charged += static_cast<int64_t>(parked.bytes);
+  }
+  resident_bytes_ = 0;
+  resident_gauge_.Add(-charged);
+  return doomed;
 }
 
 std::unique_ptr<Wfd> WfdPool::TryAcquireWarm() {
@@ -144,12 +172,10 @@ void WfdPool::AbandonLease() {
 }
 
 void WfdPool::Clear() {
-  std::vector<std::unique_ptr<Wfd>> doomed;
+  std::vector<Parked> doomed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    doomed.swap(warm_);
-    resident_bytes_ = 0;
-    resident_gauge_.Set(0);
+    doomed = TakeAllLocked();
   }
   evictions_.Add(doomed.size());
   doomed.clear();
@@ -202,10 +228,7 @@ void WfdPool::WarmerLoop() {
     // Idle-TTL eviction: a quiet workflow's parked WFDs pin heap + disk for
     // nothing; drop them all (destruction happens off-lock).
     if (IdleLocked(now) && !warm_.empty()) {
-      std::vector<std::unique_ptr<Wfd>> doomed;
-      doomed.swap(warm_);
-      resident_bytes_ = 0;
-      resident_gauge_.Set(0);
+      std::vector<Parked> doomed = TakeAllLocked();
       lock.unlock();
       evictions_.Add(doomed.size());
       doomed.clear();

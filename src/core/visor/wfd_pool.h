@@ -58,6 +58,10 @@ struct WfdPoolOptions {
   // off the pool lock). Required for the warmer; without it min_warm and the
   // EWMA refill are inert and only the reactive store + idle TTL work.
   std::function<asbase::Result<std::unique_ptr<Wfd>>()> factory;
+  // Appended to {workflow=...} on every pool metric — the sharded visor
+  // passes {alloy_visor_shard=i} so two shards (or an old and a new pool
+  // during re-registration) never write the same series.
+  asobs::Labels extra_labels;
 };
 
 class WfdPool {
@@ -112,11 +116,26 @@ class WfdPool {
   static constexpr int64_t kWarmHorizonNanos = 100'000'000;  // 100 ms
   static constexpr double kArrivalAlpha = 0.2;
 
+  // A parked WFD plus the byte count it was charged to the resident gauge
+  // with. The gauge moves by deltas (Add), never absolute Set: during
+  // re-registration an old and a new pool briefly share the series, and a
+  // Set from either side would erase the other's contribution (observed as
+  // the gauge stuck at 0 after a re-register under load). Recording the
+  // charge makes the un-charge exact even if ResidentBytes() drifts while
+  // the WFD is parked.
+  struct Parked {
+    std::unique_ptr<Wfd> wfd;
+    size_t bytes = 0;
+  };
+
   void WarmerLoop();
   size_t TargetWarmLocked(int64_t now) const;
   bool IdleLocked(int64_t now) const;
   void AddWarmLocked(std::unique_ptr<Wfd> wfd);
   std::unique_ptr<Wfd> PopWarmLocked();
+  // Drops every parked WFD from the store and un-charges the gauge; returns
+  // the doomed WFDs for off-lock destruction.
+  std::vector<Parked> TakeAllLocked();
 
   const WfdPoolOptions options_;
   asobs::Counter& hits_;
@@ -127,7 +146,7 @@ class WfdPool {
 
   mutable std::mutex mutex_;
   std::condition_variable warmer_cv_;
-  std::vector<std::unique_ptr<Wfd>> warm_;
+  std::vector<Parked> warm_;
   size_t resident_bytes_ = 0;   // sum of parked WFDs' ResidentBytes()
   size_t prewarming_ = 0;       // warmer creations in flight (off-lock)
   // Leases in flight (TryAcquireWarm without a matching Park/AbandonLease).

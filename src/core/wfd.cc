@@ -106,6 +106,9 @@ size_t Wfd::EnsureStageWorkers(size_t num_threads) {
   std::lock_guard<std::mutex> lock(stage_workers_mutex_);
   if (stage_workers_ == nullptr) {
     stage_workers_ = std::make_unique<asbase::ThreadPool>(0);
+    if (!options_.cpu_affinity.empty()) {
+      stage_workers_->PinToCpus(options_.cpu_affinity);
+    }
   }
   return stage_workers_->EnsureAtLeast(num_threads);
 }

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/core/libos/libos.h"
@@ -49,6 +50,11 @@ struct WfdOptions {
   asblk::BlockDevice* disk = nullptr;
 
   asmpk::MpkBackend mpk_backend = asmpk::PkeyRuntime::DefaultBackend();
+
+  // CPUs this WFD's stage workers pin to (multi-visor sharding: the owning
+  // shard's core set, so a WFD's stages stop bouncing across the machine).
+  // Empty = no affinity. Best-effort; an invalid set falls back to unpinned.
+  std::vector<int> cpu_affinity;
 
   // Invocation trace to hang wfd/libos spans off (optional, not owned; must
   // outlive the WFD). `trace_parent` is the span id to parent under.

@@ -356,6 +356,43 @@ TEST(ThreadPoolTest, DrainIsReusable) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPoolTest, PinToCpusAppliesToCurrentAndFutureWorkers) {
+  ThreadPool pool(2);
+  // CPU 0 always exists; the pin may still fail in restricted sandboxes, so
+  // assert the invariant instead of the syscall: either every worker pinned
+  // and the cpuset is remembered for future workers, or the pool fell back
+  // to no affinity. Never half-pinned.
+  const size_t pinned = pool.PinToCpus({0});
+  if (pinned == 2) {
+    EXPECT_EQ(pool.pinned_cpus(), std::vector<int>{0});
+    pool.EnsureAtLeast(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    EXPECT_EQ(pool.pinned_cpus(), std::vector<int>{0});
+  } else {
+    EXPECT_EQ(pinned, 0u);
+    EXPECT_TRUE(pool.pinned_cpus().empty());
+  }
+  // The pool still works while pinned.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, PinToCpusInvalidSetFallsBackToNoAffinity) {
+  ThreadPool pool(2);
+  // No valid CPU in the set (out of range for any machine): the pool must
+  // not half-apply — it reports zero pinned and clears the remembered set.
+  EXPECT_EQ(pool.PinToCpus({1 << 20}), 0u);
+  EXPECT_TRUE(pool.pinned_cpus().empty());
+  std::atomic<int> count{0};
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.Drain();
+  EXPECT_EQ(count.load(), 1);
+}
+
 // ---------------------------------------------------------------- SimCostModel
 
 TEST(SimCostModelTest, ScalingApplies) {

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/asstd/asstd.h"
 #include "src/core/visor/visor.h"
+#include "src/core/visor/wfd_pool.h"
 #include "src/http/http.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -391,6 +395,62 @@ TEST(VisorObsTest, WatchdogServesMetricsAndTrace) {
       ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request)->status,
       404);
   visor.StopWatchdog();
+}
+
+// During re-registration (and during router-driven migration between
+// shards) an old and a new WfdPool for the same workflow briefly update
+// the same alloy_visor_pool_resident_bytes series. The gauge must move
+// by deltas: a Set()-based implementation let whichever pool wrote last
+// clobber the other's contribution, so Clear() on the dying pool erased
+// the live pool's resident bytes from the scrape.
+TEST(MetricsTest, ResidentGaugeComposesAcrossOverlappingPools) {
+  auto make_touched_wfd = [] {
+    alloy::WfdOptions options;
+    options.heap_bytes = 8u << 20;
+    options.disk_blocks = 16 * 1024;
+    options.mpk_backend = asmpk::MpkBackend::kEmulated;
+    auto wfd = alloy::Wfd::Create(options);
+    EXPECT_TRUE(wfd.ok());
+    // Touch heap pages so ResidentBytes (mincore-based) is non-zero.
+    auto buffer = (*wfd)->libos().AllocBuffer("overlap", 128 * 1024, 16, 1);
+    EXPECT_TRUE(buffer.ok());
+    std::memset(*buffer, 0xcd, 128 * 1024);
+    return std::move(*wfd);
+  };
+
+  asobs::Gauge& gauge = Registry::Global().GetGauge(
+      "alloy_visor_pool_resident_bytes", {{"workflow", "overlapwf"}});
+  const int64_t base = gauge.value();
+
+  alloy::WfdPool old_pool("overlapwf", 1);
+  alloy::WfdPool new_pool("overlapwf", 1);
+  old_pool.Park(make_touched_wfd());
+  new_pool.Park(make_touched_wfd());
+  const int64_t old_bytes = static_cast<int64_t>(old_pool.resident_bytes());
+  const int64_t new_bytes = static_cast<int64_t>(new_pool.resident_bytes());
+  ASSERT_GT(old_bytes, 0);
+  ASSERT_GT(new_bytes, 0);
+  EXPECT_EQ(gauge.value(), base + old_bytes + new_bytes);
+
+  // Scrape concurrently with pool churn: the render must observe a
+  // consistent value per series (no torn reads) and never crash.
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string page = Registry::Global().RenderPrometheus();
+      EXPECT_NE(page.find("alloy_visor_pool_resident_bytes"),
+                std::string::npos);
+    }
+  });
+
+  // The dying pool clears; the live pool's contribution must survive.
+  old_pool.Clear();
+  EXPECT_EQ(gauge.value(), base + new_bytes);
+  new_pool.Clear();
+  EXPECT_EQ(gauge.value(), base);
+
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
 }
 
 }  // namespace

@@ -639,5 +639,117 @@ TEST(VisorServingTest, AdmissionRoundRobinPreventsCrossWorkflowStarvation) {
       << "the light workflow must not wait out the whole heavy backlog";
 }
 
+TEST(VisorServingTest, WeightedSharesGrantSlotsProportionally) {
+  static std::atomic<bool> gate_started{false};
+  static std::atomic<bool> gate_release{false};
+  gate_started = false;
+  gate_release = false;
+  FunctionRegistry::Global().Register(
+      "serving.weightgate", [](FunctionContext& ctx) -> asbase::Status {
+        gate_started = true;
+        while (!gate_release) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ctx.SetResult("released");
+        return asbase::OkStatus();
+      });
+  std::mutex order_mutex;
+  std::vector<std::string> grant_order;
+  FunctionRegistry::Global().Register(
+      "serving.recordwf", [&](FunctionContext& ctx) -> asbase::Status {
+        {
+          std::lock_guard<std::mutex> lock(order_mutex);
+          grant_order.push_back(ctx.params()["who"].as_string());
+        }
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  auto register_workflow = [&](const std::string& name,
+                               const std::string& function, double weight) {
+    WorkflowSpec spec;
+    spec.name = name;
+    spec.stages.push_back(StageSpec{{FunctionSpec{function, 1}}});
+    AsVisor::WorkflowOptions options;
+    options.wfd = SmallWfd();
+    options.pool_size = 1;
+    options.max_concurrency = 12;
+    options.queue_capacity = 16;
+    options.queueing_budget_ms = 60'000;
+    options.weight = weight;
+    visor.RegisterWorkflow(spec, options);
+  };
+  register_workflow("wgate", "serving.weightgate", 1.0);
+  register_workflow("a-prio", "serving.recordwf", 3.0);
+  register_workflow("b-std", "serving.recordwf", 1.0);
+  AsVisor::ServingOptions serving;
+  serving.worker_threads = 16;
+  serving.max_inflight = 1;  // one global slot, granted strictly one by one
+  ASSERT_TRUE(visor.StartWatchdog(0, serving).ok());
+
+  // Occupy the single slot, then pile up 9 weight-3 and 3 weight-1 waiters
+  // so every later grant is contested.
+  std::thread gate_holder([&] {
+    auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                     InvokeRequest("wgate"));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200) << response->body;
+  });
+  while (!gate_started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  asobs::Gauge& a_queued = asobs::Registry::Global().GetGauge(
+      "alloy_visor_queued", {{"workflow", "a-prio"}});
+  asobs::Gauge& b_queued = asobs::Registry::Global().GetGauge(
+      "alloy_visor_queued", {{"workflow", "b-std"}});
+  std::vector<std::thread> clients;
+  auto fire = [&](const std::string& name) {
+    clients.emplace_back([&, name] {
+      asbase::Json params;
+      params.Set("who", name);
+      auto response =
+          ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                           InvokeRequest(name, params.Dump()));
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->status, 200) << response->body;
+    });
+  };
+  for (int i = 0; i < 9; ++i) {
+    fire("a-prio");
+  }
+  for (int i = 0; i < 3; ++i) {
+    fire("b-std");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((a_queued.value() < 9 || b_queued.value() < 3) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(a_queued.value(), 9);
+  ASSERT_EQ(b_queued.value(), 3);
+
+  gate_release = true;
+  gate_holder.join();
+  for (auto& client : clients) {
+    client.join();
+  }
+
+  // Deficit-round-robin at 3:1 weights grants in A,A,A,B cycles while both
+  // queues are non-empty. Check the ratio window by window rather than the
+  // exact sequence so the assertion is robust to the final uncontested tail.
+  ASSERT_EQ(grant_order.size(), 12u);
+  for (int window = 0; window < 3; ++window) {
+    int a_grants = 0;
+    for (int i = window * 4; i < (window + 1) * 4; ++i) {
+      if (grant_order[i] == "a-prio") {
+        ++a_grants;
+      }
+    }
+    EXPECT_EQ(a_grants, 3) << "window " << window
+                           << " must grant the weight-3 workflow 3 of 4 slots";
+  }
+}
+
 }  // namespace
 }  // namespace alloy
