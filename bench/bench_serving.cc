@@ -16,8 +16,15 @@
 //
 // `--quick` shrinks every section to a smoke test (compile-and-run checked
 // by ctest, label `serving`). Emits BENCH_serving.json.
+//
+// `--obs-overhead` runs only the flight-recorder overhead comparison: the
+// warm closed loop with the recorder at its default ring size vs disabled
+// (ALLOY_FLIGHT_RING=0), emitting BENCH_obs.json with the warm p50 for both
+// and the relative overhead. The acceptance bar is <= 3%.
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -88,14 +95,116 @@ ashttp::HttpRequest InvokeRequest(const std::string& workflow) {
   return request;
 }
 
+// Build a warm-pool visor for the flight-recorder overhead comparison. The
+// ring size env var is read in the AsVisor constructor, so each mode gets
+// its own visor.
+std::unique_ptr<AsVisor> ObsOverheadVisor(const char* flight_ring,
+                                          const std::string& workflow) {
+  if (flight_ring != nullptr) {
+    setenv("ALLOY_FLIGHT_RING", flight_ring, 1);
+  } else {
+    unsetenv("ALLOY_FLIGHT_RING");
+  }
+  auto visor = std::make_unique<AsVisor>();
+  unsetenv("ALLOY_FLIGHT_RING");
+  AsVisor::WorkflowOptions options;
+  options.wfd = BenchWfd();
+  options.pool_size = 2;
+  visor->RegisterWorkflow(OneStage(workflow, "bench.serve-io"), options);
+  return visor;
+}
+
+int ObsOverheadMain(bool quick) {
+  PrintHeader("serving --obs-overhead",
+              "flight recorder on vs off, warm closed loop");
+  RegisterFunctions();
+  const int rounds = quick ? 4 : 20;
+  const int batch = quick ? 10 : 20;
+  const int iterations = rounds * batch;
+
+  std::unique_ptr<AsVisor> visor_off = ObsOverheadVisor("0", "obs-off");
+  std::unique_ptr<AsVisor> visor_on = ObsOverheadVisor(nullptr, "obs-on");
+
+  // Warm both pools so the comparison measures the steady warm path.
+  for (int i = 0; i < std::max(4, batch); ++i) {
+    (void)visor_off->Invoke("obs-off", asbase::Json());
+    (void)visor_on->Invoke("obs-on", asbase::Json());
+  }
+
+  // Interleave A/B batches: machine-wide drift (page cache, frequency
+  // scaling, a noisy neighbour) lands on both modes instead of biasing one.
+  asbase::Histogram off;
+  asbase::Histogram on;
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < batch; ++i) {
+      auto r = visor_off->Invoke("obs-off", asbase::Json());
+      if (r.ok()) {
+        off.Record(r->end_to_end_nanos);
+      }
+    }
+    for (int i = 0; i < batch; ++i) {
+      auto r = visor_on->Invoke("obs-on", asbase::Json());
+      if (r.ok()) {
+        on.Record(r->end_to_end_nanos);
+      }
+    }
+  }
+
+  const int64_t p50_off = std::max<int64_t>(off.Percentile(0.5), 1);
+  const int64_t p50_on = on.Percentile(0.5);
+  const double overhead_pct =
+      100.0 * (static_cast<double>(p50_on) - static_cast<double>(p50_off)) /
+      static_cast<double>(p50_off);
+
+  std::printf("\nwarm closed loop, %d invocations each (IO workflow)\n",
+              iterations);
+  std::printf("  %-22s %10s %10s\n", "", "p50", "p99");
+  std::printf("  %-22s %10s %10s\n", "recorder off (ring=0)",
+              Ms(off.Percentile(0.5)).c_str(),
+              Ms(off.Percentile(0.99)).c_str());
+  std::printf("  %-22s %10s %10s\n", "recorder on (default)",
+              Ms(on.Percentile(0.5)).c_str(), Ms(on.Percentile(0.99)).c_str());
+  std::printf("  flight-recorder overhead at warm p50: %+.2f%%\n",
+              overhead_pct);
+
+  asbase::Json doc;
+  doc.Set("bench", "obs-overhead");
+  doc.Set("quick", quick);
+  doc.Set("iterations", static_cast<int64_t>(iterations));
+  doc.Set("p50_recorder_on_nanos", p50_on);
+  doc.Set("p50_recorder_off_nanos", static_cast<int64_t>(p50_off));
+  doc.Set("p99_recorder_on_nanos", on.Percentile(0.99));
+  doc.Set("p99_recorder_off_nanos", off.Percentile(0.99));
+  doc.Set("overhead_pct", std::round(overhead_pct * 100.0) / 100.0);
+  doc.Set("within_3pct_budget", overhead_pct <= 3.0);
+  asbase::Json series{asbase::JsonObject{}};
+  series.Set("recorder_on", on.ToJson());
+  series.Set("recorder_off", off.ToJson());
+  doc.Set("series", std::move(series));
+  const std::string text = doc.Dump(2);
+  if (FILE* f = std::fopen("BENCH_obs.json", "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_obs.json\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
   bool quick = false;
+  bool obs_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      obs_overhead = true;
     }
+  }
+  if (obs_overhead) {
+    return ObsOverheadMain(quick);
   }
   const int closed_loop_n = quick ? 20 : 200;
   const int rps_requests_per_client = quick ? 10 : 100;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: the full tier-1 suite, then the serving layer and the
-# netstack again under TSan — the admission queue, the pool warmer, the
-# watchdog pipeline, and the poller/timer/backpressure paths are the most
-# thread-heavy code in the tree, so they get the race detector even when the
-# full TSan suite would be too slow.
+# CI entry point: the full tier-1 suite, then the serving layer, the obs
+# layer, and the netstack again under TSan — the admission queue, the pool
+# warmer, the watchdog pipeline, the flight-ring seqlock, and the
+# poller/timer/backpressure paths are the most thread-heavy code in the
+# tree, so they get the race detector even when the full TSan suite would
+# be too slow.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -16,7 +17,7 @@ cmake -S . -B "${BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD}" -j "$(nproc)"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
-echo "==> serving + netstack tests under ThreadSanitizer (${BUILD}-tsan)"
+echo "==> serving + obs + netstack tests under ThreadSanitizer (${BUILD}-tsan)"
 cmake -S . -B "${BUILD}-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DALLOY_SANITIZE=thread >/dev/null
 cmake --build "${BUILD}-tsan" -j "$(nproc)"
@@ -25,11 +26,15 @@ cmake --build "${BUILD}-tsan" -j "$(nproc)"
 # covers cross-shard drain, the shared /metrics scrape, and the
 # per-shard admission queues.
 ALLOY_VISOR_SHARDS=4 ctest --test-dir "${BUILD}-tsan" -L serving --output-on-failure
+# The obs label covers the flight-ring concurrent-writers/scraping-reader
+# seqlock test — the torn-read protocol is only proven if TSan sees it.
+ctest --test-dir "${BUILD}-tsan" -L obs --output-on-failure
 ctest --test-dir "${BUILD}-tsan" -L netstack --output-on-failure
 
-echo "==> serving + dataplane + sharding bench smoke (--quick)"
+echo "==> serving + dataplane + sharding + obs-overhead bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_dataplane --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_sharding --quick >/dev/null)
+(cd "${BUILD}" && ./bench/bench_serving --obs-overhead --quick >/dev/null)
 
 echo "CI OK"

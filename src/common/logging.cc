@@ -71,7 +71,24 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+// Per-thread structured context rendered into every line's prefix. Plain
+// thread_locals (not atomics): only this thread reads or writes them.
+thread_local int tls_log_shard = -1;
+thread_local std::string tls_log_workflow;
+
 }  // namespace
+
+ScopedLogContext::ScopedLogContext(int shard, std::string workflow)
+    : previous_shard_(tls_log_shard),
+      previous_workflow_(std::move(tls_log_workflow)) {
+  tls_log_shard = shard;
+  tls_log_workflow = std::move(workflow);
+}
+
+ScopedLogContext::~ScopedLogContext() {
+  tls_log_shard = previous_shard_;
+  tls_log_workflow = std::move(previous_workflow_);
+}
 
 uint64_t ThreadId() {
   static thread_local uint64_t tid = [] {
@@ -105,12 +122,21 @@ void LogMessage(LogLevel level, std::string_view file, int line,
   auto now = std::chrono::duration_cast<std::chrono::microseconds>(
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count();
+  // `shard=N wf=name ` from the thread's ScopedLogContext, if any.
+  std::string context;
+  if (tls_log_shard >= 0) {
+    context += "shard=" + std::to_string(tls_log_shard) + " ";
+  }
+  if (!tls_log_workflow.empty()) {
+    context += "wf=" + tls_log_workflow + " ";
+  }
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %10lld.%06llds t%llu %.*s:%d] %.*s\n",
+  std::fprintf(stderr, "[%s %10lld.%06llds t%llu %.*s:%d] %s%.*s\n",
                LevelTag(level), static_cast<long long>(now / 1000000),
                static_cast<long long>(now % 1000000),
                static_cast<unsigned long long>(ThreadId()),
                static_cast<int>(file.size()), file.data(), line,
+               context.c_str(),
                static_cast<int>(message.size()), message.data());
 }
 

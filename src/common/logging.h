@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace asbase {
@@ -33,6 +34,24 @@ LogLevel GetLogLevel();
 // Emits one formatted line; called by the LOG macro, not directly.
 void LogMessage(LogLevel level, std::string_view file, int line,
                 std::string_view message);
+
+// Thread-local structured log context: while one of these is alive, every
+// log line from this thread carries a `shard=N wf=name` prefix, so
+// interleaved shard logs (ALLOY_VISOR_SHARDS > 1) stay attributable. Nests:
+// the destructor restores whatever context the constructor replaced. shard
+// < 0 omits the shard field; an empty workflow omits the wf field.
+class ScopedLogContext {
+ public:
+  ScopedLogContext(int shard, std::string workflow);
+  ~ScopedLogContext();
+
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+ private:
+  int previous_shard_;
+  std::string previous_workflow_;
+};
 
 // Stream-collecting helper; logs (and aborts for kFatal) in the destructor.
 class LogLine {

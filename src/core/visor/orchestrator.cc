@@ -197,6 +197,7 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
           " of workflow '" + workflow.name + "'");
     }
     const StageSpec& stage = workflow.stages[stage_index];
+    const int64_t stage_start = asbase::MonoNanos();
     asobs::Span stage_span;
     if (trace != nullptr) {
       stage_span = trace->StartSpan("stage:" + std::to_string(stage_index),
@@ -296,6 +297,7 @@ asbase::Result<RunStats> Orchestrator::Run(const WorkflowSpec& workflow,
       thread.join();
     }
     const int64_t barrier_at = asbase::MonoNanos();
+    stats.stage_nanos.push_back(barrier_at - stage_start);
 
     for (auto& run : runs) {
       run->context.timings().wait_nanos = barrier_at - run->finished_at;

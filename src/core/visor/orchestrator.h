@@ -130,6 +130,8 @@ struct WorkflowSpec {
 struct RunStats {
   int64_t total_nanos = 0;
   PhaseTimings phases;       // summed over every instance
+  // Wall time per stage, launch to barrier (flight-recorder stage stamps).
+  std::vector<int64_t> stage_nanos;
   size_t instances_run = 0;
   size_t retries = 0;
   std::string result;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 
 #include "src/common/clock.h"
@@ -16,6 +17,30 @@ namespace {
 // Smoothing for the per-workflow service-time EWMA behind the
 // queue-with-budget admission predictor.
 constexpr double kServiceAlpha = 0.2;
+
+// Flight-ring capacity when ALLOY_FLIGHT_RING is unset.
+constexpr size_t kDefaultFlightRing = 1024;
+
+// Non-negative integer env override, `fallback` when unset or unparseable.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || value < 0) {
+    return fallback;
+  }
+  return static_cast<int64_t>(value);
+}
+
+// Burn rates export through int64 gauges; scale to milli-units (burn 1.0 →
+// gauge 1000) so fractional burns stay visible. Documented in docs/metrics.md.
+int64_t BurnMilli(double burn) {
+  return static_cast<int64_t>(std::llround(
+      std::min(burn, 1e12) * 1000.0));
+}
 
 // Query-string value for `key` in an HTTP target ("/trace?workflow=x").
 std::string QueryParam(const std::string& target, const std::string& key) {
@@ -62,7 +87,26 @@ asbase::Json SummarizeTrace(const asobs::Trace& trace) {
 AsVisor::AsVisor(ShardIdentity shard)
     : shard_(std::move(shard)),
       inflight_gauge_(&asobs::Registry::Global().GetGauge(
-          "alloy_visor_inflight", ShardLabels())) {}
+          "alloy_visor_inflight", ShardLabels())) {
+  flight_ = std::make_unique<asobs::FlightRecorder>(static_cast<size_t>(
+      EnvInt64("ALLOY_FLIGHT_RING", kDefaultFlightRing)));
+  trace_ring_ = static_cast<size_t>(
+      EnvInt64("ALLOY_TRACE_RING", static_cast<int64_t>(kTraceRing)));
+  trace_threshold_ms_ = EnvInt64("ALLOY_TRACE_THRESHOLD_MS", 0);
+  const char* blackbox_dir = std::getenv("ALLOY_BLACKBOX_DIR");
+  blackbox_dir_ = blackbox_dir != nullptr && *blackbox_dir != '\0'
+                      ? blackbox_dir
+                      : ".";
+  asobs::Registry& registry = asobs::Registry::Global();
+  flight_records_ = &registry.GetCounter("alloy_visor_flight_records_total",
+                                         ShardLabels());
+  flight_dropped_ = &registry.GetCounter("alloy_visor_flight_dropped_total",
+                                         ShardLabels());
+  traces_retained_ = &registry.GetCounter("alloy_visor_traces_retained_total",
+                                          ShardLabels());
+  blackbox_counter_ = &registry.GetCounter(
+      "alloy_slo_blackbox_snapshots_total", ShardLabels());
+}
 
 AsVisor::~AsVisor() {
   StopWatchdog();
@@ -117,6 +161,19 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
         &registry.GetHistogram("alloy_visor_invoke_nanos", labels);
     entry.queue_wait_hist =
         &registry.GetHistogram("alloy_visor_queue_wait_nanos", labels);
+    entry.flight_id = flight_->InternWorkflow(spec.name);
+    if (options.slo_objective > 0) {
+      asobs::SloOptions slo_options;
+      slo_options.objective = std::min(options.slo_objective, 1.0);
+      slo_options.latency_objective_ms = options.slo_latency_ms;
+      entry.slo = std::make_shared<asobs::SloTracker>(slo_options);
+      asobs::Labels fast_labels = labels;
+      fast_labels.push_back({"window", "fast"});
+      asobs::Labels slow_labels = labels;
+      slow_labels.push_back({"window", "slow"});
+      entry.burn_fast = &registry.GetGauge("alloy_slo_burn_rate", fast_labels);
+      entry.burn_slow = &registry.GetGauge("alloy_slo_burn_rate", slow_labels);
+    }
   }
   // The fan-out is known from the spec; the module set is learned from the
   // first completed invocation (see Invoke).
@@ -126,6 +183,7 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   pool_options.min_warm = std::min(options.min_warm, options.pool_size);
   pool_options.idle_ttl_ms = options.idle_ttl_ms;
   pool_options.extra_labels = ShardLabels();
+  pool_options.log_shard = shard_.index;
   if (pool_options.capacity > 0 &&
       (pool_options.min_warm > 0 || pool_options.idle_ttl_ms > 0)) {
     // The warmer cold-starts WFDs itself; those boots carry no invocation
@@ -285,6 +343,20 @@ asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
       }
       options.pin_shard = static_cast<int>(value);
     }
+    if (opts["slo_objective"].is_number()) {
+      const double value = opts["slo_objective"].as_double();
+      if (value < 0 || value > 1) {
+        return asbase::InvalidArgument("slo_objective must be in [0, 1]");
+      }
+      options.slo_objective = value;
+    }
+    if (opts["slo_latency_ms"].is_number()) {
+      const int64_t value = opts["slo_latency_ms"].as_int();
+      if (value < 0) {
+        return asbase::InvalidArgument("slo_latency_ms must be >= 0");
+      }
+      options.slo_latency_ms = value;
+    }
   }
   options.wfd.name = spec.name;
   RegisterWorkflow(spec, std::move(options));
@@ -307,6 +379,7 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   asobs::Counter* failures = nullptr;
   asobs::Counter* timeouts = nullptr;
   asobs::LatencyHistogram* invoke_hist = nullptr;
+  uint32_t flight_id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
@@ -323,7 +396,12 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     failures = it->second.failures;
     timeouts = it->second.timeouts;
     invoke_hist = it->second.invoke_hist;
+    flight_id = it->second.flight_id;
   }
+
+  // Everything logged while this invocation runs on this thread carries its
+  // shard + workflow.
+  asbase::ScopedLogContext log_context(shard_.index, workflow_name);
 
   const int64_t received_at = asbase::MonoNanos();
   const int64_t deadline_nanos =
@@ -331,16 +409,9 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   InvokeResult result;
 
   invocations->Add(1);
-  auto fail = [&](asbase::Status status) {
-    failures->Add(1);
-    if (status.code() == asbase::ErrorCode::kDeadlineExceeded) {
-      timeouts->Add(1);
-    }
-    return status;
-  };
 
-  // The trace outlives the WFD (which holds a raw pointer to it) and is then
-  // retained in the per-workflow ring for /trace.
+  // The trace outlives the WFD (which holds a raw pointer to it) and may
+  // then be retained (tail-based, see AccountOutcome) for /trace.
   auto trace = std::make_shared<asobs::Trace>(workflow_name);
   asobs::Span root = trace->StartSpan("invoke", "visor");
   root.SetArg("workflow", workflow_name);
@@ -352,9 +423,36 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
                       invoke_options.queue_wait_nanos);
   }
 
+  // The invocation's flight record, stamped as phases complete and
+  // deposited on every exit path — including failures, which is where a
+  // black box matters most.
+  asobs::FlightRecord flight;
+  flight.shard = shard_.index;
+  flight.start_nanos = received_at;
+  flight.queue_wait_nanos = invoke_options.queue_wait_nanos;
+
+  auto fail = [&](asbase::Status status) {
+    failures->Add(1);
+    asobs::FlightOutcome outcome = asobs::FlightOutcome::kError;
+    if (status.code() == asbase::ErrorCode::kDeadlineExceeded) {
+      timeouts->Add(1);
+      outcome = asobs::FlightOutcome::kTimeout;
+    }
+    // Close the span tree so the retained trace is complete.
+    root.SetArg("outcome", asobs::FlightOutcomeName(outcome));
+    root.End();
+    flight.outcome = outcome;
+    flight.end_nanos = asbase::MonoNanos();
+    flight.total_nanos = flight.end_nanos - received_at;
+    EmitFlight(flight_id, flight);
+    AccountOutcome(workflow_name, trace, outcome, flight.total_nanos);
+    return status;
+  };
+
   // Step 1 (Fig 4): lease a warm WFD or instantiate one for this
   // invocation. On a warm hit cold start is skipped entirely; module loads
   // are accounted as a delta so only *new* loads count against this run.
+  const int64_t lease_start = asbase::MonoNanos();
   std::unique_ptr<Wfd> wfd = pool->TryAcquireWarm();
   // The lease counts toward the pool's warm target until it ends: Park ends
   // it on the success path, this guard covers every path that destroys the
@@ -369,6 +467,7 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     }
   } lease_end{pool.get()};
   result.warm_start = wfd != nullptr;
+  flight.warm_start = result.warm_start;
   int64_t loads_before = 0;
   if (result.warm_start) {
     wfd->SetTrace(trace.get(), root.id());
@@ -382,19 +481,26 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     auto wfd_or = Wfd::Create(wfd_options);
     create_span.End();
     if (!wfd_or.ok()) {
+      flight.lease_nanos = asbase::MonoNanos() - lease_start;
       return fail(wfd_or.status());
     }
     wfd = std::move(*wfd_or);
     result.wfd_create_nanos = wfd->creation_nanos();
     root.SetArg("start", "cold");
   }
+  // Lease phase: warm pop, or the cold start the miss forced.
+  flight.lease_nanos = asbase::MonoNanos() - lease_start;
+  pool->RecordLease(flight.lease_nanos);
 
   // Steps 2-6: run the workflow; modules load on demand inside. The
   // deadline is enforced cooperatively at stage barriers.
   Orchestrator orchestrator(wfd.get());
   Orchestrator::RunOptions run_options;
   run_options.deadline_nanos = deadline_nanos;
+  const int64_t exec_start = asbase::MonoNanos();
   auto run_or = orchestrator.Run(spec, params, run_options);
+  flight.exec_nanos = asbase::MonoNanos() - exec_start;
+  flight.module_load_nanos = wfd->libos().TotalLoadNanos() - loads_before;
   if (!run_or.ok()) {
     // A failed (or timed-out) run leaves the WFD in an unknown state:
     // destroy it — never re-pool — so the next invocation cold-starts
@@ -402,6 +508,12 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     return fail(run_or.status());
   }
   result.run = std::move(*run_or);
+  flight.net_nanos = result.run.phases.transfer_nanos;
+  flight.stages = static_cast<uint32_t>(std::min(
+      result.run.stage_nanos.size(), asobs::FlightRecord::kMaxStages));
+  for (uint32_t i = 0; i < flight.stages; ++i) {
+    flight.stage_nanos[i] = result.run.stage_nanos[i];
+  }
 
   result.module_load_nanos = wfd->libos().TotalLoadNanos() - loads_before;
   result.cold_start_nanos = result.wfd_create_nanos + result.module_load_nanos;
@@ -412,6 +524,7 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   // reclaim resources. Explicit here so the root span (and
   // end_to_end_nanos) covers reclaim, and so no code touches the trace
   // through the WFD's pointer after the span set is finalized.
+  const int64_t reset_start = asbase::MonoNanos();
   if (pool->capacity() > 0) {
     asobs::Span reset_span = trace->StartSpan("pool_reset", "visor", root.id());
     asbase::Status reset = wfd->Reset();
@@ -428,12 +541,18 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   } else {
     wfd.reset();
   }
+  flight.reset_nanos = asbase::MonoNanos() - reset_start;
   result.end_to_end_nanos = asbase::MonoNanos() - received_at;
   root.End();
 
   invoke_hist->Record(result.end_to_end_nanos);
   result.trace = trace;
   result.span_summary = SummarizeTrace(*trace);
+
+  flight.outcome = asobs::FlightOutcome::kOk;
+  flight.end_nanos = received_at + result.end_to_end_nanos;
+  flight.total_nanos = result.end_to_end_nanos;
+  EmitFlight(flight_id, flight);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -449,10 +568,6 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
               ? sample
               : kServiceAlpha * sample +
                     (1.0 - kServiceAlpha) * entry.service_ewma_nanos;
-      it->second.traces.push_back(trace);
-      while (it->second.traces.size() > kTraceRing) {
-        it->second.traces.pop_front();
-      }
       if (it->second.warmup != nullptr) {
         // Teach the pool warmer what this workflow actually loads, so the
         // next pre-warmed WFD arrives with these modules already up.
@@ -463,6 +578,11 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
       }
     }
   }
+  // Tail-based retention + SLO accounting. A fast success is usually NOT
+  // retained (threshold > 0); the trace still rode along in `result` for
+  // the caller.
+  AccountOutcome(workflow_name, trace, asobs::FlightOutcome::kOk,
+                 result.end_to_end_nanos);
   return result;
 }
 
@@ -471,6 +591,124 @@ asbase::Result<InvokeResult> AsVisor::InvokeFromConfig(
   AS_ASSIGN_OR_RETURN(asbase::Json config, asbase::Json::Parse(config_json));
   AS_RETURN_IF_ERROR(RegisterWorkflowFromJson(config));
   return Invoke(config["name"].as_string(), params);
+}
+
+// ------------------------------- flight recorder / tail retention / SLO
+
+void AsVisor::EmitFlight(uint32_t workflow_id,
+                         const asobs::FlightRecord& record) {
+  if (!flight_->enabled()) {
+    return;
+  }
+  if (flight_->Record(workflow_id, record)) {
+    flight_records_->Add(1);
+  } else {
+    flight_dropped_->Add(1);
+  }
+}
+
+void AsVisor::AccountOutcome(const std::string& workflow_name,
+                             std::shared_ptr<const asobs::Trace> trace,
+                             asobs::FlightOutcome outcome,
+                             int64_t total_nanos) {
+  const int64_t now = asbase::MonoNanos();
+  std::optional<BlackBoxRequest> blackbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return;  // unregistered while the invocation ran
+    }
+    Entry& entry = it->second;
+
+    // Tail-based trace retention: keep the full span tree only for
+    // invocations worth debugging — failures, timeouts, or runs over the
+    // latency threshold. threshold 0 retains everything (PR 1 behavior).
+    if (trace != nullptr && trace_ring_ > 0) {
+      const bool retain =
+          outcome != asobs::FlightOutcome::kOk || trace_threshold_ms_ == 0 ||
+          total_nanos > trace_threshold_ms_ * 1'000'000;
+      if (retain) {
+        entry.traces.push_back(std::move(trace));
+        while (entry.traces.size() > trace_ring_) {
+          entry.traces.pop_front();
+        }
+        traces_retained_->Add(1);
+      }
+    }
+
+    // SLO accounting + burn gauges; on a trigger, collect the queue/pool
+    // snapshot under the lock and write the black box after it drops.
+    if (entry.slo != nullptr) {
+      const int64_t latency_ms = entry.slo->options().latency_objective_ms;
+      const bool good =
+          outcome == asobs::FlightOutcome::kOk &&
+          (latency_ms == 0 || total_nanos <= latency_ms * 1'000'000);
+      const bool timeout = outcome == asobs::FlightOutcome::kTimeout;
+      const asobs::SloTracker::Verdict verdict =
+          entry.slo->Record(good, timeout, now);
+      entry.burn_fast->Set(BurnMilli(verdict.fast_burn));
+      entry.burn_slow->Set(BurnMilli(verdict.slow_burn));
+      if (verdict.trigger) {
+        BlackBoxRequest request;
+        request.reason = verdict.reason;
+        request.workflow = workflow_name;
+        request.fast_burn = verdict.fast_burn;
+        request.slow_burn = verdict.slow_burn;
+        asbase::Json queues{asbase::JsonArray{}};
+        for (const auto& [name, other] : workflows_) {
+          asbase::Json row;
+          row.Set("workflow", name);
+          row.Set("inflight", static_cast<int64_t>(other.inflight));
+          row.Set("queued", static_cast<int64_t>(other.waiters.size()));
+          row.Set("service_ewma_nanos",
+                  static_cast<int64_t>(other.service_ewma_nanos));
+          if (other.pool != nullptr) {
+            // Lock order: mutex_ then the pool mutex — the pool never
+            // calls back into the visor.
+            row.Set("warm_wfds",
+                    static_cast<int64_t>(other.pool->warm_count()));
+            row.Set("pool_target_warm",
+                    static_cast<int64_t>(other.pool->target_warm()));
+          }
+          queues.Append(std::move(row));
+        }
+        request.queues = std::move(queues);
+        blackbox = std::move(request);
+      }
+    }
+  }
+  if (blackbox.has_value()) {
+    WriteBlackBox(*blackbox);
+  }
+}
+
+void AsVisor::WriteBlackBox(const BlackBoxRequest& request) {
+  const uint64_t seq = blackbox_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      blackbox_dir_ + "/blackbox_shard" +
+      std::to_string(std::max(shard_.index, 0)) + "_" +
+      std::to_string(asbase::WallMicros()) + "_" + std::to_string(seq) +
+      ".json";
+  asbase::Json doc;
+  doc.Set("reason", request.reason);
+  doc.Set("workflow", request.workflow);
+  doc.Set("shard", static_cast<int64_t>(shard_.index));
+  doc.Set("wall_micros", asbase::WallMicros());
+  doc.Set("fast_burn_milli", BurnMilli(request.fast_burn));
+  doc.Set("slow_burn_milli", BurnMilli(request.slow_burn));
+  doc.Set("queues", request.queues);
+  doc.Set("flight", asobs::FlightReportJson(flight_->Snapshot()));
+  std::ofstream out(path);
+  if (!out) {
+    AS_LOG(kWarn) << "black box write failed: cannot open " << path;
+    return;
+  }
+  out << doc.Dump(2) << "\n";
+  out.close();
+  blackbox_counter_->Add(1);
+  AS_LOG(kWarn) << "SLO trigger (" << request.reason << ") for '"
+                << request.workflow << "': black box written to " << path;
 }
 
 // ------------------------------------------------------ admission control
@@ -729,6 +967,14 @@ asbase::Status AsVisor::StartServing(const ServingOptions& serving) {
     std::lock_guard<std::mutex> lock(mutex_);
     serving_ = serving;
     draining_ = false;
+    // Tail-retention knobs: 0 / -1 mean "keep the current setting" (env
+    // override or the construction default).
+    if (serving.trace_ring > 0) {
+      trace_ring_ = serving.trace_ring;
+    }
+    if (serving.trace_threshold_ms >= 0) {
+      trace_threshold_ms_ = serving.trace_threshold_ms;
+    }
   }
   serving_pool_ = std::make_unique<asbase::ThreadPool>(serving.worker_threads);
   return asbase::OkStatus();
@@ -781,6 +1027,21 @@ size_t AsVisor::max_inflight() const {
   return serving_.max_inflight;
 }
 
+bool AsVisor::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+size_t AsVisor::trace_ring_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_ring_;
+}
+
+int64_t AsVisor::trace_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_threshold_ms_;
+}
+
 std::vector<std::string> AsVisor::WorkflowNames() const {
   std::vector<std::string> names;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -807,12 +1068,26 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
           response.body = "ok";
           return response;
         }
+        if (request.method == "GET" && request.target == "/healthz") {
+          return ServeHealthz();
+        }
+        if (request.method == "GET" && request.target == "/readyz") {
+          return ServeReadyz();
+        }
         if (request.method == "GET" && request.target == "/metrics") {
           return ServeMetrics();
         }
         if (request.method == "GET" &&
             request.target.rfind("/trace", 0) == 0) {
           return ServeTrace(request.target);
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/debug/flight", 0) == 0) {
+          return ServeFlight(request.target);
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/debug/latency", 0) == 0) {
+          return ServeLatency(request.target);
         }
         if (request.method == "POST" &&
             request.target.rfind("/invoke/", 0) == 0) {
@@ -840,6 +1115,10 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
     return response;
   }
   const std::string name = request.target.substr(std::string("/invoke/").size());
+  // Admission decisions (429 lines, drain warnings) carry the shard +
+  // workflow; the invocation itself re-establishes the context on its
+  // serving-pool worker thread.
+  asbase::ScopedLogContext log_context(shard_.index, name);
   asbase::Json params;
   if (!request.body.empty()) {
     auto parsed = asbase::Json::Parse(request.body);
@@ -881,16 +1160,38 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
       response.body = admitted.ToString();
       return response;
     }
-    asobs::Registry::Global()
-        .GetCounter("alloy_visor_rejections_total", WorkflowLabels(name))
-        .Add(1);
     response.status = 429;
     response.reason = "Too Many Requests";
     int retry_after_fallback = 1;
+    uint32_t flight_id = 0;
+    asobs::Counter* rejections = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       retry_after_fallback = serving_.retry_after_seconds;
+      auto it = workflows_.find(name);
+      if (it != workflows_.end()) {
+        flight_id = it->second.flight_id;
+        rejections = it->second.rejections;
+      }
     }
+    if (rejections != nullptr) {
+      rejections->Add(1);
+    } else {
+      asobs::Registry::Global()
+          .GetCounter("alloy_visor_rejections_total", WorkflowLabels(name))
+          .Add(1);
+    }
+    // Rejections leave a flight record too — a 429 storm is exactly the
+    // kind of incident the black box must explain. queue_wait carries the
+    // predicted wait that drove the rejection.
+    asobs::FlightRecord rejected;
+    rejected.shard = shard_.index;
+    rejected.outcome = asobs::FlightOutcome::kRejected;
+    rejected.start_nanos = asbase::MonoNanos();
+    rejected.end_nanos = rejected.start_nanos;
+    rejected.queue_wait_nanos = predicted_wait_nanos;
+    EmitFlight(flight_id, rejected);
+    AccountOutcome(name, nullptr, asobs::FlightOutcome::kRejected, 0);
     // Tell the client when a retry is predicted to succeed; fall back to
     // the static knob before any service-time sample exists.
     const int retry_after =
@@ -1003,6 +1304,55 @@ ashttp::HttpResponse AsVisor::ServeTrace(const std::string& target) const {
   doc.Set("traceEvents", std::move(events));
   response.headers["content-type"] = "application/json";
   response.body = doc.Dump();
+  return response;
+}
+
+ashttp::HttpResponse AsVisor::ServeFlight(const std::string& target) const {
+  ashttp::HttpResponse response;
+  const std::string workflow = QueryParam(target, "workflow");
+  const std::string since = QueryParam(target, "since");
+  const int64_t since_nanos = since.empty() ? 0 : std::atoll(since.c_str());
+  asbase::Json doc =
+      asobs::FlightReportJson(flight_->Snapshot(workflow, since_nanos));
+  if (!workflow.empty()) {
+    doc.Set("workflow", workflow);
+  }
+  doc.Set("recorded", static_cast<int64_t>(flight_->recorded()));
+  doc.Set("dropped", static_cast<int64_t>(flight_->dropped()));
+  doc.Set("capacity", static_cast<int64_t>(flight_->capacity()));
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
+}
+
+ashttp::HttpResponse AsVisor::ServeLatency(const std::string& target) const {
+  ashttp::HttpResponse response;
+  const std::string workflow = QueryParam(target, "workflow");
+  asbase::Json doc =
+      asobs::LatencyAttributionJson(flight_->Snapshot(workflow));
+  if (!workflow.empty()) {
+    doc.Set("workflow", workflow);
+  }
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
+}
+
+ashttp::HttpResponse AsVisor::ServeHealthz() const {
+  ashttp::HttpResponse response;
+  response.body = "ok";
+  return response;
+}
+
+ashttp::HttpResponse AsVisor::ServeReadyz() const {
+  ashttp::HttpResponse response;
+  if (draining()) {
+    response.status = 503;
+    response.reason = "Service Unavailable";
+    response.body = "draining";
+    return response;
+  }
+  response.body = "ready";
   return response;
 }
 

@@ -23,6 +23,7 @@
 #ifndef SRC_CORE_VISOR_VISOR_H_
 #define SRC_CORE_VISOR_VISOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -36,7 +37,9 @@
 #include "src/core/visor/orchestrator.h"
 #include "src/core/visor/wfd_pool.h"
 #include "src/http/http.h"
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 namespace alloy {
@@ -97,6 +100,13 @@ class AsVisor {
     // that shard (modulo shard count) instead of the consistent-hash
     // placement. Ignored by a standalone AsVisor.
     int pin_shard = -1;
+    // SLO (DESIGN.md §11): fraction of invocations that must be good.
+    // <= 0 disables SLO tracking for this workflow (the default — no burn
+    // gauges, no black boxes).
+    double slo_objective = 0;
+    // Latency objective: an invocation slower than this counts against the
+    // error budget even when it succeeds. 0 = outcome-only SLO.
+    int64_t slo_latency_ms = 0;
   };
 
   // Watchdog-wide serving knobs (admission control + dispatch).
@@ -110,6 +120,15 @@ class AsVisor {
     // EWMA exists yet; once it does, Retry-After is computed from the
     // predicted wait instead.
     int retry_after_seconds = 1;
+    // Tail-based trace retention (DESIGN.md §11). `trace_ring` replaces the
+    // per-workflow retained-trace depth; 0 = keep the visor's current
+    // setting (ALLOY_TRACE_RING env, else kTraceRing). `trace_threshold_ms`
+    // retains a full span tree only for invocations that fail, time out, or
+    // run longer than the threshold; 0 = retain every trace (the PR 1
+    // behavior); -1 = keep the current setting (ALLOY_TRACE_THRESHOLD_MS
+    // env, else 0).
+    size_t trace_ring = 0;
+    int64_t trace_threshold_ms = -1;
   };
 
   // Serving-path context for one invocation (watchdog admission).
@@ -197,6 +216,27 @@ class AsVisor {
   // dispatch to the owning shard without a cross-shard lock.
   ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
+  // GET /debug/flight?workflow=&since= — recent flight records (all
+  // workflows when the param is empty; since = MonoNanos cursor).
+  ashttp::HttpResponse ServeFlight(const std::string& target) const;
+  // GET /debug/latency?workflow= — p50/p95/p99 phase attribution over the
+  // flight ring: which phase owns the tail.
+  ashttp::HttpResponse ServeLatency(const std::string& target) const;
+  // GET /healthz — liveness: 200 as long as the process answers.
+  ashttp::HttpResponse ServeHealthz() const;
+  // GET /readyz — readiness: 503 while draining or not serving.
+  ashttp::HttpResponse ServeReadyz() const;
+
+  // True from BeginDrain/StopServing until the next StartServing — the
+  // /readyz signal, also aggregated per shard by the router.
+  bool draining() const;
+
+  // This shard's flight recorder (the router aggregates across shards).
+  const asobs::FlightRecorder& flight() const { return *flight_; }
+
+  // Effective trace-retention knobs (tests, ops).
+  size_t trace_ring_depth() const;
+  int64_t trace_threshold_ms() const;
 
   // Rebalance hook: replaces this shard's slice of the global in-flight
   // budget (clamped to >= 1) and wakes queued admissions to re-evaluate.
@@ -265,6 +305,14 @@ class AsVisor {
     asobs::Gauge* queued_gauge = nullptr;
     asobs::LatencyHistogram* invoke_hist = nullptr;
     asobs::LatencyHistogram* queue_wait_hist = nullptr;
+    // Flight-recorder workflow id, interned at registration so the emit
+    // path never touches the intern mutex.
+    uint32_t flight_id = 0;
+    // SLO tracker + milli-scaled burn gauges (alloy_slo_burn_rate{window}).
+    // Null when the registration declared no SLO.
+    std::shared_ptr<asobs::SloTracker> slo;
+    asobs::Gauge* burn_fast = nullptr;
+    asobs::Gauge* burn_slow = nullptr;
   };
 
   void ReleaseAdmission(const std::string& workflow_name);
@@ -305,6 +353,32 @@ class AsVisor {
 
   ashttp::HttpResponse ServeMetrics() const;
 
+  // Deposits one record into this shard's flight ring and keeps the
+  // records/dropped counters in step.
+  void EmitFlight(uint32_t workflow_id, const asobs::FlightRecord& record);
+
+  // Everything the SLO anomaly trigger snapshots besides the flight ring,
+  // collected under mutex_ and written to disk after it drops.
+  struct BlackBoxRequest {
+    std::string reason;
+    std::string workflow;
+    double fast_burn = 0;
+    double slow_burn = 0;
+    asbase::Json queues;
+  };
+
+  // Shared completion bookkeeping for every invocation outcome (success,
+  // error, timeout, rejection): tail-based trace retention, SLO accounting
+  // + burn gauges, and — on an SLO trigger — the black-box snapshot.
+  // `trace` may be null (rejections have no trace).
+  void AccountOutcome(const std::string& workflow_name,
+                      std::shared_ptr<const asobs::Trace> trace,
+                      asobs::FlightOutcome outcome, int64_t total_nanos);
+
+  // Serializes the flight ring + the request's queue/pool state to a JSON
+  // file in ALLOY_BLACKBOX_DIR. Never called under mutex_ (file IO).
+  void WriteBlackBox(const BlackBoxRequest& request);
+
   const ShardIdentity shard_;
   // Cached like Entry's series: the inflight gauge moves on every admission
   // and release.
@@ -320,6 +394,21 @@ class AsVisor {
   ServingOptions serving_;  // guarded by mutex_ (max_inflight can rebalance)
   std::unique_ptr<asbase::ThreadPool> serving_pool_;
   std::unique_ptr<ashttp::HttpServer> watchdog_;
+
+  // ---- flight recorder / tail retention / SLO (DESIGN.md §11) ----
+  // Per-shard ring; capacity from ALLOY_FLIGHT_RING (default 1024, 0 =
+  // disabled). Lock-free — HTTP scrapers read it without touching mutex_.
+  std::unique_ptr<asobs::FlightRecorder> flight_;
+  asobs::Counter* flight_records_ = nullptr;
+  asobs::Counter* flight_dropped_ = nullptr;
+  asobs::Counter* traces_retained_ = nullptr;
+  asobs::Counter* blackbox_counter_ = nullptr;
+  // Tail-retention knobs, guarded by mutex_ (StartServing may override the
+  // env/default values).
+  size_t trace_ring_ = kTraceRing;
+  int64_t trace_threshold_ms_ = 0;
+  std::string blackbox_dir_;  // immutable after construction
+  std::atomic<uint64_t> blackbox_seq_{0};
 };
 
 }  // namespace alloy

@@ -270,6 +270,14 @@ asbase::Status AsVisorRouter::StartWatchdog(uint16_t port,
           response.body = "ok";
           return response;
         }
+        if (request.method == "GET" && request.target == "/healthz") {
+          // Liveness is a process property, not a shard one.
+          response.body = "ok";
+          return response;
+        }
+        if (request.method == "GET" && request.target == "/readyz") {
+          return ServeReadyz();
+        }
         if (request.method == "GET" && request.target == "/metrics") {
           // One registry serves all shards; their series are kept apart by
           // the alloy_visor_shard label.
@@ -280,6 +288,14 @@ asbase::Status AsVisorRouter::StartWatchdog(uint16_t port,
         if (request.method == "GET" &&
             request.target.rfind("/trace", 0) == 0) {
           return ServeTrace(request.target);
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/debug/flight", 0) == 0) {
+          return ServeFlight(request.target);
+        }
+        if (request.method == "GET" &&
+            request.target.rfind("/debug/latency", 0) == 0) {
+          return ServeLatency(request.target);
         }
         if (request.method == "POST" &&
             request.target.rfind("/invoke/", 0) == 0) {
@@ -325,6 +341,84 @@ ashttp::HttpResponse AsVisorRouter::ServeTrace(
     return response;
   }
   return shards_[ShardOf(workflow)]->ServeTrace(target);
+}
+
+ashttp::HttpResponse AsVisorRouter::ServeReadyz() const {
+  ashttp::HttpResponse response;
+  asbase::Json doc;
+  asbase::Json per_shard{asbase::JsonArray{}};
+  bool any_draining = false;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const bool draining = shards_[i]->draining();
+    any_draining = any_draining || draining;
+    asbase::Json row;
+    row.Set("shard", static_cast<int64_t>(i));
+    row.Set("draining", draining);
+    per_shard.Append(std::move(row));
+  }
+  doc.Set("ready", !any_draining);
+  doc.Set("shards", std::move(per_shard));
+  if (any_draining) {
+    response.status = 503;
+    response.reason = "Service Unavailable";
+  }
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
+}
+
+std::vector<asobs::FlightRecord> AsVisorRouter::MergedFlight(
+    int64_t since_nanos) const {
+  std::vector<asobs::FlightRecord> merged;
+  for (const auto& shard : shards_) {
+    std::vector<asobs::FlightRecord> records =
+        shard->flight().Snapshot("", since_nanos);
+    merged.insert(merged.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const asobs::FlightRecord& a, const asobs::FlightRecord& b) {
+              return a.end_nanos < b.end_nanos;
+            });
+  return merged;
+}
+
+ashttp::HttpResponse AsVisorRouter::ServeFlight(
+    const std::string& target) const {
+  const std::string workflow = QueryParam(target, "workflow");
+  if (!workflow.empty()) {
+    // The workflow lives on exactly one shard; its ring has every record.
+    return shards_[ShardOf(workflow)]->ServeFlight(target);
+  }
+  const std::string since = QueryParam(target, "since");
+  const int64_t since_nanos = since.empty() ? 0 : std::atoll(since.c_str());
+  asbase::Json doc = asobs::FlightReportJson(MergedFlight(since_nanos));
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  for (const auto& shard : shards_) {
+    recorded += shard->flight().recorded();
+    dropped += shard->flight().dropped();
+  }
+  doc.Set("recorded", static_cast<int64_t>(recorded));
+  doc.Set("dropped", static_cast<int64_t>(dropped));
+  doc.Set("shards", static_cast<int64_t>(shards_.size()));
+  ashttp::HttpResponse response;
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
+}
+
+ashttp::HttpResponse AsVisorRouter::ServeLatency(
+    const std::string& target) const {
+  const std::string workflow = QueryParam(target, "workflow");
+  if (!workflow.empty()) {
+    return shards_[ShardOf(workflow)]->ServeLatency(target);
+  }
+  asbase::Json doc = asobs::LatencyAttributionJson(MergedFlight(0));
+  ashttp::HttpResponse response;
+  response.headers["content-type"] = "application/json";
+  response.body = doc.Dump();
+  return response;
 }
 
 uint16_t AsVisorRouter::watchdog_port() const {

@@ -112,6 +112,16 @@ class AsVisorRouter {
   };
 
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
+  // /readyz across shards: 503 if ANY shard is draining (a rolling drain
+  // must pull the whole process out of the balancer before requests start
+  // landing on the drained shard); body lists per-shard state.
+  ashttp::HttpResponse ServeReadyz() const;
+  // /debug/flight and /debug/latency: with ?workflow= the owning shard
+  // answers; without, the router merges every shard's flight ring.
+  ashttp::HttpResponse ServeFlight(const std::string& target) const;
+  ashttp::HttpResponse ServeLatency(const std::string& target) const;
+  // Every shard's flight records merged oldest-first (end_nanos order).
+  std::vector<asobs::FlightRecord> MergedFlight(int64_t since_nanos) const;
 
   std::vector<std::unique_ptr<AsVisor>> shards_;
   // 64 vnodes per shard, sorted by hash; immutable after construction.

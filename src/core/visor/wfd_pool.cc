@@ -30,6 +30,7 @@ WfdPool::WfdPool(const std::string& workflow, size_t capacity)
 
 WfdPool::WfdPool(const std::string& workflow, WfdPoolOptions options)
     : options_(std::move(options)),
+      workflow_(workflow),
       hits_(asobs::Registry::Global().GetCounter(
           "alloy_visor_pool_hits_total",
           PoolLabels(workflow, options_.extra_labels))),
@@ -44,6 +45,9 @@ WfdPool::WfdPool(const std::string& workflow, WfdPoolOptions options)
           PoolLabels(workflow, options_.extra_labels))),
       resident_gauge_(asobs::Registry::Global().GetGauge(
           "alloy_visor_pool_resident_bytes",
+          PoolLabels(workflow, options_.extra_labels))),
+      lease_hist_(asobs::Registry::Global().GetHistogram(
+          "alloy_visor_pool_lease_nanos",
           PoolLabels(workflow, options_.extra_labels))) {
   last_activity_nanos_ = asbase::MonoNanos();
   // The warmer only exists when it has something to do: a floor or a
@@ -221,6 +225,9 @@ size_t WfdPool::TargetWarmLocked(int64_t now) const {
 }
 
 void WfdPool::WarmerLoop() {
+  // The warmer's lines (factory failures, back-off warnings) interleave
+  // with every shard's traffic; tag them with their shard + workflow.
+  asbase::ScopedLogContext log_context(options_.log_shard, workflow_);
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
     const int64_t now = asbase::MonoNanos();

@@ -62,6 +62,9 @@ struct WfdPoolOptions {
   // passes {alloy_visor_shard=i} so two shards (or an old and a new pool
   // during re-registration) never write the same series.
   asobs::Labels extra_labels;
+  // Shard index for the warmer thread's log context (`shard=N wf=name`
+  // prefixes); < 0 = unsharded, no shard field.
+  int log_shard = -1;
 };
 
 class WfdPool {
@@ -89,6 +92,12 @@ class WfdPool {
   // pooling disabled). Every TryAcquireWarm must be balanced by exactly one
   // Park or AbandonLease, or the warmer under-provisions forever.
   void AbandonLease();
+
+  // Lease phase stamp: wall time one lease took to produce a runnable WFD —
+  // a warm pop, or the caller-side cold start on a miss. Feeds the
+  // alloy_visor_pool_lease_nanos summary (and the flight recorder's lease
+  // phase, which the visor stamps itself).
+  void RecordLease(int64_t lease_nanos) { lease_hist_.Record(lease_nanos); }
 
   // Destroys every parked WFD (workflow re-registration, shutdown).
   // Counted as evictions.
@@ -138,11 +147,13 @@ class WfdPool {
   std::vector<Parked> TakeAllLocked();
 
   const WfdPoolOptions options_;
+  const std::string workflow_;  // for the warmer thread's log context
   asobs::Counter& hits_;
   asobs::Counter& misses_;
   asobs::Counter& evictions_;
   asobs::Counter& prewarms_;
   asobs::Gauge& resident_gauge_;
+  asobs::LatencyHistogram& lease_hist_;
 
   mutable std::mutex mutex_;
   std::condition_variable warmer_cv_;

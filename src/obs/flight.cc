@@ -1,0 +1,301 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/histogram.h"
+
+namespace asobs {
+
+const char* FlightOutcomeName(FlightOutcome outcome) {
+  switch (outcome) {
+    case FlightOutcome::kOk:
+      return "ok";
+    case FlightOutcome::kError:
+      return "error";
+    case FlightOutcome::kTimeout:
+      return "timeout";
+    case FlightOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+asbase::Json FlightRecord::ToJson() const {
+  asbase::Json doc{asbase::JsonObject{}};
+  doc.Set("workflow", workflow);
+  doc.Set("shard", static_cast<int64_t>(shard));
+  doc.Set("outcome", FlightOutcomeName(outcome));
+  doc.Set("warm_start", warm_start);
+  doc.Set("start_nanos", start_nanos);
+  doc.Set("end_nanos", end_nanos);
+  doc.Set("total_nanos", total_nanos);
+  asbase::Json phases{asbase::JsonObject{}};
+  phases.Set("queue_wait_nanos", queue_wait_nanos);
+  phases.Set("lease_nanos", lease_nanos);
+  phases.Set("module_load_nanos", module_load_nanos);
+  phases.Set("exec_nanos", exec_nanos);
+  phases.Set("net_nanos", net_nanos);
+  phases.Set("reset_nanos", reset_nanos);
+  doc.Set("phases", std::move(phases));
+  asbase::JsonArray stage_list;
+  for (uint32_t i = 0; i < stages && i < kMaxStages; ++i) {
+    stage_list.push_back(asbase::Json(stage_nanos[i]));
+  }
+  doc.Set("stage_nanos", asbase::Json(std::move(stage_list)));
+  return doc;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) {
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+}
+
+uint32_t FlightRecorder::InternWorkflow(const std::string& name) {
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<uint32_t>(i + 1);
+    }
+  }
+  names_.push_back(name);
+  return static_cast<uint32_t>(names_.size());
+}
+
+std::string FlightRecorder::WorkflowName(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  if (id == 0 || id > names_.size()) {
+    return "";
+  }
+  return names_[id - 1];
+}
+
+bool FlightRecorder::Record(uint32_t workflow_id, const FlightRecord& record) {
+#ifdef ALLOY_DISABLE_FLIGHT
+  (void)workflow_id;
+  (void)record;
+  return false;
+#else
+  if (capacity_ == 0) {
+    return false;
+  }
+  const uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+
+  // Claim the slot: even → odd on whatever sequence the slot is at. The CAS
+  // fails only when a lapped writer (the ring wrapped a full turn mid-write)
+  // is inside the same slot right now — then drop and count, never spin on
+  // a hot path. The claim must NOT expect a lap-derived value (2 × lap):
+  // one dropped write would leave the slot's sequence behind every later
+  // ticket's expectation and permanently kill the slot.
+  uint64_t expected = slot.seq.load(std::memory_order_relaxed);
+  if ((expected & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(expected, expected + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  slot.workflow_id.store(workflow_id, std::memory_order_relaxed);
+  slot.shard.store(record.shard, std::memory_order_relaxed);
+  slot.outcome.store(static_cast<uint32_t>(record.outcome),
+                     std::memory_order_relaxed);
+  slot.warm_start.store(record.warm_start ? 1 : 0, std::memory_order_relaxed);
+  slot.start_nanos.store(record.start_nanos, std::memory_order_relaxed);
+  slot.end_nanos.store(record.end_nanos, std::memory_order_relaxed);
+  slot.total_nanos.store(record.total_nanos, std::memory_order_relaxed);
+  slot.queue_wait_nanos.store(record.queue_wait_nanos,
+                              std::memory_order_relaxed);
+  slot.lease_nanos.store(record.lease_nanos, std::memory_order_relaxed);
+  slot.module_load_nanos.store(record.module_load_nanos,
+                               std::memory_order_relaxed);
+  slot.exec_nanos.store(record.exec_nanos, std::memory_order_relaxed);
+  slot.net_nanos.store(record.net_nanos, std::memory_order_relaxed);
+  slot.reset_nanos.store(record.reset_nanos, std::memory_order_relaxed);
+  const uint32_t stages =
+      std::min<uint32_t>(record.stages, FlightRecord::kMaxStages);
+  slot.stages.store(stages, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < stages; ++i) {
+    slot.stage_nanos[i].store(record.stage_nanos[i],
+                              std::memory_order_relaxed);
+  }
+
+  // Release: odd → even of the next lap. Readers that acquire-loaded the odd
+  // value skip; readers that see the even value and re-read it unchanged got
+  // a consistent record.
+  slot.seq.store(expected + 2, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+#endif  // ALLOY_DISABLE_FLIGHT
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot(const std::string& workflow,
+                                                   int64_t since_nanos) const {
+  std::vector<FlightRecord> out;
+  if (capacity_ == 0) {
+    return out;
+  }
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    FlightRecord record;
+    uint32_t workflow_id = 0;
+    bool consistent = false;
+    // Two attempts: a slot that changes twice under one scrape is being
+    // hammered; its contents will show up again on the next scrape.
+    for (int attempt = 0; attempt < 2 && !consistent; ++attempt) {
+      const uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) {
+        break;  // never written, or write in progress
+      }
+      workflow_id = slot.workflow_id.load(std::memory_order_relaxed);
+      record.shard = slot.shard.load(std::memory_order_relaxed);
+      record.outcome = static_cast<FlightOutcome>(
+          slot.outcome.load(std::memory_order_relaxed));
+      record.warm_start =
+          slot.warm_start.load(std::memory_order_relaxed) != 0;
+      record.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+      record.end_nanos = slot.end_nanos.load(std::memory_order_relaxed);
+      record.total_nanos = slot.total_nanos.load(std::memory_order_relaxed);
+      record.queue_wait_nanos =
+          slot.queue_wait_nanos.load(std::memory_order_relaxed);
+      record.lease_nanos = slot.lease_nanos.load(std::memory_order_relaxed);
+      record.module_load_nanos =
+          slot.module_load_nanos.load(std::memory_order_relaxed);
+      record.exec_nanos = slot.exec_nanos.load(std::memory_order_relaxed);
+      record.net_nanos = slot.net_nanos.load(std::memory_order_relaxed);
+      record.reset_nanos = slot.reset_nanos.load(std::memory_order_relaxed);
+      record.stages = std::min<uint32_t>(
+          slot.stages.load(std::memory_order_relaxed),
+          FlightRecord::kMaxStages);
+      for (uint32_t s = 0; s < record.stages; ++s) {
+        record.stage_nanos[s] =
+            slot.stage_nanos[s].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      consistent = slot.seq.load(std::memory_order_relaxed) == before;
+    }
+    if (!consistent) {
+      continue;
+    }
+    if (since_nanos > 0 && record.end_nanos <= since_nanos) {
+      continue;
+    }
+    record.workflow = WorkflowName(workflow_id);
+    if (!workflow.empty() && record.workflow != workflow) {
+      continue;
+    }
+    out.push_back(std::move(record));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.end_nanos < b.end_nanos;
+            });
+  return out;
+}
+
+asbase::Json FlightReportJson(const std::vector<FlightRecord>& records) {
+  asbase::JsonArray list;
+  list.reserve(records.size());
+  for (const FlightRecord& record : records) {
+    list.push_back(record.ToJson());
+  }
+  asbase::Json doc{asbase::JsonObject{}};
+  doc.Set("count", static_cast<int64_t>(records.size()));
+  doc.Set("records", asbase::Json(std::move(list)));
+  return doc;
+}
+
+namespace {
+
+// Disjoint attribution buckets (see LatencyAttributionJson's header comment).
+struct Buckets {
+  static constexpr size_t kCount = 7;
+  static const char* Name(size_t i) {
+    static const char* names[kCount] = {"queue_wait", "lease", "module_load",
+                                        "exec",       "net",   "reset",
+                                        "other"};
+    return names[i];
+  }
+  static void Fill(const FlightRecord& r, int64_t out[kCount]) {
+    out[0] = r.queue_wait_nanos;
+    out[1] = r.lease_nanos;
+    out[2] = r.module_load_nanos;
+    out[3] = std::max<int64_t>(
+        0, r.exec_nanos - r.module_load_nanos - r.net_nanos);
+    out[4] = r.net_nanos;
+    out[5] = r.reset_nanos;
+    int64_t covered = out[0] + out[1] + out[2] + out[3] + out[4] + out[5];
+    out[6] = std::max<int64_t>(0, r.total_nanos - covered);
+  }
+};
+
+asbase::Json Quantiles(const asbase::Histogram& hist) {
+  asbase::Json doc{asbase::JsonObject{}};
+  doc.Set("p50_nanos", hist.Percentile(0.50));
+  doc.Set("p95_nanos", hist.Percentile(0.95));
+  doc.Set("p99_nanos", hist.Percentile(0.99));
+  return doc;
+}
+
+}  // namespace
+
+asbase::Json LatencyAttributionJson(const std::vector<FlightRecord>& records) {
+  asbase::Json doc{asbase::JsonObject{}};
+  doc.Set("count", static_cast<int64_t>(records.size()));
+  if (records.empty()) {
+    return doc;
+  }
+
+  asbase::Histogram totals;
+  asbase::Histogram per_bucket[Buckets::kCount];
+  for (const FlightRecord& record : records) {
+    totals.Record(record.total_nanos);
+    int64_t values[Buckets::kCount];
+    Buckets::Fill(record, values);
+    for (size_t i = 0; i < Buckets::kCount; ++i) {
+      per_bucket[i].Record(values[i]);
+    }
+  }
+  doc.Set("total", Quantiles(totals));
+
+  // Tail attribution: among the slowest 5% of invocations, which bucket owns
+  // the most time?
+  const int64_t tail_cut = totals.Percentile(0.95);
+  int64_t tail_sums[Buckets::kCount] = {};
+  int64_t tail_total = 0;
+  for (const FlightRecord& record : records) {
+    if (record.total_nanos < tail_cut) {
+      continue;
+    }
+    int64_t values[Buckets::kCount];
+    Buckets::Fill(record, values);
+    for (size_t i = 0; i < Buckets::kCount; ++i) {
+      tail_sums[i] += values[i];
+      tail_total += values[i];
+    }
+  }
+
+  asbase::Json phases{asbase::JsonObject{}};
+  size_t owner = 0;
+  for (size_t i = 0; i < Buckets::kCount; ++i) {
+    asbase::Json phase = Quantiles(per_bucket[i]);
+    const double share =
+        tail_total > 0
+            ? static_cast<double>(tail_sums[i]) /
+                  static_cast<double>(tail_total)
+            : 0.0;
+    phase.Set("tail_share", std::round(share * 1000.0) / 1000.0);
+    phases.Set(Buckets::Name(i), std::move(phase));
+    if (tail_sums[i] > tail_sums[owner]) {
+      owner = i;
+    }
+  }
+  doc.Set("phases", std::move(phases));
+  doc.Set("tail_owner", Buckets::Name(owner));
+  return doc;
+}
+
+}  // namespace asobs

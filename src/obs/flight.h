@@ -1,0 +1,165 @@
+// asobs flight recorder: an always-on, fixed-size, lock-free ring of
+// structured invocation records (DESIGN.md §11).
+//
+// The trace layer answers "where did THIS invocation's time go" but only for
+// the handful of invocations still in a retention ring; `/metrics` answers
+// "how fast on average". Neither can reconstruct a p99 spike that happened
+// thirty seconds ago on one shard. The flight recorder fills that gap: every
+// invocation (success, failure, timeout, admission rejection) deposits one
+// fixed-size record — workflow, shard, outcome, and a nanosecond breakdown
+// of queue wait → pool lease → module load → per-stage execution →
+// net/AsBuffer transfer → pool reset — into a ring that a scraper
+// (`GET /debug/flight`) or the SLO watchdog's black-box snapshot reads at
+// any time without stopping writers.
+//
+// Hot-path contract: a writer claims a slot with one relaxed fetch_add and
+// stamps each field with one relaxed atomic store. There are no locks, no
+// allocation, and no string handling on the write path — workflow names are
+// interned once at registration time and referenced by id. Readers use a
+// per-slot seqlock (sequence odd = write in progress, changed = torn) so a
+// scrape concurrent with a wrapping writer skips the slot instead of
+// observing a mixed record; because every field is an atomic, the protocol
+// is also exactly representable to TSan (no "benign race" suppressions).
+//
+// Compile-time kill switch: building with -DALLOY_DISABLE_FLIGHT turns
+// Record() into an immediate return for overhead A/B measurements
+// (`bench_serving --obs-overhead` measures the runtime on/off delta).
+
+#ifndef SRC_OBS_FLIGHT_H_
+#define SRC_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace asobs {
+
+enum class FlightOutcome : uint32_t {
+  kOk = 0,
+  kError = 1,
+  kTimeout = 2,
+  kRejected = 3,  // admission control said 429; no WFD was ever leased
+};
+
+const char* FlightOutcomeName(FlightOutcome outcome);
+
+// One invocation's breakdown, as handed to Record() and returned by
+// Snapshot(). Timestamps are asbase::MonoNanos.
+struct FlightRecord {
+  static constexpr size_t kMaxStages = 6;
+
+  std::string workflow;  // resolved from the interned id on read
+  int32_t shard = -1;
+  FlightOutcome outcome = FlightOutcome::kOk;
+  bool warm_start = false;
+  int64_t start_nanos = 0;  // receipt (after admission)
+  int64_t end_nanos = 0;    // completion / rejection
+  int64_t total_nanos = 0;  // end-to-end as reported to the caller
+
+  // The phase breakdown. Phases the invocation never reached stay zero.
+  int64_t queue_wait_nanos = 0;   // admission queue (or predicted wait, on
+                                  // a rejection record)
+  int64_t lease_nanos = 0;        // pool lease + (cold) WFD instantiation
+  int64_t module_load_nanos = 0;  // on-demand module loads during the run
+  int64_t exec_nanos = 0;         // orchestrator Run wall time
+  int64_t net_nanos = 0;          // AsBuffer/netstack transfer phase time
+  int64_t reset_nanos = 0;        // WFD reset + park (reclaim)
+
+  // Per-stage execution wall time, first kMaxStages stages.
+  uint32_t stages = 0;
+  int64_t stage_nanos[kMaxStages] = {};
+
+  asbase::Json ToJson() const;
+};
+
+class FlightRecorder {
+ public:
+  // capacity 0 disables the recorder entirely: Record() returns immediately
+  // and Snapshot() is empty. Capacity is fixed for the recorder's lifetime.
+  explicit FlightRecorder(size_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  // Interns a workflow name, returning the id Record() takes. Takes a mutex
+  // — call at registration time and cache the id, never per invocation.
+  // Idempotent: the same name always returns the same id.
+  uint32_t InternWorkflow(const std::string& name);
+
+  // Deposits one record. Lock-free: one relaxed fetch_add to claim a slot,
+  // one relaxed store per field. If the claimed slot is still being written
+  // by a lapped writer (ring wrapped a full turn mid-write) the record is
+  // dropped and counted, never blocked on. Returns whether it was stored.
+  bool Record(uint32_t workflow_id, const FlightRecord& record);
+
+  // Copies out every consistent record, oldest first (by end_nanos).
+  // `workflow` empty = all workflows; `since_nanos` > 0 keeps only records
+  // with end_nanos > since_nanos (cursor-style incremental scraping).
+  std::vector<FlightRecord> Snapshot(const std::string& workflow = "",
+                                     int64_t since_nanos = 0) const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  // Seqlock slot. seq even = stable, odd = write in progress. Every payload
+  // field is an atomic accessed relaxed, so a racing reader observes values
+  // (possibly from two different records — which the seq recheck detects)
+  // rather than undefined behavior.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint32_t> workflow_id{0};
+    std::atomic<int32_t> shard{-1};
+    std::atomic<uint32_t> outcome{0};
+    std::atomic<uint32_t> warm_start{0};
+    std::atomic<int64_t> start_nanos{0};
+    std::atomic<int64_t> end_nanos{0};
+    std::atomic<int64_t> total_nanos{0};
+    std::atomic<int64_t> queue_wait_nanos{0};
+    std::atomic<int64_t> lease_nanos{0};
+    std::atomic<int64_t> module_load_nanos{0};
+    std::atomic<int64_t> exec_nanos{0};
+    std::atomic<int64_t> net_nanos{0};
+    std::atomic<int64_t> reset_nanos{0};
+    std::atomic<uint32_t> stages{0};
+    std::atomic<int64_t> stage_nanos[FlightRecord::kMaxStages];
+  };
+
+  std::string WorkflowName(uint32_t id) const;
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  // Interned workflow names; id = index + 1 (0 = unknown). Append-only,
+  // read under the same mutex (Snapshot is not a hot path).
+  mutable std::mutex names_mutex_;
+  std::vector<std::string> names_;
+};
+
+// {"records":[FlightRecord.ToJson()...]} — the `/debug/flight` body core.
+asbase::Json FlightReportJson(const std::vector<FlightRecord>& records);
+
+// p50/p95/p99 phase attribution over a record set — the `/debug/latency`
+// body. Phases are made disjoint for attribution (module_load and net happen
+// *inside* exec, so "exec" here is exec minus both), plus an "other" bucket
+// for total time none of the stamps cover. `tail_owner` names the bucket
+// with the largest share of time across the slowest 5% of invocations —
+// which phase owns the tail.
+asbase::Json LatencyAttributionJson(const std::vector<FlightRecord>& records);
+
+}  // namespace asobs
+
+#endif  // SRC_OBS_FLIGHT_H_

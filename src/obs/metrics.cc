@@ -58,6 +58,12 @@ constexpr struct {
     {"alloy_visor_queue_wait_nanos", MetricType::kSummary},
     {"alloy_visor_prewarms_total", MetricType::kCounter},
     {"alloy_visor_pool_resident_bytes", MetricType::kGauge},
+    {"alloy_visor_pool_lease_nanos", MetricType::kSummary},
+    {"alloy_visor_flight_records_total", MetricType::kCounter},
+    {"alloy_visor_flight_dropped_total", MetricType::kCounter},
+    {"alloy_visor_traces_retained_total", MetricType::kCounter},
+    {"alloy_slo_burn_rate", MetricType::kGauge},
+    {"alloy_slo_blackbox_snapshots_total", MetricType::kCounter},
     {"alloy_orch_thread_spawns_total", MetricType::kCounter},
     {"alloy_orch_dispatch_nanos", MetricType::kSummary},
     {"alloy_libos_module_loads_total", MetricType::kCounter},

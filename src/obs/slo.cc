@@ -1,0 +1,93 @@
+#include "src/obs/slo.h"
+
+namespace asobs {
+namespace {
+
+// Memory bound independent of traffic rate; at this depth the oldest event
+// is far outside any sane slow window anyway.
+constexpr size_t kMaxEvents = 8192;
+
+}  // namespace
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {}
+
+void SloTracker::PruneLocked(int64_t now_nanos) {
+  const int64_t horizon = now_nanos - options_.slow_window_ms * 1'000'000;
+  while (!events_.empty() &&
+         (events_.front().nanos < horizon || events_.size() > kMaxEvents)) {
+    events_.pop_front();
+  }
+}
+
+double SloTracker::BurnLocked(int64_t window_ms, int64_t now_nanos) const {
+  const int64_t horizon = now_nanos - window_ms * 1'000'000;
+  size_t total = 0;
+  size_t bad = 0;
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->nanos < horizon) {
+      break;  // events are time-ordered; everything older is out of window
+    }
+    ++total;
+    if (!it->good) {
+      ++bad;
+    }
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double budget = 1.0 - options_.objective;
+  if (budget <= 0.0) {
+    return bad > 0 ? 1e9 : 0.0;  // zero budget: any failure is infinite burn
+  }
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+SloTracker::Verdict SloTracker::Record(bool good, bool timeout,
+                                       int64_t now_nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{now_nanos, good, timeout});
+  PruneLocked(now_nanos);
+
+  Verdict verdict;
+  verdict.fast_burn = BurnLocked(options_.fast_window_ms, now_nanos);
+  verdict.slow_burn = BurnLocked(options_.slow_window_ms, now_nanos);
+
+  const int64_t fast_horizon =
+      now_nanos - options_.fast_window_ms * 1'000'000;
+  int timeouts_in_fast = 0;
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->nanos < fast_horizon) {
+      break;
+    }
+    if (it->timeout) {
+      ++timeouts_in_fast;
+    }
+  }
+
+  const char* reason = nullptr;
+  if (options_.timeout_burst > 0 &&
+      timeouts_in_fast >= options_.timeout_burst) {
+    reason = "timeout_burst";
+  } else if (verdict.fast_burn >= options_.fast_burn_threshold) {
+    reason = "fast_burn";
+  } else if (verdict.slow_burn >= options_.slow_burn_threshold) {
+    reason = "slow_burn";
+  }
+  if (reason != nullptr) {
+    const int64_t cooldown = options_.trigger_cooldown_ms * 1'000'000;
+    if (last_trigger_nanos_ == 0 ||
+        now_nanos - last_trigger_nanos_ >= cooldown) {
+      last_trigger_nanos_ = now_nanos;
+      verdict.trigger = true;
+      verdict.reason = reason;
+    }
+  }
+  return verdict;
+}
+
+double SloTracker::BurnRate(int64_t window_ms, int64_t now_nanos) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return BurnLocked(window_ms, now_nanos);
+}
+
+}  // namespace asobs

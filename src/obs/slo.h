@@ -1,0 +1,96 @@
+// asobs SLO tracker: per-workflow latency objective + error budget with
+// multi-window burn-rate alerting (DESIGN.md §11).
+//
+// An SLO here is "fraction `objective` of invocations are good", where good
+// means: completed without error/timeout AND (if a latency objective is set)
+// under `latency_objective_ms`. The error budget is the allowed bad fraction,
+// 1 - objective. The burn rate over a window is
+//
+//     burn = bad_fraction_in_window / (1 - objective)
+//
+// so burn == 1.0 means "spending budget exactly as fast as allowed", and the
+// classic multi-window alert fires on a high burn over a short window
+// (page-now: something just broke) or a sustained moderate burn over a long
+// window (budget will exhaust within the SLO period). A third trigger — N
+// timeouts inside the fast window — catches deadline bursts even when volume
+// is too low for the fractional burn to clear its threshold.
+//
+// The tracker is pure bookkeeping: callers pass outcomes in and get a
+// Verdict out; exporting `alloy_slo_burn_rate{window}` gauges and writing
+// the black-box snapshot on `Verdict::trigger` is the visor's job. All time
+// is caller-supplied (asbase::MonoNanos in production) so tests can replay
+// a synthetic timeline.
+
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace asobs {
+
+struct SloOptions {
+  // Fraction of invocations that must be good; budget is 1 - objective.
+  double objective = 0.999;
+
+  // Good requires total latency under this, in addition to a clean outcome.
+  // 0 = outcome-only SLO (any successful completion is good).
+  int64_t latency_objective_ms = 0;
+
+  // Multi-window burn alerting (Google SRE workbook defaults, scaled to
+  // this repo's test-friendly horizons).
+  int64_t fast_window_ms = 5'000;
+  int64_t slow_window_ms = 60'000;
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 6.0;
+
+  // This many timeouts inside the fast window trigger regardless of burn.
+  int timeout_burst = 5;
+
+  // Re-trigger suppression: one black box per incident, not per request.
+  int64_t trigger_cooldown_ms = 30'000;
+};
+
+class SloTracker {
+ public:
+  struct Verdict {
+    bool trigger = false;        // snapshot a black box now
+    const char* reason = "";     // "fast_burn" | "slow_burn" | "timeout_burst"
+    double fast_burn = 0.0;      // burn rate over the fast window
+    double slow_burn = 0.0;      // burn rate over the slow window
+  };
+
+  explicit SloTracker(SloOptions options);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  const SloOptions& options() const { return options_; }
+
+  // Accounts one finished invocation and evaluates the triggers.
+  // `good` per the SLO definition above; `timeout` feeds the burst trigger.
+  Verdict Record(bool good, bool timeout, int64_t now_nanos);
+
+  // Burn rate over the trailing window, without recording anything.
+  double BurnRate(int64_t window_ms, int64_t now_nanos) const;
+
+ private:
+  struct Event {
+    int64_t nanos;
+    bool good;
+    bool timeout;
+  };
+
+  double BurnLocked(int64_t window_ms, int64_t now_nanos) const;
+  void PruneLocked(int64_t now_nanos);
+
+  const SloOptions options_;
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+  int64_t last_trigger_nanos_ = 0;
+};
+
+}  // namespace asobs
+
+#endif  // SRC_OBS_SLO_H_

@@ -332,5 +332,98 @@ TEST(VisorRouterTest, StopWatchdogDrainsQueuedAdmissionsWith503) {
       << "queued admission must drain with 503 on stop";
 }
 
+// ---------------------- shared-server observability endpoints (§11)
+
+TEST(VisorRouterTest, ReadyzAggregatesShardDrainState) {
+  RouterOptions router_options;
+  router_options.shards = 2;
+  AsVisorRouter router(router_options);
+  ASSERT_TRUE(router.StartWatchdog(0).ok());
+
+  ashttp::HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  auto healthz = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_EQ(healthz->status, 200);
+
+  request.target = "/readyz";
+  auto ready = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+
+  // One shard draining pulls the whole process out of rotation; the body
+  // names the culprit.
+  router.shard(1).BeginDrain();
+  auto drained = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->status, 503);
+  auto doc = asbase::Json::Parse(drained->body);
+  ASSERT_TRUE(doc.ok()) << drained->body;
+  EXPECT_FALSE((*doc)["ready"].as_bool(true));
+  ASSERT_EQ((*doc)["shards"].array().size(), 2u);
+  EXPECT_FALSE((*doc)["shards"].array()[0]["draining"].as_bool(true));
+  EXPECT_TRUE((*doc)["shards"].array()[1]["draining"].as_bool(false));
+}
+
+TEST(VisorRouterTest, DebugFlightMergesAcrossShards) {
+  RouterOptions router_options;
+  router_options.shards = 4;
+  AsVisorRouter router(router_options);
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  // Pin two workflows to different shards so the merged report provably
+  // spans more than one flight ring.
+  options.pin_shard = 0;
+  router.RegisterWorkflow(EchoSpec("flight-a"), options);
+  options.pin_shard = 2;
+  router.RegisterWorkflow(EchoSpec("flight-b"), options);
+  ASSERT_TRUE(router.StartWatchdog(0).ok());
+
+  ASSERT_TRUE(router.Invoke("flight-a", asbase::Json()).ok());
+  ASSERT_TRUE(router.Invoke("flight-b", asbase::Json()).ok());
+
+  // No workflow param: the router merges every shard's ring.
+  ashttp::HttpRequest request;
+  request.method = "GET";
+  request.target = "/debug/flight";
+  auto response = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  auto doc = asbase::Json::Parse(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  EXPECT_GE((*doc)["count"].as_int(), 2);
+  std::set<std::string> workflows;
+  std::set<int64_t> shards;
+  for (const asbase::Json& record : (*doc)["records"].array()) {
+    workflows.insert(record["workflow"].as_string());
+    shards.insert(record["shard"].as_int());
+  }
+  EXPECT_TRUE(workflows.count("flight-a")) << response->body;
+  EXPECT_TRUE(workflows.count("flight-b")) << response->body;
+  EXPECT_GE(shards.size(), 2u)
+      << "merged report must span more than one shard's ring";
+
+  // With a workflow param the owning shard answers alone.
+  request.target = "/debug/flight?workflow=flight-b";
+  auto scoped = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(scoped.ok());
+  auto scoped_doc = asbase::Json::Parse(scoped->body);
+  ASSERT_TRUE(scoped_doc.ok());
+  for (const asbase::Json& record : (*scoped_doc)["records"].array()) {
+    EXPECT_EQ(record["workflow"].as_string(), "flight-b");
+  }
+
+  // Merged latency attribution renders across shards too.
+  request.target = "/debug/latency";
+  auto latency = ashttp::HttpCall("127.0.0.1", router.watchdog_port(), request);
+  ASSERT_TRUE(latency.ok());
+  ASSERT_EQ(latency->status, 200);
+  auto latency_doc = asbase::Json::Parse(latency->body);
+  ASSERT_TRUE(latency_doc.ok());
+  EXPECT_GE((*latency_doc)["count"].as_int(), 2);
+  EXPECT_FALSE((*latency_doc)["tail_owner"].as_string().empty());
+}
+
 }  // namespace
 }  // namespace alloy

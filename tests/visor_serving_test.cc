@@ -8,7 +8,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <thread>
 #include <vector>
 
@@ -749,6 +753,255 @@ TEST(VisorServingTest, WeightedSharesGrantSlotsProportionally) {
     EXPECT_EQ(a_grants, 3) << "window " << window
                            << " must grant the weight-3 workflow 3 of 4 slots";
   }
+}
+
+// ------------------------- flight recorder / tail retention / SLO (§11)
+
+TEST(VisorObservabilityTest, TimeoutBurstRetainsTailTracesAndFlightRecords) {
+  FunctionRegistry::Global().Register(
+      "serving.tunablesleep", [](FunctionContext& ctx) -> asbase::Status {
+        const int64_t sleep_ms = ctx.params()["sleep_ms"].as_int(0);
+        if (sleep_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        }
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "tailwf";
+  // Two stages so the cooperative deadline check after the first stage's
+  // barrier converts a slow run into kDeadlineExceeded.
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.tunablesleep", 1}}});
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.tunablesleep", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  options.timeout_ms = 50;
+  visor.RegisterWorkflow(spec, options);
+
+  // Tail-based retention: only failures/timeouts (or >10s runs) keep their
+  // span tree. The fast successes below must NOT be retained.
+  AsVisor::ServingOptions serving;
+  serving.trace_threshold_ms = 10'000;
+  ASSERT_TRUE(visor.StartWatchdog(0, serving).ok());
+  EXPECT_EQ(visor.trace_threshold_ms(), 10'000);
+
+  asobs::Counter& retained = asobs::Registry::Global().GetCounter(
+      "alloy_visor_traces_retained_total");
+  const uint64_t retained0 = retained.value();
+
+  // Three fast successes...
+  asbase::Json fast;
+  fast.Set("sleep_ms", static_cast<int64_t>(0));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(visor.Invoke("tailwf", fast).ok());
+  }
+  // ...then a burst of three timeouts.
+  asbase::Json slow;
+  slow.Set("sleep_ms", static_cast<int64_t>(100));
+  for (int i = 0; i < 3; ++i) {
+    auto result = visor.Invoke("tailwf", slow);
+    ASSERT_FALSE(result.ok());
+    ASSERT_EQ(result.status().code(), asbase::ErrorCode::kDeadlineExceeded);
+  }
+
+  // Only the offenders were retained for /trace.
+  EXPECT_EQ(retained.value(), retained0 + 3)
+      << "fast successes under the threshold must not be retained";
+
+  // The flight ring has everything — and the timeout records carry a phase
+  // breakdown (they reached the exec phase before the deadline fired).
+  ashttp::HttpRequest request;
+  request.method = "GET";
+  request.target = "/debug/flight?workflow=tailwf";
+  auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  auto doc = asbase::Json::Parse(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  ASSERT_EQ((*doc)["count"].as_int(), 6);
+  int ok_records = 0;
+  int timeout_records = 0;
+  for (const asbase::Json& record : (*doc)["records"].array()) {
+    EXPECT_EQ(record["workflow"].as_string(), "tailwf");
+    if (record["outcome"].as_string() == "ok") {
+      ++ok_records;
+    } else if (record["outcome"].as_string() == "timeout") {
+      ++timeout_records;
+      EXPECT_GT(record["phases"]["exec_nanos"].as_int(), 0)
+          << "a timeout record must attribute where the time went";
+      EXPECT_GE(record["total_nanos"].as_int(), 50 * 1'000'000);
+    }
+  }
+  EXPECT_EQ(ok_records, 3);
+  EXPECT_EQ(timeout_records, 3);
+
+  // Phase attribution across the same records: exec owns this tail (the
+  // timeouts burned their lives sleeping inside the orchestrator run).
+  request.target = "/debug/latency?workflow=tailwf";
+  auto latency = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(latency.ok());
+  ASSERT_EQ(latency->status, 200);
+  auto attribution = asbase::Json::Parse(latency->body);
+  ASSERT_TRUE(attribution.ok()) << latency->body;
+  EXPECT_EQ((*attribution)["count"].as_int(), 6);
+  EXPECT_EQ((*attribution)["tail_owner"].as_string(), "exec")
+      << latency->body;
+}
+
+TEST(VisorObservabilityTest, HealthzAlwaysOkReadyzReflectsDrain) {
+  AsVisor visor;
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+  ashttp::HttpRequest request;
+  request.method = "GET";
+
+  request.target = "/healthz";
+  auto healthz = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_EQ(healthz->body, "ok");
+
+  request.target = "/readyz";
+  auto ready = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 200);
+  EXPECT_EQ(ready->body, "ready");
+
+  visor.BeginDrain();
+  EXPECT_TRUE(visor.draining());
+  auto drained = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->status, 503);
+  EXPECT_EQ(drained->body, "draining");
+
+  // Liveness is unaffected by the drain.
+  request.target = "/healthz";
+  auto alive = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(), request);
+  ASSERT_TRUE(alive.ok());
+  EXPECT_EQ(alive->status, 200);
+}
+
+TEST(VisorObservabilityTest, SloBurnTriggerWritesBlackBox) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "alloy_blackbox_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ::setenv("ALLOY_BLACKBOX_DIR", dir.c_str(), 1);
+
+  FunctionRegistry::Global().Register(
+      "serving.alwaysfail", [](FunctionContext&) -> asbase::Status {
+        return asbase::Internal("induced failure");
+      });
+  {
+    AsVisor visor;  // constructed AFTER the env var is set
+    WorkflowSpec spec;
+    spec.name = "slowf";
+    spec.stages.push_back(StageSpec{{FunctionSpec{"serving.alwaysfail", 1}}});
+    AsVisor::WorkflowOptions options;
+    options.wfd = SmallWfd();
+    options.pool_size = 0;
+    options.slo_objective = 0.99;  // 1% budget: one failure burns hot
+    visor.RegisterWorkflow(spec, options);
+
+    EXPECT_FALSE(visor.Invoke("slowf", asbase::Json()).ok());
+
+    // The failure pushed the fast burn over its threshold (bad fraction 1.0
+    // against a 1% budget = burn 100 >= 14): gauges move, black box drops.
+    asobs::Gauge& fast_burn = asobs::Registry::Global().GetGauge(
+        "alloy_slo_burn_rate",
+        {{"workflow", "slowf"}, {"window", "fast"}});
+    EXPECT_GE(fast_burn.value(), 14'000)
+        << "burn gauges are milli-scaled (burn 14.0 -> 14000)";
+  }
+  ::unsetenv("ALLOY_BLACKBOX_DIR");
+
+  std::vector<fs::path> boxes;
+  for (const auto& file : fs::directory_iterator(dir)) {
+    boxes.push_back(file.path());
+  }
+  ASSERT_EQ(boxes.size(), 1u) << "exactly one black box per incident";
+  std::ifstream in(boxes[0]);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto doc = asbase::Json::Parse(body);
+  ASSERT_TRUE(doc.ok()) << body;
+  EXPECT_EQ((*doc)["reason"].as_string(), "fast_burn");
+  EXPECT_EQ((*doc)["workflow"].as_string(), "slowf");
+  EXPECT_GE((*doc)["fast_burn_milli"].as_int(), 14'000);
+  // The snapshot embeds the flight ring (the failure's record is in there)
+  // and the per-workflow queue/pool state.
+  EXPECT_GE((*doc)["flight"]["count"].as_int(), 1);
+  ASSERT_TRUE((*doc)["queues"].is_array());
+  EXPECT_EQ((*doc)["queues"].array()[0]["workflow"].as_string(), "slowf");
+  fs::remove_all(dir);
+}
+
+TEST(VisorObservabilityTest, RejectionLeavesFlightRecord) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  FunctionRegistry::Global().Register(
+      "serving.obsblock", [&started, &release](FunctionContext& ctx)
+                              -> asbase::Status {
+        started = true;
+        while (!release) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ctx.SetResult("released");
+        return asbase::OkStatus();
+      });
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = "rejwf";
+  spec.stages.push_back(StageSpec{{FunctionSpec{"serving.obsblock", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.max_concurrency = 1;
+  visor.RegisterWorkflow(spec, options);
+  ASSERT_TRUE(visor.StartWatchdog(0).ok());
+
+  std::thread first([&] {
+    auto response = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                     InvokeRequest("rejwf"));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  });
+  while (!started) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto rejected = ashttp::HttpCall("127.0.0.1", visor.watchdog_port(),
+                                   InvokeRequest("rejwf"));
+  ASSERT_TRUE(rejected.ok());
+  ASSERT_EQ(rejected->status, 429);
+  release = true;
+  first.join();
+
+  // The 429 deposited a "rejected" record — a rejection storm must be
+  // reconstructable from the black box like any other incident.
+  const std::vector<asobs::FlightRecord> records =
+      visor.flight().Snapshot("rejwf");
+  bool found = false;
+  for (const asobs::FlightRecord& record : records) {
+    if (record.outcome == asobs::FlightOutcome::kRejected) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "rejections must appear in the flight ring";
+}
+
+TEST(VisorObservabilityTest, ServingOptionsOverrideTraceKnobs) {
+  AsVisor visor;
+  // Construction defaults (no env override in the test environment).
+  EXPECT_EQ(visor.trace_ring_depth(), AsVisor::kTraceRing);
+  EXPECT_EQ(visor.trace_threshold_ms(), 0);
+  AsVisor::ServingOptions serving;
+  serving.trace_ring = 3;
+  serving.trace_threshold_ms = 250;
+  ASSERT_TRUE(visor.StartServing(serving).ok());
+  EXPECT_EQ(visor.trace_ring_depth(), 3u);
+  EXPECT_EQ(visor.trace_threshold_ms(), 250);
+  visor.StopServing();
 }
 
 }  // namespace
