@@ -12,16 +12,27 @@
 //      re-run through a 1-shard router, p50 emitted for comparison against
 //      BENCH_serving.json.
 //
+//   3. zipf skew (`--zipf`, DESIGN.md §12) — 8 workflows pinned two-per-shard
+//      on a 4-shard mesh, each request drawing its workflow from a Zipf(1.1)
+//      distribution, so one shard carries ~47% of the demand while holding
+//      25% of the even in-flight budget. Three runs: uniform draw (the fair
+//      baseline), zipf with the rebalancer off (the hotspot queues), and
+//      zipf with the rebalancer's demand-weighted re-slicing on. The
+//      rebalancer should pull the hot shard's p99 back toward the uniform
+//      baseline.
+//
 // `--quick` shrinks to a smoke test (ctest label `serving`). Emits
 // BENCH_sharding.json with rps_by_shards / p99_by_shards / speedup_4_vs_1 /
-// one_shard_warm_p50_nanos.
+// one_shard_warm_p50_nanos (+ zipf_* with --zipf).
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/rng.h"
 #include "src/core/visor/visor_router.h"
 
 namespace asbench {
@@ -57,6 +68,15 @@ void RegisterFunctions() {
   FunctionRegistry::Global().Register(
       "bench.shard-sleep", [](FunctionContext& ctx) -> asbase::Status {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ctx.SetResult("done");
+        return asbase::OkStatus();
+      });
+  // Longer stage for the zipf section: at ~20ms the shard's in-flight slice
+  // (capacity = slice / service time), not admission-path CPU, bounds each
+  // shard's throughput — the regime demand-weighted re-slicing targets.
+  FunctionRegistry::Global().Register(
+      "bench.skew-sleep", [](FunctionContext& ctx) -> asbase::Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
         ctx.SetResult("done");
         return asbase::OkStatus();
       });
@@ -162,13 +182,132 @@ ShardRun RunMixedLoad(size_t shards, int clients, int requests_per_client) {
   return run;
 }
 
+// Zipf(s) over `n` workflows as a cumulative distribution; a client draws
+// one uniform double per request and walks the table.
+std::vector<double> ZipfCdf(int n, double s) {
+  std::vector<double> cdf(static_cast<size_t>(n), 0);
+  double sum = 0;
+  for (int k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[static_cast<size_t>(k)] = sum;
+  }
+  for (double& value : cdf) {
+    value /= sum;
+  }
+  return cdf;
+}
+
+// One closed-loop run of the skewed load against a 4-shard mesh. `zipf`
+// false = uniform workflow draw (fair baseline); `rebalance_on` wires the
+// ShardRebalancer into the watchdog so demand-weighted re-slicing chases the
+// hotspot. The first `warmup_per_client` requests per client are driven but
+// not recorded, giving the control loop (cooldown 50ms) time to converge
+// before the measured window opens — the same grace both baseline runs get.
+ShardRun RunSkewedLoad(bool zipf, bool rebalance_on, int clients,
+                       int warmup_per_client, int measured_per_client,
+                       std::vector<size_t>* final_slices) {
+  constexpr int kSkewWorkflows = 8;
+  constexpr size_t kSkewShards = 4;
+  ShardRun run;
+  RouterOptions router_options;
+  router_options.shards = kSkewShards;
+  if (rebalance_on) {
+    router_options.rebalancer.enabled = true;
+    router_options.rebalancer.interval_ms = 10;
+    router_options.rebalancer.cooldown_ms = 50;
+    router_options.rebalancer.reslice_deadband = 2;
+    router_options.rebalancer.migrate = false;  // every workflow is pinned
+    router_options.rebalancer.scale = false;
+  }
+  AsVisorRouter router(router_options);
+  for (int i = 0; i < kSkewWorkflows; ++i) {
+    AsVisor::WorkflowOptions options;
+    options.wfd = BenchWfd();
+    options.pool_size = 8;
+    // Per-workflow concurrency far above any shard slice, so the SHARD
+    // budget — the thing re-slicing moves — is the binding constraint.
+    options.max_concurrency = 32;
+    options.queue_capacity = 512;
+    options.queueing_budget_ms = 60'000;
+    options.pin_shard = i % static_cast<int>(kSkewShards);
+    router.RegisterWorkflow(
+        OneStage("skew-" + std::to_string(i), "bench.skew-sleep"), options);
+  }
+  AsVisor::ServingOptions serving;
+  serving.worker_threads = 64;
+  serving.max_inflight = 32;
+  if (!router.StartWatchdog(0, serving).ok()) {
+    std::fprintf(stderr, "watchdog start failed for skew run\n");
+    return run;
+  }
+  for (int i = 0; i < kSkewWorkflows; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      (void)router.Invoke("skew-" + std::to_string(i), asbase::Json());
+    }
+  }
+
+  const std::vector<double> cdf = ZipfCdf(kSkewWorkflows, 1.1);
+  asbase::Histogram latency;
+  std::mutex latency_mutex;
+  std::atomic<int64_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const int64_t start = asbase::MonoNanos();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      asbase::Rng rng(0x5eedULL + static_cast<uint64_t>(c));
+      for (int i = 0; i < warmup_per_client + measured_per_client; ++i) {
+        size_t workflow = 0;
+        if (zipf) {
+          const double u = rng.NextDouble();
+          while (workflow + 1 < cdf.size() && u >= cdf[workflow]) {
+            ++workflow;
+          }
+        } else {
+          workflow = rng.Below(kSkewWorkflows);
+        }
+        const int64_t t0 = asbase::MonoNanos();
+        const ashttp::HttpResponse response = router.Dispatch(
+            InvokeRequest("skew-" + std::to_string(workflow)));
+        if (response.status != 200) {
+          ++errors;
+        } else if (i >= warmup_per_client) {
+          std::lock_guard<std::mutex> lock(latency_mutex);
+          latency.Record(asbase::MonoNanos() - t0);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double seconds = static_cast<double>(asbase::MonoNanos() - start) / 1e9;
+  if (final_slices != nullptr) {
+    final_slices->clear();
+    for (size_t i = 0; i < router.shard_count(); ++i) {
+      final_slices->push_back(router.shard(i).max_inflight());
+    }
+  }
+  router.StopWatchdog();
+
+  run.completed = latency.count();
+  run.errors = errors.load();
+  run.rps = seconds > 0 ? static_cast<double>(run.completed) / seconds : 0;
+  run.p99_nanos = latency.Percentile(0.99);
+  return run;
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
   bool quick = false;
+  bool zipf = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    }
+    if (std::strcmp(argv[i], "--zipf") == 0) {
+      zipf = true;
     }
   }
   const std::vector<size_t> shard_counts =
@@ -242,6 +381,60 @@ int Main(int argc, char** argv) {
                 Ms(warm_hist.Percentile(0.99)).c_str());
     doc.Set("one_shard_warm_p50_nanos", warm_hist.Percentile(0.5));
     doc.Set("one_shard_warm", warm_hist.ToJson());
+  }
+
+  // ------------------------------------------- 3. zipf skew + rebalancer
+  if (zipf) {
+    const int skew_clients = quick ? 32 : 192;
+    const int skew_warmup = quick ? 3 : 10;
+    const int skew_measured = quick ? 8 : 50;
+    std::printf("\nzipf skew: 8 workflows pinned 2-per-shard on 4 shards, "
+                "%d clients x %d requests (Zipf s=1.1)\n",
+                skew_clients, skew_measured);
+    std::printf("  %-24s %10s %10s %10s %8s\n", "run", "RPS", "p99", "done",
+                "errors");
+    auto print_run = [](const char* name, const ShardRun& run) {
+      std::printf("  %-24s %10.0f %10s %10lld %8lld\n", name, run.rps,
+                  Ms(run.p99_nanos).c_str(),
+                  static_cast<long long>(run.completed),
+                  static_cast<long long>(run.errors));
+    };
+    const ShardRun uniform = RunSkewedLoad(
+        false, false, skew_clients, skew_warmup, skew_measured, nullptr);
+    print_run("uniform", uniform);
+    const ShardRun skew_off = RunSkewedLoad(
+        true, false, skew_clients, skew_warmup, skew_measured, nullptr);
+    print_run("zipf, rebalancer off", skew_off);
+    std::vector<size_t> slices;
+    const ShardRun skew_on = RunSkewedLoad(
+        true, true, skew_clients, skew_warmup, skew_measured, &slices);
+    print_run("zipf, rebalancer on", skew_on);
+    std::string slices_text;
+    asbase::Json slices_json{asbase::JsonArray{}};
+    for (size_t slice : slices) {
+      if (!slices_text.empty()) {
+        slices_text += "/";
+      }
+      slices_text += std::to_string(slice);
+      slices_json.Append(static_cast<int64_t>(slice));
+    }
+    std::printf("  final slices with rebalancer: %s (even would be 8/8/8/8)\n",
+                slices_text.c_str());
+    doc.Set("zipf_uniform_p99_nanos", uniform.p99_nanos);
+    doc.Set("zipf_off_p99_nanos", skew_off.p99_nanos);
+    doc.Set("zipf_on_p99_nanos", skew_on.p99_nanos);
+    doc.Set("zipf_final_slices", std::move(slices_json));
+    if (skew_on.p99_nanos > 0) {
+      const double vs_off = static_cast<double>(skew_off.p99_nanos) /
+                            static_cast<double>(skew_on.p99_nanos);
+      const double vs_uniform = static_cast<double>(skew_on.p99_nanos) /
+                                static_cast<double>(uniform.p99_nanos);
+      std::printf("  rebalancer-on p99 is %.2fx better than off, %.2fx the "
+                  "uniform baseline\n",
+                  vs_off, vs_uniform);
+      doc.Set("zipf_on_vs_off_p99", vs_off);
+      doc.Set("zipf_on_vs_uniform_p99", vs_uniform);
+    }
   }
 
   const std::string text = doc.Dump(2);

@@ -12,6 +12,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build-ci}"
 
+echo "==> docs link/anchor + metrics drift check"
+python3 scripts/check_docs.py
+
 echo "==> full suite (${BUILD})"
 cmake -S . -B "${BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${BUILD}" -j "$(nproc)"
@@ -24,7 +27,9 @@ cmake --build "${BUILD}-tsan" -j "$(nproc)"
 # ALLOY_VISOR_SHARDS=4 makes every default-constructed router in the
 # serving tests (and the bench smoke) run 4 shards, so the TSan pass
 # covers cross-shard drain, the shared /metrics scrape, and the
-# per-shard admission queues.
+# per-shard admission queues. The serving label includes
+# visor_rebalance_test, so live migration, queue handoff, and
+# ScaleTo-vs-inflight races run under the race detector too.
 ALLOY_VISOR_SHARDS=4 ctest --test-dir "${BUILD}-tsan" -L serving --output-on-failure
 # The obs label covers the flight-ring concurrent-writers/scraping-reader
 # seqlock test — the torn-read protocol is only proven if TSan sees it.
@@ -34,7 +39,7 @@ ctest --test-dir "${BUILD}-tsan" -L netstack --output-on-failure
 echo "==> serving + dataplane + sharding + obs-overhead bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_dataplane --quick >/dev/null)
-(cd "${BUILD}" && ./bench/bench_sharding --quick >/dev/null)
+(cd "${BUILD}" && ./bench/bench_sharding --quick --zipf >/dev/null)
 (cd "${BUILD}" && ./bench/bench_serving --obs-overhead --quick >/dev/null)
 
 echo "CI OK"

@@ -10,6 +10,7 @@
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/obs/rebalance.h"
 
 namespace alloy {
 namespace {
@@ -235,6 +236,9 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
       old_pool = it->second.pool;
     }
     workflows_[spec.name] = std::move(entry);
+    // A fresh registration supersedes any migration tombstone: requests for
+    // this name belong here again, not wherever it moved to last time.
+    migrated_out_.erase(spec.name);
   }
   // Requests queued against the old registration re-evaluate (their ticket
   // vanished with the old Entry).
@@ -264,6 +268,87 @@ bool AsVisor::UnregisterWorkflow(const std::string& workflow_name) {
     old_pool->Shutdown();
   }
   return true;
+}
+
+// ---------------------------------------------- live migration (DESIGN §12)
+
+asbase::Result<AsVisor::WorkflowRegistration> AsVisor::GetRegistration(
+    const std::string& workflow_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = workflows_.find(workflow_name);
+  if (it == workflows_.end()) {
+    return asbase::NotFound("no workflow named '" + workflow_name + "'");
+  }
+  WorkflowRegistration registration;
+  registration.spec = it->second.spec;
+  registration.options = it->second.options;
+  return registration;
+}
+
+std::shared_ptr<WfdPool> AsVisor::MigrateOut(const std::string& workflow_name) {
+  std::shared_ptr<WfdPool> old_pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it == workflows_.end()) {
+      return nullptr;
+    }
+    old_pool = it->second.pool;
+    workflows_.erase(it);
+    const int64_t now = asbase::MonoNanos();
+    migrated_out_[workflow_name] = now;
+    // Lazy prune: the map only grows by one entry per migration, so sweeping
+    // it here keeps it bounded without a timer.
+    for (auto tomb = migrated_out_.begin(); tomb != migrated_out_.end();) {
+      if (now - tomb->second > kMigrationTombstoneNanos) {
+        tomb = migrated_out_.erase(tomb);
+      } else {
+        ++tomb;
+      }
+    }
+  }
+  // Queued waiters wake, find the tombstone, and unwind as *migrated* —
+  // the router re-dispatches them to the new owner (queue handoff).
+  admission_cv_.notify_all();
+  return old_pool;
+}
+
+void AsVisor::AdoptWarmWfds(const std::string& workflow_name,
+                            std::vector<std::unique_ptr<Wfd>> wfds) {
+  std::shared_ptr<WfdPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = workflows_.find(workflow_name);
+    if (it != workflows_.end()) {
+      pool = it->second.pool;
+    }
+  }
+  if (pool == nullptr) {
+    // Raced with an unregister: the WFDs die here (vector destructor).
+    return;
+  }
+  for (std::unique_ptr<Wfd>& wfd : wfds) {
+    pool->AdoptWarm(std::move(wfd));
+  }
+}
+
+AsVisor::ShardLoad AsVisor::LoadSnapshot() const {
+  ShardLoad load;
+  std::lock_guard<std::mutex> lock(mutex_);
+  load.inflight = inflight_global_;
+  load.max_inflight = serving_.max_inflight;
+  load.workflows.reserve(workflows_.size());
+  for (const auto& [name, entry] : workflows_) {
+    WorkflowLoad row;
+    row.name = name;
+    row.inflight = entry.inflight;
+    row.queued = entry.waiters.size();
+    row.service_ewma_nanos = entry.service_ewma_nanos;
+    row.pinned = entry.options.pin_shard >= 0;
+    load.queued += row.queued;
+    load.workflows.push_back(std::move(row));
+  }
+  return load;
 }
 
 asbase::Status AsVisor::RegisterWorkflowFromJson(const asbase::Json& config) {
@@ -699,6 +784,9 @@ void AsVisor::WriteBlackBox(const BlackBoxRequest& request) {
   doc.Set("slow_burn_milli", BurnMilli(request.slow_burn));
   doc.Set("queues", request.queues);
   doc.Set("flight", asobs::FlightReportJson(flight_->Snapshot()));
+  // Recent control-plane actions: a reslice or migration just before the
+  // trigger is usually the first thing the investigation needs to see.
+  doc.Set("rebalance_events", asobs::RebalanceLog::Global().ToJson());
   std::ofstream out(path);
   if (!out) {
     AS_LOG(kWarn) << "black box write failed: cannot open " << path;
@@ -827,17 +915,32 @@ void AsVisor::ChargeGrantLocked(const std::string& winner) {
 asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
                                       int64_t budget_ms_override,
                                       int64_t* queue_wait_nanos,
-                                      int64_t* predicted_wait_nanos) {
+                                      int64_t* predicted_wait_nanos,
+                                      bool* migrated) {
   *queue_wait_nanos = 0;
   *predicted_wait_nanos = 0;
+  *migrated = false;
   uint64_t ticket = 0;
   const int64_t enqueued_at = asbase::MonoNanos();
   asobs::Gauge* queued_gauge = nullptr;
   asobs::LatencyHistogram* queue_wait_hist = nullptr;
+  // Live iff `workflow_name` has a fresh migration tombstone (call under
+  // mutex_): the workflow is not gone, it moved shards.
+  auto migrated_away = [&]() {
+    auto tomb = migrated_out_.find(workflow_name);
+    return tomb != migrated_out_.end() &&
+           asbase::MonoNanos() - tomb->second <= kMigrationTombstoneNanos;
+  };
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
     if (it == workflows_.end()) {
+      if (migrated_away()) {
+        // Raced the route flip: the workflow lives on another shard now.
+        *migrated = true;
+        return asbase::Unavailable("workflow '" + workflow_name +
+                                   "' migrated to another shard");
+      }
       return asbase::NotFound("no workflow named '" + workflow_name + "'");
     }
     Entry& entry = it->second;
@@ -940,6 +1043,14 @@ asbase::Status AsVisor::AdmitBlocking(const std::string& workflow_name,
       return asbase::Unavailable("watchdog draining");
     }
     if (!granted) {
+      if (migrated_away()) {
+        // Queue handoff: our ticket vanished because the workflow migrated
+        // mid-wait. *queue_wait_nanos already holds the wait paid here; the
+        // router carries it to the new shard so the total stays honest.
+        *migrated = true;
+        return asbase::Unavailable("workflow '" + workflow_name +
+                                   "' migrated while queued");
+      }
       return asbase::NotFound("workflow '" + workflow_name +
                               "' re-registered while queued");
     }
@@ -1106,7 +1217,8 @@ asbase::Status AsVisor::StartWatchdog(uint16_t port, ServingOptions serving) {
   return started;
 }
 
-ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
+ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request,
+                                           int64_t carried_queue_wait_nanos) {
   ashttp::HttpResponse response;
   if (serving_pool_ == nullptr) {
     response.status = 503;
@@ -1144,10 +1256,25 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
   }
   int64_t queue_wait_nanos = 0;
   int64_t predicted_wait_nanos = 0;
+  bool migrated = false;
   asbase::Status admitted = AdmitBlocking(name, budget_ms_override,
                                           &queue_wait_nanos,
-                                          &predicted_wait_nanos);
+                                          &predicted_wait_nanos, &migrated);
   if (!admitted.ok()) {
+    if (migrated) {
+      // The workflow moved shards (possibly while this request sat in the
+      // admission queue). 307 + marker headers: the router re-dispatches to
+      // the new owner, carrying the wait already paid; a direct client
+      // retries the same URL and the route lands it correctly.
+      response.status = 307;
+      response.reason = "Temporary Redirect";
+      response.headers["location"] = request.target;
+      response.headers["x-alloy-migrated"] = "1";
+      response.headers["x-alloy-queue-wait-ns"] =
+          std::to_string(carried_queue_wait_nanos + queue_wait_nanos);
+      response.body = admitted.ToString();
+      return response;
+    }
     if (admitted.code() == asbase::ErrorCode::kNotFound) {
       response.status = 404;
       response.reason = "Not Found";
@@ -1215,9 +1342,11 @@ ashttp::HttpResponse AsVisor::HandleInvoke(const ashttp::HttpRequest& request) {
     std::optional<asbase::Result<InvokeResult>> result;
   };
   auto pending = std::make_shared<Pending>();
-  serving_pool_->Submit([this, name, params, pending, queue_wait_nanos] {
+  const int64_t total_queue_wait_nanos =
+      carried_queue_wait_nanos + queue_wait_nanos;
+  serving_pool_->Submit([this, name, params, pending, total_queue_wait_nanos] {
     InvokeOptions invoke_options;
-    invoke_options.queue_wait_nanos = queue_wait_nanos;
+    invoke_options.queue_wait_nanos = total_queue_wait_nanos;
     auto invoked = Invoke(name, params, invoke_options);
     {
       std::lock_guard<std::mutex> lock(pending->mutex);

@@ -169,6 +169,50 @@ class AsVisor {
   // between shards without a double registration ever being visible.
   bool UnregisterWorkflow(const std::string& workflow_name);
 
+  // ---- live migration (elastic shard mesh, DESIGN.md §12) ----
+  // A workflow's registration as this shard holds it, copyable to another
+  // shard.
+  struct WorkflowRegistration {
+    WorkflowSpec spec;
+    WorkflowOptions options;
+  };
+  asbase::Result<WorkflowRegistration> GetRegistration(
+      const std::string& workflow_name) const;
+
+  // Migrate-out: removes the entry like UnregisterWorkflow, but leaves a
+  // short-lived tombstone so queued admissions (and requests racing the
+  // route flip) unwind as *migrated* rather than failed — the router
+  // re-queues them on the new owner instead of answering 404/503. Returns
+  // the old pool (already detached; the caller takes its warm WFDs via
+  // TakeWarmForHandoff and then Shutdowns it), or nullptr when the
+  // workflow was not registered here.
+  std::shared_ptr<WfdPool> MigrateOut(const std::string& workflow_name);
+
+  // Receiving side of the warm-pool handoff: parks the WFDs into
+  // `workflow_name`'s pool (evicting past capacity). WFDs built for the
+  // old shard keep their old core affinity — functional, re-pinned only
+  // when they age out; the alternative (rebooting them) is the cold start
+  // migration exists to avoid.
+  void AdoptWarmWfds(const std::string& workflow_name,
+                     std::vector<std::unique_ptr<Wfd>> wfds);
+
+  // Per-shard load snapshot — the rebalancer's input signal (sampled, so
+  // cheap: one mutex hold, no per-invocation cost).
+  struct WorkflowLoad {
+    std::string name;
+    int inflight = 0;
+    size_t queued = 0;
+    double service_ewma_nanos = 0;
+    bool pinned = false;  // pin_shard >= 0: the rebalancer must not move it
+  };
+  struct ShardLoad {
+    size_t inflight = 0;      // admitted invocations running now
+    size_t queued = 0;        // tickets parked across all admission queues
+    size_t max_inflight = 0;  // this shard's current budget slice
+    std::vector<WorkflowLoad> workflows;
+  };
+  ShardLoad LoadSnapshot() const;
+
   // Full JSON configuration: workflow spec (+"options": {"ramfs", "load_all",
   // "reference_passing", "inter_function_isolation", "heap_mb", "disk_mb",
   // "pool_size", "max_concurrency", "timeout_ms"}).
@@ -214,7 +258,15 @@ class AsVisor {
 
   // Serving-path entry points, public so the router's shared server can
   // dispatch to the owning shard without a cross-shard lock.
-  ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request);
+  // `carried_queue_wait_nanos` is queue time already spent on a previous
+  // shard when a migration handed this request off mid-queue; it is added
+  // to this shard's own queue wait so the invocation's trace and flight
+  // record show the true total. A request whose workflow migrated away
+  // mid-queue returns 307 with `x-alloy-migrated: 1` and its accumulated
+  // wait in `x-alloy-queue-wait-ns`; the router re-dispatches, a direct
+  // client treats it like any redirect.
+  ashttp::HttpResponse HandleInvoke(const ashttp::HttpRequest& request,
+                                    int64_t carried_queue_wait_nanos = 0);
   ashttp::HttpResponse ServeTrace(const std::string& target) const;
   // GET /debug/flight?workflow=&since= — recent flight records (all
   // workflows when the param is empty; since = MonoNanos cursor).
@@ -322,11 +374,16 @@ class AsVisor {
   // (workflow default, or budget_ms_override >= 0 from the request), else
   // reject kResourceExhausted. On rejection *predicted_wait_nanos carries
   // the prediction so the caller can compute Retry-After; on admission
-  // *queue_wait_nanos is the time actually spent queued.
+  // *queue_wait_nanos is the time actually spent queued. When the workflow
+  // migrated away (entry vanished with a live tombstone) the status is
+  // kUnavailable and *migrated is set — HandleInvoke answers with the
+  // redirect marker instead of a 503, and *queue_wait_nanos carries the
+  // wait already paid so the new shard can account it.
   asbase::Status AdmitBlocking(const std::string& workflow_name,
                                int64_t budget_ms_override,
                                int64_t* queue_wait_nanos,
-                               int64_t* predicted_wait_nanos);
+                               int64_t* predicted_wait_nanos,
+                               bool* migrated);
   // Wait the next arrival would see: (position) × service EWMA scaled by
   // the workflow's concurrency. Zero until a service-time sample exists.
   int64_t PredictedWaitNanosLocked(const Entry& entry) const;
@@ -390,6 +447,12 @@ class AsVisor {
   std::condition_variable admission_cv_;
   bool draining_ = false;  // guarded by mutex_; set by BeginDrain
   std::map<std::string, Entry> workflows_;
+  // Migration tombstones (guarded by mutex_): workflow -> MonoNanos of its
+  // MigrateOut. Lets queued waiters (and requests racing the route flip)
+  // distinguish "moved, retry elsewhere" from "gone, 404". Pruned lazily
+  // after kMigrationTombstoneNanos and erased by a re-registration.
+  std::map<std::string, int64_t> migrated_out_;
+  static constexpr int64_t kMigrationTombstoneNanos = 5'000'000'000;  // 5 s
   size_t inflight_global_ = 0;  // guarded by mutex_
   ServingOptions serving_;  // guarded by mutex_ (max_inflight can rebalance)
   std::unique_ptr<asbase::ThreadPool> serving_pool_;

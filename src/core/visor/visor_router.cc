@@ -3,15 +3,25 @@
 #include <algorithm>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/obs/rebalance.h"
 
 namespace alloy {
 namespace {
 
 constexpr size_t kVnodesPerShard = 64;
 constexpr size_t kMaxShards = 64;
+
+// A request follows at most this many internal migration redirects before
+// the 307 goes back to the client. Two covers the normal case (one
+// migration while queued, maybe one more racing the retry); anything past
+// that means the rebalancer is thrashing and the client's retry is the
+// better backstop.
+constexpr int kMaxMigrationHops = 4;
 
 // FNV-1a 64-bit with a murmur-style finalizer. Deterministic across builds
 // and platforms, unlike std::hash — shard placement must be stable so a
@@ -98,13 +108,49 @@ size_t ShardSlice(size_t total, size_t shard, size_t shard_count) {
 
 AsVisorRouter::AsVisorRouter(RouterOptions options) {
   const size_t shard_count = ResolveShardCount(options.shards);
+  min_shards_ = std::min(std::max<size_t>(1, options.min_shards), shard_count);
+  max_shards_ = options.max_shards == 0
+                    ? shard_count
+                    : std::min(options.max_shards, kMaxShards);
+  max_shards_ = std::max(max_shards_, shard_count);
+  rebalancer_options_ = RebalancerOptions::FromEnv(options.rebalancer);
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
-    AsVisor::ShardIdentity identity;
-    identity.index = static_cast<int>(i);
-    identity.cpus = ShardCpus(i, shard_count);
-    shards_.push_back(std::make_unique<AsVisor>(std::move(identity)));
+    shards_.push_back(MakeShard(i, shard_count));
   }
+  RebuildRingLocked(shard_count);
+  asobs::Registry& registry = asobs::Registry::Global();
+  migrations_ = &registry.GetCounter("alloy_rebalance_migrations_total", {});
+  scale_ups_ = &registry.GetCounter("alloy_rebalance_scale_ups_total", {});
+  scale_downs_ = &registry.GetCounter("alloy_rebalance_scale_downs_total", {});
+  queue_handoffs_ =
+      &registry.GetCounter("alloy_rebalance_queue_handoffs_total", {});
+  shards_gauge_ = &registry.GetGauge("alloy_rebalance_shards", {});
+  shards_gauge_->Set(static_cast<int64_t>(shard_count));
+}
+
+AsVisorRouter::~AsVisorRouter() {
+  StopWatchdog();
+  // Join every shard's pool warmer in index order (each shard joins its own
+  // pools in workflow-name order) so teardown is deterministic.
+  for (const auto& shard : SnapshotShards()) {
+    shard->ShutdownPools();
+  }
+}
+
+std::shared_ptr<AsVisor> AsVisorRouter::MakeShard(size_t index,
+                                                  size_t shard_count) const {
+  AsVisor::ShardIdentity identity;
+  identity.index = static_cast<int>(index);
+  identity.cpus = ShardCpus(index, shard_count);
+  return std::make_shared<AsVisor>(std::move(identity));
+}
+
+void AsVisorRouter::RebuildRingLocked(size_t shard_count) {
+  // Vnode hashes depend only on (shard, vnode), so the ring for N shards is
+  // a strict subset of the ring for N+1: changing the count moves only the
+  // keys the added/removed vnodes own — ~1/(N+1) of them.
+  ring_.clear();
   ring_.reserve(shard_count * kVnodesPerShard);
   for (size_t i = 0; i < shard_count; ++i) {
     for (size_t v = 0; v < kVnodesPerShard; ++v) {
@@ -119,16 +165,22 @@ AsVisorRouter::AsVisorRouter(RouterOptions options) {
             });
 }
 
-AsVisorRouter::~AsVisorRouter() {
-  StopWatchdog();
-  // Join every shard's pool warmer in index order (each shard joins its own
-  // pools in workflow-name order) so teardown is deterministic.
-  for (const auto& shard : shards_) {
-    shard->ShutdownPools();
-  }
+size_t AsVisorRouter::shard_count() const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return shards_.size();
 }
 
-size_t AsVisorRouter::HashShard(const std::string& workflow_name) const {
+std::shared_ptr<AsVisor> AsVisorRouter::ShardPtr(size_t index) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return shards_[std::min(index, shards_.size() - 1)];
+}
+
+std::vector<std::shared_ptr<AsVisor>> AsVisorRouter::SnapshotShards() const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return shards_;
+}
+
+size_t AsVisorRouter::HashShardLocked(const std::string& workflow_name) const {
   const uint64_t hash = Fnv1a(workflow_name);
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), hash,
@@ -139,15 +191,31 @@ size_t AsVisorRouter::HashShard(const std::string& workflow_name) const {
   return it->shard;
 }
 
+size_t AsVisorRouter::HashShard(const std::string& workflow_name) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return HashShardLocked(workflow_name);
+}
+
 size_t AsVisorRouter::ShardOf(const std::string& workflow_name) const {
-  {
-    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
-    auto it = routes_.find(workflow_name);
-    if (it != routes_.end()) {
-      return it->second;
-    }
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  auto it = routes_.find(workflow_name);
+  if (it != routes_.end()) {
+    return std::min(it->second, shards_.size() - 1);
   }
-  return HashShard(workflow_name);
+  return HashShardLocked(workflow_name);
+}
+
+std::shared_ptr<AsVisor> AsVisorRouter::ResolveShard(
+    const std::string& workflow_name) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  size_t index;
+  auto it = routes_.find(workflow_name);
+  if (it != routes_.end()) {
+    index = std::min(it->second, shards_.size() - 1);
+  } else {
+    index = HashShardLocked(workflow_name);
+  }
+  return shards_[index];
 }
 
 void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec) {
@@ -156,13 +224,15 @@ void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec) {
 
 void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec,
                                      AsVisor::WorkflowOptions options) {
-  const size_t target = options.pin_shard >= 0
-                            ? static_cast<size_t>(options.pin_shard) %
-                                  shards_.size()
-                            : HashShard(spec.name);
-  size_t previous = target;
+  std::shared_ptr<AsVisor> target_shard;
+  std::shared_ptr<AsVisor> previous_shard;
   {
     std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    const size_t target =
+        options.pin_shard >= 0
+            ? static_cast<size_t>(options.pin_shard) % shards_.size()
+            : HashShardLocked(spec.name);
+    size_t previous = target;
     auto it = routes_.find(spec.name);
     if (it != routes_.end()) {
       previous = it->second;
@@ -170,14 +240,18 @@ void AsVisorRouter::RegisterWorkflow(const WorkflowSpec& spec,
     } else {
       routes_.emplace(spec.name, target);
     }
+    if (previous != target && previous < shards_.size()) {
+      previous_shard = shards_[previous];
+    }
+    target_shard = shards_[target];
   }
-  if (previous != target) {
+  if (previous_shard != nullptr) {
     // Placement changed (new pin, or pin dropped): migrate — the old
     // shard's entry (queued tickets, warm pool) goes away before the new
     // one exists, so the workflow is never registered twice.
-    shards_[previous]->UnregisterWorkflow(spec.name);
+    previous_shard->UnregisterWorkflow(spec.name);
   }
-  shards_[target]->RegisterWorkflow(spec, std::move(options));
+  target_shard->RegisterWorkflow(spec, std::move(options));
 }
 
 asbase::Status AsVisorRouter::RegisterWorkflowFromJson(
@@ -188,12 +262,14 @@ asbase::Status AsVisorRouter::RegisterWorkflowFromJson(
   if (opts.is_object() && opts["pin_shard"].is_number()) {
     pin_shard = static_cast<int>(opts["pin_shard"].as_int());
   }
-  const size_t target =
-      pin_shard >= 0 ? static_cast<size_t>(pin_shard) % shards_.size()
-                     : HashShard(spec.name);
-  size_t previous = target;
+  std::shared_ptr<AsVisor> target_shard;
+  std::shared_ptr<AsVisor> previous_shard;
   {
     std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    const size_t target =
+        pin_shard >= 0 ? static_cast<size_t>(pin_shard) % shards_.size()
+                       : HashShardLocked(spec.name);
+    size_t previous = target;
     auto it = routes_.find(spec.name);
     if (it != routes_.end()) {
       previous = it->second;
@@ -201,37 +277,52 @@ asbase::Status AsVisorRouter::RegisterWorkflowFromJson(
     } else {
       routes_.emplace(spec.name, target);
     }
+    if (previous != target && previous < shards_.size()) {
+      previous_shard = shards_[previous];
+    }
+    target_shard = shards_[target];
   }
-  if (previous != target) {
-    shards_[previous]->UnregisterWorkflow(spec.name);
+  if (previous_shard != nullptr) {
+    previous_shard->UnregisterWorkflow(spec.name);
   }
-  return shards_[target]->RegisterWorkflowFromJson(config);
+  return target_shard->RegisterWorkflowFromJson(config);
 }
 
 bool AsVisorRouter::UnregisterWorkflow(const std::string& workflow_name) {
-  size_t owner = shards_.size();
+  std::shared_ptr<AsVisor> owner;
   {
     std::unique_lock<std::shared_mutex> lock(routes_mutex_);
     auto it = routes_.find(workflow_name);
     if (it == routes_.end()) {
       return false;
     }
-    owner = it->second;
+    owner = shards_[std::min(it->second, shards_.size() - 1)];
     routes_.erase(it);
   }
-  return shards_[owner]->UnregisterWorkflow(workflow_name);
+  return owner->UnregisterWorkflow(workflow_name);
 }
 
 asbase::Result<InvokeResult> AsVisorRouter::Invoke(
     const std::string& workflow_name, const asbase::Json& params) {
-  return shards_[ShardOf(workflow_name)]->Invoke(workflow_name, params);
+  return Invoke(workflow_name, params, AsVisor::InvokeOptions{});
 }
 
 asbase::Result<InvokeResult> AsVisorRouter::Invoke(
     const std::string& workflow_name, const asbase::Json& params,
     const AsVisor::InvokeOptions& options) {
-  return shards_[ShardOf(workflow_name)]->Invoke(workflow_name, params,
-                                                 options);
+  std::shared_ptr<AsVisor> shard = ResolveShard(workflow_name);
+  auto result = shard->Invoke(workflow_name, params, options);
+  if (!result.ok() &&
+      result.status().code() == asbase::ErrorCode::kNotFound) {
+    // A migration may have raced the resolve: the route flipped after we
+    // copied the shard pointer. One re-resolve covers it; a second NotFound
+    // is a genuinely unknown workflow.
+    std::shared_ptr<AsVisor> again = ResolveShard(workflow_name);
+    if (again != shard) {
+      return again->Invoke(workflow_name, params, options);
+    }
+  }
+  return result;
 }
 
 // --------------------------------------------------------------- watchdog
@@ -249,16 +340,20 @@ asbase::Status AsVisorRouter::StartWatchdog(uint16_t port,
     return asbase::InvalidArgument(
         "worker_threads and max_inflight must be >= 1");
   }
-  serving_total_ = serving;
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    serving_total_ = serving;
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
     AsVisor::ServingOptions slice = serving;
-    slice.max_inflight = ShardSlice(serving.max_inflight, i, shards_.size());
+    slice.max_inflight = ShardSlice(serving.max_inflight, i, shards.size());
     slice.worker_threads =
-        ShardSlice(serving.worker_threads, i, shards_.size());
-    asbase::Status started = shards_[i]->StartServing(slice);
+        ShardSlice(serving.worker_threads, i, shards.size());
+    asbase::Status started = shards[i]->StartServing(slice);
     if (!started.ok()) {
       for (size_t j = 0; j < i; ++j) {
-        shards_[j]->StopServing();
+        shards[j]->StopServing();
       }
       return started;
     }
@@ -310,6 +405,12 @@ asbase::Status AsVisorRouter::StartWatchdog(uint16_t port,
   if (!started.ok()) {
     server_.reset();
     StopWatchdog();
+    return started;
+  }
+  serving_active_.store(true, std::memory_order_release);
+  if (rebalancer_options_.enabled) {
+    rebalancer_ = std::make_unique<ShardRebalancer>(this, rebalancer_options_);
+    rebalancer_->Start();
   }
   return started;
 }
@@ -321,7 +422,27 @@ ashttp::HttpResponse AsVisorRouter::Dispatch(
   // Routing is the only shared step on the hot path, and it takes a read
   // lock at most — an unregistered name falls through to the hash shard,
   // which answers 404 itself.
-  return shards_[ShardOf(name)]->HandleInvoke(request);
+  int64_t carried_wait_nanos = 0;
+  ashttp::HttpResponse response;
+  for (int hop = 0; hop < kMaxMigrationHops; ++hop) {
+    response = ResolveShard(name)->HandleInvoke(request, carried_wait_nanos);
+    if (response.status != 307 ||
+        response.headers.find("x-alloy-migrated") == response.headers.end()) {
+      return response;
+    }
+    // Queue handoff: the workflow migrated while this request was queued
+    // (or racing the route flip). Re-dispatch to the new owner, carrying
+    // the queue wait already paid so the invocation's trace and flight
+    // record stay honest about the total.
+    queue_handoffs_->Add(1);
+    auto wait = response.headers.find("x-alloy-queue-wait-ns");
+    if (wait != response.headers.end()) {
+      carried_wait_nanos = std::atoll(wait->second.c_str());
+    }
+  }
+  // Hop budget exhausted (the mesh is thrashing): surface the redirect to
+  // the client, whose retry re-enters with a fresh budget.
+  return response;
 }
 
 ashttp::HttpResponse AsVisorRouter::ServeTrace(
@@ -332,7 +453,7 @@ ashttp::HttpResponse AsVisorRouter::ServeTrace(
     response.status = 400;
     response.reason = "Bad Request";
     std::string names;
-    for (const auto& shard : shards_) {
+    for (const auto& shard : SnapshotShards()) {
       for (const std::string& name : shard->WorkflowNames()) {
         names += names.empty() ? name : ", " + name;
       }
@@ -340,7 +461,7 @@ ashttp::HttpResponse AsVisorRouter::ServeTrace(
     response.body = "usage: /trace?workflow=<name>; registered: " + names;
     return response;
   }
-  return shards_[ShardOf(workflow)]->ServeTrace(target);
+  return ResolveShard(workflow)->ServeTrace(target);
 }
 
 ashttp::HttpResponse AsVisorRouter::ServeReadyz() const {
@@ -348,8 +469,9 @@ ashttp::HttpResponse AsVisorRouter::ServeReadyz() const {
   asbase::Json doc;
   asbase::Json per_shard{asbase::JsonArray{}};
   bool any_draining = false;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const bool draining = shards_[i]->draining();
+  const std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const bool draining = shards[i]->draining();
     any_draining = any_draining || draining;
     asbase::Json row;
     row.Set("shard", static_cast<int64_t>(i));
@@ -370,7 +492,7 @@ ashttp::HttpResponse AsVisorRouter::ServeReadyz() const {
 std::vector<asobs::FlightRecord> AsVisorRouter::MergedFlight(
     int64_t since_nanos) const {
   std::vector<asobs::FlightRecord> merged;
-  for (const auto& shard : shards_) {
+  for (const auto& shard : SnapshotShards()) {
     std::vector<asobs::FlightRecord> records =
         shard->flight().Snapshot("", since_nanos);
     merged.insert(merged.end(), std::make_move_iterator(records.begin()),
@@ -388,20 +510,25 @@ ashttp::HttpResponse AsVisorRouter::ServeFlight(
   const std::string workflow = QueryParam(target, "workflow");
   if (!workflow.empty()) {
     // The workflow lives on exactly one shard; its ring has every record.
-    return shards_[ShardOf(workflow)]->ServeFlight(target);
+    return ResolveShard(workflow)->ServeFlight(target);
   }
   const std::string since = QueryParam(target, "since");
   const int64_t since_nanos = since.empty() ? 0 : std::atoll(since.c_str());
   asbase::Json doc = asobs::FlightReportJson(MergedFlight(since_nanos));
   uint64_t recorded = 0;
   uint64_t dropped = 0;
-  for (const auto& shard : shards_) {
+  const std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
+  for (const auto& shard : shards) {
     recorded += shard->flight().recorded();
     dropped += shard->flight().dropped();
   }
   doc.Set("recorded", static_cast<int64_t>(recorded));
   doc.Set("dropped", static_cast<int64_t>(dropped));
-  doc.Set("shards", static_cast<int64_t>(shards_.size()));
+  doc.Set("shards", static_cast<int64_t>(shards.size()));
+  // Control-plane context: the reslice/migration/scale that explains a
+  // latency step rides along with the records it affected.
+  doc.Set("rebalance_events",
+          asobs::RebalanceLog::Global().ToJson(since_nanos));
   ashttp::HttpResponse response;
   response.headers["content-type"] = "application/json";
   response.body = doc.Dump();
@@ -412,7 +539,7 @@ ashttp::HttpResponse AsVisorRouter::ServeLatency(
     const std::string& target) const {
   const std::string workflow = QueryParam(target, "workflow");
   if (!workflow.empty()) {
-    return shards_[ShardOf(workflow)]->ServeLatency(target);
+    return ResolveShard(workflow)->ServeLatency(target);
   }
   asbase::Json doc = asobs::LatencyAttributionJson(MergedFlight(0));
   ashttp::HttpResponse response;
@@ -426,10 +553,18 @@ uint16_t AsVisorRouter::watchdog_port() const {
 }
 
 void AsVisorRouter::StopWatchdog() {
+  // Phase 0: stop the control loop first — a rebalance action mid-teardown
+  // would race the drains below.
+  if (rebalancer_ != nullptr) {
+    rebalancer_->Stop();
+    rebalancer_.reset();
+  }
+  serving_active_.store(false, std::memory_order_release);
+  const std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
   // Phase 1: flip every shard to draining (index order, non-blocking) so
   // queued admissions across ALL shards start unwinding with 503 before any
   // join below can wait on them.
-  for (const auto& shard : shards_) {
+  for (const auto& shard : shards) {
     shard->BeginDrain();
   }
   // Phase 2: stop the shared server — joins its connection threads, whose
@@ -439,27 +574,264 @@ void AsVisorRouter::StopWatchdog() {
     server_.reset();
   }
   // Phase 3: drain + destroy each shard's worker pool, index order.
-  for (const auto& shard : shards_) {
+  for (const auto& shard : shards) {
     shard->StopServing();
   }
 }
 
 void AsVisorRouter::SetMaxInflightTotal(size_t max_inflight) {
-  serving_total_.max_inflight = std::max<size_t>(1, max_inflight);
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->SetMaxInflight(
-        ShardSlice(serving_total_.max_inflight, i, shards_.size()));
+  std::vector<std::shared_ptr<AsVisor>> shards;
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    serving_total_.max_inflight = std::max<size_t>(1, max_inflight);
+    max_inflight = serving_total_.max_inflight;
+    shards = shards_;
   }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    shards[i]->SetMaxInflight(ShardSlice(max_inflight, i, shards.size()));
+  }
+}
+
+size_t AsVisorRouter::max_inflight_total() const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  return serving_total_.max_inflight;
+}
+
+// --------------------------------------------- elastic mesh (DESIGN.md §12)
+
+std::vector<AsVisor::ShardLoad> AsVisorRouter::ShardLoads() const {
+  const std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
+  std::vector<AsVisor::ShardLoad> loads;
+  loads.reserve(shards.size());
+  for (const auto& shard : shards) {
+    loads.push_back(shard->LoadSnapshot());
+  }
+  return loads;
+}
+
+bool AsVisorRouter::SetShardSlices(const std::vector<size_t>& slices) {
+  const std::vector<std::shared_ptr<AsVisor>> shards = SnapshotShards();
+  if (slices.size() != shards.size()) {
+    return false;  // a scale raced the caller's snapshot; skip this pass
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    shards[i]->SetMaxInflight(slices[i]);
+  }
+  return true;
+}
+
+asbase::Status AsVisorRouter::MigrateWorkflow(const std::string& workflow_name,
+                                              size_t to_shard) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  return MigrateWorkflowInternal(workflow_name, to_shard);
+}
+
+asbase::Status AsVisorRouter::MigrateWorkflowInternal(
+    const std::string& workflow_name, size_t to_shard) {
+  std::shared_ptr<AsVisor> from;
+  std::shared_ptr<AsVisor> to;
+  size_t from_index = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    if (to_shard >= shards_.size()) {
+      return asbase::InvalidArgument("no shard " + std::to_string(to_shard));
+    }
+    auto it = routes_.find(workflow_name);
+    if (it == routes_.end()) {
+      return asbase::NotFound("no workflow named '" + workflow_name + "'");
+    }
+    from_index = std::min(it->second, shards_.size() - 1);
+    if (from_index == to_shard) {
+      return asbase::OkStatus();  // already there
+    }
+    from = shards_[from_index];
+    to = shards_[to_shard];
+  }
+  AS_ASSIGN_OR_RETURN(AsVisor::WorkflowRegistration registration,
+                      from->GetRegistration(workflow_name));
+  // The old shard stamped its core slice into the WFD options at
+  // registration; clear it so the new shard applies its own. An explicit
+  // caller-chosen affinity (different from the shard slice) survives.
+  if (registration.options.wfd.cpu_affinity == from->shard_cpus()) {
+    registration.options.wfd.cpu_affinity.clear();
+  }
+  // A pin follows the migration — otherwise the next re-register would
+  // bounce the workflow straight back.
+  if (registration.options.pin_shard >= 0) {
+    registration.options.pin_shard = static_cast<int>(to_shard);
+  }
+  // Order is the whole trick (no stranded requests, no 404 window):
+  //  1. register on the NEW shard — the workflow is now servable there;
+  //  2. flip the route — fresh arrivals go to the new owner;
+  //  3. MigrateOut on the OLD shard — queued waiters wake against the
+  //     tombstone, unwind as migrated, and the router re-dispatches them to
+  //     the new owner (Dispatch's 307 loop), queue wait carried.
+  to->RegisterWorkflow(registration.spec, registration.options);
+  {
+    std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+    auto it = routes_.find(workflow_name);
+    if (it != routes_.end() && it->second == from_index) {
+      it->second = to_shard;
+    }
+  }
+  size_t warm_moved = 0;
+  std::shared_ptr<WfdPool> old_pool = from->MigrateOut(workflow_name);
+  if (old_pool != nullptr) {
+    // 4. hand the warm pool over: the WFDs survive the move, so the first
+    // invocations on the new shard are warm starts, not a cold-start storm.
+    std::vector<std::unique_ptr<Wfd>> wfds = old_pool->TakeWarmForHandoff();
+    warm_moved = wfds.size();
+    to->AdoptWarmWfds(workflow_name, std::move(wfds));
+    old_pool->Shutdown();
+  }
+  migrations_->Add(1);
+  asobs::RebalanceEvent event;
+  event.kind = asobs::RebalanceKind::kMigrate;
+  event.from_shard = static_cast<int32_t>(from_index);
+  event.to_shard = static_cast<int32_t>(to_shard);
+  event.workflow = workflow_name;
+  event.detail = "warm_wfds=" + std::to_string(warm_moved);
+  asobs::RebalanceLog::Global().Record(std::move(event));
+  AS_LOG(kInfo) << "migrated '" << workflow_name << "' shard " << from_index
+                << " -> " << to_shard << " (" << warm_moved << " warm WFDs)";
+  return asbase::OkStatus();
+}
+
+asbase::Status AsVisorRouter::ScaleTo(size_t target) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  target = std::min(std::max(target, min_shards_), max_shards_);
+  size_t old_count;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    old_count = shards_.size();
+  }
+  if (target == old_count) {
+    return asbase::OkStatus();
+  }
+
+  // name -> destination shard for every workflow whose placement moves.
+  std::vector<std::pair<std::string, size_t>> moves;
+
+  if (target > old_count) {
+    // Scale UP. Build + start the new shards before they become routable.
+    // New shards take core slices modulo the NEW count; existing shards
+    // keep their slices (re-pinning live stage workers isn't worth it) —
+    // overlap resolves as WFDs age out.
+    std::vector<std::shared_ptr<AsVisor>> fresh;
+    const size_t total_workers = [&] {
+      std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+      return serving_total_.worker_threads;
+    }();
+    for (size_t i = old_count; i < target; ++i) {
+      std::shared_ptr<AsVisor> shard = MakeShard(i, target);
+      if (serving_active_.load(std::memory_order_acquire)) {
+        AsVisor::ServingOptions slice;
+        {
+          std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+          slice = serving_total_;
+        }
+        slice.worker_threads = ShardSlice(total_workers, i, target);
+        slice.max_inflight = ShardSlice(slice.max_inflight, i, target);
+        AS_RETURN_IF_ERROR(shard->StartServing(slice));
+      }
+      fresh.push_back(std::move(shard));
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+      for (auto& shard : fresh) {
+        shards_.push_back(std::move(shard));
+      }
+      RebuildRingLocked(target);
+      // The new vnodes claim ~1/(N+1) of the keyspace; migrate exactly the
+      // registered workflows whose hash home moved (pins stay put).
+      for (const auto& [name, owner] : routes_) {
+        const size_t home = HashShardLocked(name);
+        if (home == owner) {
+          continue;
+        }
+        auto registration = shards_[owner]->GetRegistration(name);
+        if (registration.ok() && registration->options.pin_shard < 0) {
+          moves.emplace_back(name, home);
+        }
+      }
+    }
+  } else {
+    // Scale DOWN. Shrink the ring first so hash lookups for unrouted names
+    // already land on survivors, then evacuate the doomed shards while they
+    // still serve (queued waiters hand off via migration tombstones).
+    {
+      std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+      RebuildRingLocked(target);
+      for (const auto& [name, owner] : routes_) {
+        if (owner < target) {
+          continue;  // survivor-owned keys never move (subset ring)
+        }
+        auto registration = shards_[owner]->GetRegistration(name);
+        size_t home;
+        if (registration.ok() && registration->options.pin_shard >= 0) {
+          home = static_cast<size_t>(registration->options.pin_shard) % target;
+        } else {
+          home = HashShardLocked(name);
+        }
+        moves.emplace_back(name, home);
+      }
+    }
+  }
+
+  for (const auto& [name, destination] : moves) {
+    asbase::Status migrated = MigrateWorkflowInternal(name, destination);
+    if (!migrated.ok()) {
+      AS_LOG(kWarn) << "scale migration of '" << name << "' failed ("
+                    << migrated.ToString() << ")";
+    }
+  }
+
+  if (target < old_count) {
+    // Evacuated: detach the doomed shards, then drain them. In-flight
+    // requests still hold shard shared_ptrs from Dispatch and finish
+    // normally inside StopServing's join.
+    std::vector<std::shared_ptr<AsVisor>> doomed;
+    {
+      std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+      for (size_t i = target; i < shards_.size(); ++i) {
+        doomed.push_back(shards_[i]);
+      }
+      shards_.resize(target);
+    }
+    for (const auto& shard : doomed) {
+      shard->BeginDrain();
+    }
+    for (const auto& shard : doomed) {
+      shard->StopServing();
+      shard->ShutdownPools();
+    }
+  }
+
+  // Back to even slices across the new mesh; the rebalancer re-skews them
+  // next tick if demand still warrants it.
+  SetMaxInflightTotal(max_inflight_total());
+  shards_gauge_->Set(static_cast<int64_t>(target));
+  asobs::RebalanceEvent event;
+  event.kind = target > old_count ? asobs::RebalanceKind::kScaleUp
+                                  : asobs::RebalanceKind::kScaleDown;
+  event.detail = "shards " + std::to_string(old_count) + " -> " +
+                 std::to_string(target) + ", " + std::to_string(moves.size()) +
+                 " workflows moved";
+  asobs::RebalanceLog::Global().Record(std::move(event));
+  (target > old_count ? scale_ups_ : scale_downs_)->Add(1);
+  AS_LOG(kInfo) << "scaled shard mesh " << old_count << " -> " << target
+                << " (" << moves.size() << " workflows moved)";
+  return asbase::OkStatus();
 }
 
 asbase::Result<asbase::Histogram> AsVisorRouter::LatencyHistogram(
     const std::string& workflow_name) const {
-  return shards_[ShardOf(workflow_name)]->LatencyHistogram(workflow_name);
+  return ResolveShard(workflow_name)->LatencyHistogram(workflow_name);
 }
 
 asbase::Result<size_t> AsVisorRouter::WarmWfdCount(
     const std::string& workflow_name) const {
-  return shards_[ShardOf(workflow_name)]->WarmWfdCount(workflow_name);
+  return ResolveShard(workflow_name)->WarmWfdCount(workflow_name);
 }
 
 }  // namespace alloy

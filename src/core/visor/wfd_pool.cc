@@ -175,6 +175,37 @@ void WfdPool::AbandonLease() {
   warmer_cv_.notify_all();
 }
 
+std::vector<std::unique_ptr<Wfd>> WfdPool::TakeWarmForHandoff() {
+  std::vector<Parked> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken = TakeAllLocked();
+  }
+  // Not evictions: these WFDs keep living, in another pool.
+  std::vector<std::unique_ptr<Wfd>> wfds;
+  wfds.reserve(taken.size());
+  for (Parked& parked : taken) {
+    wfds.push_back(std::move(parked.wfd));
+  }
+  return wfds;
+}
+
+void WfdPool::AdoptWarm(std::unique_ptr<Wfd> wfd) {
+  if (wfd == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_activity_nanos_ = asbase::MonoNanos();
+    if (!stopping_ && warm_.size() < options_.capacity) {
+      AddWarmLocked(std::move(wfd));
+      return;
+    }
+  }
+  evictions_.Add(1);
+  wfd.reset();
+}
+
 void WfdPool::Clear() {
   std::vector<Parked> doomed;
   {

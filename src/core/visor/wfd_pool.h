@@ -99,6 +99,18 @@ class WfdPool {
   // phase, which the visor stamps itself).
   void RecordLease(int64_t lease_nanos) { lease_hist_.Record(lease_nanos); }
 
+  // Live-migration handoff (DESIGN.md §12): extracts every parked WFD,
+  // un-charging the resident gauge, WITHOUT counting evictions — the WFDs
+  // survive, they just change pools. The caller (router migration) hands
+  // them to the new shard's pool via AdoptWarm and then Shutdowns this one.
+  std::vector<std::unique_ptr<Wfd>> TakeWarmForHandoff();
+
+  // Parks a WFD that was never leased from this pool — the receiving side
+  // of a migration handoff. No lease accounting moves (there was no
+  // TryAcquireWarm); a full pool destroys the WFD and counts an eviction,
+  // exactly as Park would.
+  void AdoptWarm(std::unique_ptr<Wfd> wfd);
+
   // Destroys every parked WFD (workflow re-registration, shutdown).
   // Counted as evictions.
   void Clear();

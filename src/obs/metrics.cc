@@ -64,6 +64,12 @@ constexpr struct {
     {"alloy_visor_traces_retained_total", MetricType::kCounter},
     {"alloy_slo_burn_rate", MetricType::kGauge},
     {"alloy_slo_blackbox_snapshots_total", MetricType::kCounter},
+    {"alloy_rebalance_reslices_total", MetricType::kCounter},
+    {"alloy_rebalance_migrations_total", MetricType::kCounter},
+    {"alloy_rebalance_scale_ups_total", MetricType::kCounter},
+    {"alloy_rebalance_scale_downs_total", MetricType::kCounter},
+    {"alloy_rebalance_shards", MetricType::kGauge},
+    {"alloy_rebalance_queue_handoffs_total", MetricType::kCounter},
     {"alloy_orch_thread_spawns_total", MetricType::kCounter},
     {"alloy_orch_dispatch_nanos", MetricType::kSummary},
     {"alloy_libos_module_loads_total", MetricType::kCounter},

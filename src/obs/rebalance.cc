@@ -1,0 +1,85 @@
+#include "src/obs/rebalance.h"
+
+#include "src/common/clock.h"
+
+namespace asobs {
+
+const char* RebalanceKindName(RebalanceKind kind) {
+  switch (kind) {
+    case RebalanceKind::kReslice:
+      return "reslice";
+    case RebalanceKind::kMigrate:
+      return "migrate";
+    case RebalanceKind::kScaleUp:
+      return "scale_up";
+    case RebalanceKind::kScaleDown:
+      return "scale_down";
+  }
+  return "unknown";
+}
+
+asbase::Json RebalanceEvent::ToJson() const {
+  asbase::Json doc;
+  doc.Set("mono_nanos", mono_nanos);
+  doc.Set("wall_micros", wall_micros);
+  doc.Set("kind", RebalanceKindName(kind));
+  doc.Set("from_shard", static_cast<int64_t>(from_shard));
+  doc.Set("to_shard", static_cast<int64_t>(to_shard));
+  if (!workflow.empty()) {
+    doc.Set("workflow", workflow);
+  }
+  doc.Set("detail", detail);
+  return doc;
+}
+
+RebalanceLog& RebalanceLog::Global() {
+  static RebalanceLog* log = new RebalanceLog();
+  return *log;
+}
+
+void RebalanceLog::Record(RebalanceEvent event) {
+  if (event.mono_nanos == 0) {
+    event.mono_nanos = asbase::MonoNanos();
+  }
+  if (event.wall_micros == 0) {
+    event.wall_micros = asbase::WallMicros();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+  ++recorded_;
+  while (events_.size() > kCapacity) {
+    events_.pop_front();
+  }
+}
+
+std::vector<RebalanceEvent> RebalanceLog::Snapshot(int64_t since_nanos) const {
+  std::vector<RebalanceEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(events_.size());
+  for (const RebalanceEvent& event : events_) {
+    if (event.mono_nanos > since_nanos) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+asbase::Json RebalanceLog::ToJson(int64_t since_nanos) const {
+  asbase::Json events{asbase::JsonArray{}};
+  for (const RebalanceEvent& event : Snapshot(since_nanos)) {
+    events.Append(event.ToJson());
+  }
+  return events;
+}
+
+uint64_t RebalanceLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void RebalanceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace asobs

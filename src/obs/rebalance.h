@@ -1,0 +1,81 @@
+// asobs rebalance log: a small process-global ring of control-plane events
+// (DESIGN.md §12).
+//
+// The elastic shard mesh moves things at runtime — in-flight budget slices,
+// whole workflows, the shard count itself. Each action is rare but changes
+// how every latency number after it should be read: a p99 step at t is
+// noise unless you can see the migration at t-50ms. The rebalance log keeps
+// the last kCapacity control actions (kind, shards involved, workflow, a
+// human-readable detail line) so they can ride along wherever invocation
+// evidence is served: the router appends them to `/debug/flight` responses
+// and the SLO watchdog embeds them in black-box snapshots.
+//
+// Unlike the flight recorder this is not a hot path — at most a few events
+// per second, written by the rebalancer's control thread — so a plain mutex
+// ring is the right tool; no seqlock heroics.
+
+#ifndef SRC_OBS_REBALANCE_H_
+#define SRC_OBS_REBALANCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace asobs {
+
+enum class RebalanceKind : uint32_t {
+  kReslice = 0,    // in-flight budget slices re-divided across shards
+  kMigrate = 1,    // a workflow moved between shards (queue handed off)
+  kScaleUp = 2,    // a shard added to the mesh
+  kScaleDown = 3,  // a shard drained and removed
+};
+
+const char* RebalanceKindName(RebalanceKind kind);
+
+struct RebalanceEvent {
+  int64_t mono_nanos = 0;   // asbase::MonoNanos at the time of the action
+  int64_t wall_micros = 0;  // wall clock, for cross-host correlation
+  RebalanceKind kind = RebalanceKind::kReslice;
+  int32_t from_shard = -1;  // source shard (migrate / scale-down), else -1
+  int32_t to_shard = -1;    // target shard (migrate / scale-up), else -1
+  std::string workflow;     // migrations only
+  std::string detail;       // e.g. "slices 8/8/8/8 -> 20/4/4/4"
+
+  asbase::Json ToJson() const;
+};
+
+class RebalanceLog {
+ public:
+  static constexpr size_t kCapacity = 128;
+
+  // The process-wide log the router's rebalancer writes and every evidence
+  // endpoint reads. One per process matches one registry / one blackbox dir.
+  static RebalanceLog& Global();
+
+  void Record(RebalanceEvent event);
+
+  // Events with mono_nanos > since_nanos, oldest first.
+  std::vector<RebalanceEvent> Snapshot(int64_t since_nanos = 0) const;
+
+  // JSON array of Snapshot(since_nanos) — the "rebalance_events" payload in
+  // /debug/flight and black-box snapshots.
+  asbase::Json ToJson(int64_t since_nanos = 0) const;
+
+  uint64_t recorded() const;
+
+  // Tests only: drop all events (the global log outlives each router).
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<RebalanceEvent> events_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace asobs
+
+#endif  // SRC_OBS_REBALANCE_H_
