@@ -35,6 +35,10 @@ ALLOY_VISOR_SHARDS=4 ctest --test-dir "${BUILD}-tsan" -L serving --output-on-fai
 # seqlock test — the torn-read protocol is only proven if TSan sees it.
 ctest --test-dir "${BUILD}-tsan" -L obs --output-on-failure
 ctest --test-dir "${BUILD}-tsan" -L netstack --output-on-failure
+# The http label is the epoll edge reactor: reactor threads vs the handler
+# worker pool vs Stop()'s settle protocol — keep-alive, pipelining, the
+# connection cap, and idle reaping all run under the race detector.
+ctest --test-dir "${BUILD}-tsan" -L http --output-on-failure
 
 echo "==> serving + dataplane + sharding + obs-overhead bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)

@@ -10,9 +10,14 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/http/parser.h"
 
 namespace ashttp {
 namespace {
+
+// Bodies on the blocking helper path (clients, netstack serving). The
+// reactor path uses HttpServerOptions::max_body_bytes instead.
+constexpr size_t kBlockingMaxBody = 64u << 20;
 
 std::string ToLower(std::string s) {
   for (char& c : s) {
@@ -74,7 +79,11 @@ asbase::Status ReadBody(ByteStream& stream,
   size_t content_length = 0;
   auto it = headers.find("content-length");
   if (it != headers.end()) {
-    content_length = static_cast<size_t>(std::stoull(it->second));
+    // The seed fed the raw header to std::stoull — a non-numeric or
+    // overflowing value threw out of a server thread and took the whole
+    // process down. Validate instead and bound what we will buffer.
+    AS_ASSIGN_OR_RETURN(content_length,
+                        ParseContentLength(it->second, kBlockingMaxBody));
   }
   *body = std::move(leftover);
   if (body->size() > content_length) {
@@ -134,7 +143,10 @@ asbase::Status AsnetStream::Write(std::span<const uint8_t> data) {
 // --------------------------------------------------------------- messages
 
 std::string Serialize(const HttpRequest& request) {
-  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  const std::string version =
+      request.version.empty() ? "HTTP/1.1" : request.version;
+  std::string out =
+      request.method + " " + request.target + " " + version + "\r\n";
   bool has_length = false;
   for (const auto& [key, value] : request.headers) {
     out += key + ": " + value + "\r\n";
@@ -163,28 +175,30 @@ std::string Serialize(const HttpResponse& response) {
 }
 
 asbase::Result<HttpRequest> ReadRequest(ByteStream& stream) {
-  AS_ASSIGN_OR_RETURN(auto head_pair, ReadHead(stream));
-  auto& [head, leftover] = head_pair;
-  const size_t line_end = head.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? head : head.substr(0, line_end);
-
-  HttpRequest request;
-  const size_t sp1 = request_line.find(' ');
-  const size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    return asbase::InvalidArgument("malformed request line");
+  // Blocking shim over the reactor's incremental parser: feed until the
+  // first complete request. Bytes past it (a pipelined next request) are
+  // discarded with the parser — the blocking path is one-message-at-a-time,
+  // exactly like the seed's ReadHead/ReadBody pair.
+  RequestParser::Limits limits;
+  limits.max_body_bytes = kBlockingMaxBody;
+  limits.max_header_bytes = 1u << 20;
+  RequestParser parser(limits);
+  std::vector<HttpRequest> completed;
+  uint8_t buffer[8192];
+  while (true) {
+    AS_ASSIGN_OR_RETURN(size_t n, stream.Read(buffer));
+    if (n == 0) {
+      return parser.idle()
+                 ? asbase::Unavailable(
+                       "connection closed before headers complete")
+                 : asbase::Unavailable("connection closed mid-request");
+    }
+    AS_RETURN_IF_ERROR(parser.Feed(
+        std::string_view(reinterpret_cast<char*>(buffer), n), &completed));
+    if (!completed.empty()) {
+      return std::move(completed.front());
+    }
   }
-  request.method = request_line.substr(0, sp1);
-  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (line_end != std::string::npos) {
-    AS_RETURN_IF_ERROR(ParseHeaders(head, line_end, &request.headers));
-  }
-  AS_RETURN_IF_ERROR(
-      ReadBody(stream, request.headers, std::move(leftover), &request.body));
-  return request;
 }
 
 asbase::Result<HttpResponse> ReadResponse(ByteStream& stream) {
@@ -210,101 +224,6 @@ asbase::Result<HttpResponse> ReadResponse(ByteStream& stream) {
   AS_RETURN_IF_ERROR(
       ReadBody(stream, response.headers, std::move(leftover), &response.body));
   return response;
-}
-
-// --------------------------------------------------------------- server
-
-HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
-
-HttpServer::~HttpServer() { Stop(); }
-
-asbase::Status HttpServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return asbase::Internal("socket() failed");
-  }
-  int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return asbase::Unavailable("bind failed on port " + std::to_string(port));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return asbase::Internal("listen failed");
-  }
-  running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return asbase::OkStatus();
-}
-
-void HttpServer::Stop() {
-  if (!running_.exchange(false)) {
-    return;
-  }
-  // Wake the accept loop with shutdown() alone; close only after the loop
-  // has exited. Closing first races the loop's read of listen_fd_, and a
-  // concurrently opened fd could be assigned the same number and accepted
-  // on by mistake.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  std::lock_guard<std::mutex> lock(workers_mutex_);
-  for (auto& worker : workers_) {
-    worker.join();
-  }
-  workers_.clear();
-}
-
-void HttpServer::AcceptLoop() {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (running_.load()) {
-        continue;
-      }
-      break;
-    }
-    int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, fd] {
-      HostStream stream(fd);  // closes fd on destruction
-      while (true) {
-        auto request = ReadRequest(stream);
-        if (!request.ok()) {
-          break;  // closed or malformed; drop the connection
-        }
-        HttpResponse response = handler_(*request);
-        std::string wire = Serialize(response);
-        if (!stream
-                 .Write(std::span<const uint8_t>(
-                     reinterpret_cast<const uint8_t*>(wire.data()),
-                     wire.size()))
-                 .ok()) {
-          break;
-        }
-        auto connection_header = request->headers.find("connection");
-        if (connection_header != request->headers.end() &&
-            connection_header->second == "close") {
-          break;
-        }
-      }
-    });
-  }
 }
 
 // --------------------------------------------------------------- client

@@ -7,8 +7,16 @@
 // the user-space stack, exactly like Figure 5's as-std HTTP client.
 //
 // Supported subset: request line + headers + Content-Length bodies,
-// Connection: close semantics, status lines on responses. No chunked
-// encoding, no pipelining.
+// case-insensitive Connection token lists (HTTP/1.0 defaults to close),
+// status lines on responses. No chunked encoding.
+//
+// The server is an epoll reactor (src/http/server.cc): non-blocking
+// accept + per-connection incremental parsing (src/http/parser.h) with
+// HTTP/1.1 keep-alive and pipelining, buffered non-blocking writes, a
+// connection cap with idle reaping, and a bounded worker pool for handler
+// execution — no thread-per-connection anywhere. The blocking
+// ReadRequest/ReadResponse helpers remain for clients and for serving over
+// the user-space netstack.
 
 #ifndef SRC_HTTP_HTTP_H_
 #define SRC_HTTP_HTTP_H_
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/netstack/stack.h"
 
 namespace ashttp {
@@ -62,6 +71,7 @@ class AsnetStream : public ByteStream {
 struct HttpRequest {
   std::string method = "GET";
   std::string target = "/";
+  std::string version = "HTTP/1.1";
   std::map<std::string, std::string> headers;  // lowercase keys
   std::string body;
 };
@@ -76,33 +86,85 @@ struct HttpResponse {
 std::string Serialize(const HttpRequest& request);
 std::string Serialize(const HttpResponse& response);
 
-// Reads one message from the stream (blocking).
+// Reads one message from the stream (blocking). Request parsing shares the
+// reactor's hardened incremental parser; bodies on this path are bounded at
+// 64 MiB.
 asbase::Result<HttpRequest> ReadRequest(ByteStream& stream);
 asbase::Result<HttpResponse> ReadResponse(ByteStream& stream);
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
-// Thread-per-connection server on a host TCP port (127.0.0.1).
+// Tuning for the edge reactor. The environment fallbacks let deployments
+// (and benches) size the edge without code changes; explicit options win.
+struct HttpServerOptions {
+  // Number of epoll reactor threads. Each owns a disjoint set of
+  // connections; the listener lives on reactor 0 and accepted connections
+  // are dealt round-robin. [env ALLOY_EDGE_REACTORS]
+  size_t reactors = 1;
+  // Handler worker threads. Parsed requests execute here, so a slow
+  // invocation occupies a worker, never a reactor. 0 = max(4, hardware
+  // concurrency). [env ALLOY_EDGE_WORKERS]
+  size_t workers = 0;
+  // Concurrent connection cap. Accepts past the cap answer 503 and close.
+  // [env ALLOY_EDGE_MAX_CONNS]
+  size_t max_connections = 4096;
+  // Connections idle (no partial request, nothing in flight) longer than
+  // this are reaped. 0 disables. [env ALLOY_EDGE_IDLE_TIMEOUT_MS]
+  int64_t idle_timeout_ms = 60000;
+  // Per-request parse limits (431/413 + close past them).
+  // [env ALLOY_EDGE_MAX_BODY_BYTES for the body bound]
+  size_t max_header_bytes = 64u << 10;
+  size_t max_body_bytes = 8u << 20;
+  // Per-connection backpressure: stop reading while this many parsed
+  // requests await dispatch, or while more than max_buffered_out response
+  // bytes await the socket.
+  size_t max_pipeline_depth = 32;
+  size_t max_buffered_out = 1u << 20;
+
+  // Defaults with any ALLOY_EDGE_* environment overrides applied.
+  static HttpServerOptions FromEnv();
+};
+
+namespace internal {
+class EdgeReactor;      // src/http/server.cc
+struct EdgeConnection;  // src/http/server.cc
+}
+
+// Epoll keep-alive HTTP server on a host TCP port (127.0.0.1).
 class HttpServer {
  public:
   // port 0 picks a free port; see port() after Start().
+  // The single-argument form applies HttpServerOptions::FromEnv().
   explicit HttpServer(HttpHandler handler);
+  HttpServer(HttpHandler handler, HttpServerOptions options);
   ~HttpServer();
 
   asbase::Status Start(uint16_t port = 0);
   void Stop();
   uint16_t port() const { return port_; }
 
+  // Live accepted connections (tests / introspection).
+  size_t active_connections() const;
+
  private:
-  void AcceptLoop();
+  friend class internal::EdgeReactor;
+  friend struct internal::EdgeConnection;
 
   HttpHandler handler_;
+  HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> accept_cursor_{0};  // round-robin reactor placement
+  // Responses owed to clients: dispatched handlers whose completion hasn't
+  // been processed yet, plus connections holding unflushed response bytes.
+  // Stop() settles this to zero (bounded by a 5s cap) before tearing the
+  // reactors down, so drain-time 503s actually reach their clients.
+  std::atomic<int64_t> settle_debt_{0};
+  std::vector<std::unique_ptr<internal::EdgeReactor>> reactors_;
+  std::unique_ptr<asbase::ThreadPool> workers_;
 };
 
 // One-shot client against a host TCP server.

@@ -86,6 +86,12 @@ constexpr struct {
     {"alloy_net_poll_iterations_total", MetricType::kCounter},
     {"alloy_net_rx_dropped_total", MetricType::kCounter},
     {"alloy_net_tx_backpressure_nanos", MetricType::kSummary},
+    {"alloy_edge_connections", MetricType::kGauge},
+    {"alloy_edge_accepts_total", MetricType::kCounter},
+    {"alloy_edge_overflows_total", MetricType::kCounter},
+    {"alloy_edge_reaped_total", MetricType::kCounter},
+    {"alloy_edge_parse_errors_total", MetricType::kCounter},
+    {"alloy_edge_requests_total", MetricType::kCounter},
     {"alloy_fs_read_ops_total", MetricType::kCounter},
     {"alloy_fs_write_ops_total", MetricType::kCounter},
     {"alloy_fs_read_bytes_total", MetricType::kCounter},
