@@ -1,0 +1,76 @@
+#include "src/alloc/buffer_pool.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace asalloc {
+namespace {
+
+struct PoolCounters {
+  asobs::Counter& take_fresh;
+  asobs::Counter& take_reused;
+  asobs::Counter& recycled;
+};
+
+PoolCounters& Counters() {
+  static auto* counters = new PoolCounters{
+      asobs::Registry::Global().GetCounter("alloy_net_rx_pool_blocks_total",
+                                           {{"op", "alloc"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_pool_blocks_total",
+                                           {{"op", "reuse"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_pool_blocks_total",
+                                           {{"op", "recycle"}}),
+  };
+  return *counters;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(size_t block_bytes, size_t max_free_blocks)
+    : block_bytes_(block_bytes), free_list_(std::make_shared<FreeList>()) {
+  free_list_->max_blocks = max_free_blocks;
+}
+
+BufferPool::BlockRef BufferPool::Take() {
+  std::unique_ptr<uint8_t[]> storage;
+  {
+    std::lock_guard<std::mutex> lock(free_list_->mutex);
+    if (!free_list_->blocks.empty()) {
+      storage = std::move(free_list_->blocks.back());
+      free_list_->blocks.pop_back();
+    }
+  }
+  if (storage != nullptr) {
+    Counters().take_reused.Add(1);
+  } else {
+    storage = std::make_unique<uint8_t[]>(block_bytes_);
+    Counters().take_fresh.Add(1);
+  }
+  uint8_t* raw = storage.release();
+  std::weak_ptr<FreeList> weak_list = free_list_;
+  return BlockRef(raw, [weak_list](uint8_t* p) {
+    std::unique_ptr<uint8_t[]> reclaimed(p);
+    if (auto list = weak_list.lock()) {
+      std::lock_guard<std::mutex> lock(list->mutex);
+      if (list->blocks.size() < list->max_blocks) {
+        list->blocks.push_back(std::move(reclaimed));
+        Counters().recycled.Add(1);
+        return;
+      }
+    }
+    // Pool gone or freelist full: plain free via `reclaimed`.
+  });
+}
+
+size_t BufferPool::free_blocks() const {
+  std::lock_guard<std::mutex> lock(free_list_->mutex);
+  return free_list_->blocks.size();
+}
+
+BufferPool& BufferPool::Global() {
+  static auto* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace asalloc

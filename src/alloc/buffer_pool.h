@@ -1,0 +1,63 @@
+// Pool of fixed-size refcounted receive blocks.
+//
+// The netstack's RX path lands reassembled TCP payload straight into these
+// blocks and hands them to as-std *by reference* (RecvZeroCopy): the reader
+// holds a `BlockRef` for exactly as long as it looks at the bytes, and the
+// storage goes back to the freelist when the last reference drops — the RX
+// half of the zero-copy data path (DESIGN.md). Blocks are shared between a
+// connection's landing cursor, its reassembly queue, and any number of
+// readers, so the refcount is the only ownership protocol.
+
+#ifndef SRC_ALLOC_BUFFER_POOL_H_
+#define SRC_ALLOC_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace asalloc {
+
+class BufferPool {
+ public:
+  // A refcounted view of one pool block's storage. The aliasing shared_ptr
+  // keeps the recycle deleter alive; data() is stable for the ref's lifetime.
+  using BlockRef = std::shared_ptr<uint8_t[]>;
+
+  explicit BufferPool(size_t block_bytes = kDefaultBlockBytes,
+                      size_t max_free_blocks = kDefaultMaxFreeBlocks);
+
+  // Hands out a block (freelist hit or fresh allocation). The returned ref
+  // recycles the storage into the freelist when the last holder drops it —
+  // even if that happens after the pool is gone (the freelist is shared,
+  // orphaned storage is simply freed).
+  BlockRef Take();
+
+  size_t block_bytes() const { return block_bytes_; }
+  // Observability for tests: blocks currently parked in the freelist.
+  size_t free_blocks() const;
+
+  // Process-wide pool the netstack lands RX payload into. Leaked on purpose:
+  // BlockRefs inside still-queued frames may outlive any particular stack.
+  static BufferPool& Global();
+
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+  static constexpr size_t kDefaultMaxFreeBlocks = 256;
+
+ private:
+  // Shared with every outstanding BlockRef deleter, so recycling keeps
+  // working (or degrades to plain free) regardless of pool lifetime.
+  struct FreeList {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<uint8_t[]>> blocks;
+    size_t max_blocks;
+  };
+
+  size_t block_bytes_;
+  std::shared_ptr<FreeList> free_list_;
+};
+
+}  // namespace asalloc
+
+#endif  // SRC_ALLOC_BUFFER_POOL_H_

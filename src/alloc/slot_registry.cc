@@ -1,8 +1,95 @@
 #include "src/alloc/slot_registry.h"
 
+#include <atomic>
+#include <cassert>
+
+#include "src/common/logging.h"
 #include "src/obs/metrics.h"
 
 namespace asalloc {
+namespace {
+
+std::atomic<bool> abort_on_pinned_release{true};
+
+}  // namespace
+
+// Pin bookkeeping shared between the registry and every outstanding pin
+// handle: handles may outlive the registry (frames queued in the fabric
+// after the sending WFD is torn down), so the table is jointly owned.
+struct SlotRegistry::PinTable {
+  mutable std::mutex mutex;
+  // addr -> live pin count over that buffer.
+  std::unordered_map<uintptr_t, size_t> pins;
+};
+
+SlotRegistry::SlotRegistry() : pin_table_(std::make_shared<PinTable>()) {}
+
+SlotRegistry::~SlotRegistry() = default;
+
+std::shared_ptr<const void> SlotRegistry::PinForTx(uintptr_t addr,
+                                                   size_t size) {
+  std::shared_ptr<PinTable> table = pin_table_;
+  {
+    std::lock_guard<std::mutex> lock(table->mutex);
+    ++table->pins[addr];
+  }
+  asobs::Registry::Global()
+      .GetCounter("alloy_asbuffer_tx_pins_total")
+      .Add(1);
+  asobs::Registry::Global().GetGauge("alloy_asbuffer_tx_pinned").Add(1);
+  // The handle owns the table, so release works even after the registry
+  // (and its WFD) are gone.
+  return std::shared_ptr<const void>(
+      reinterpret_cast<const void*>(addr), [table, addr](const void*) {
+        {
+          std::lock_guard<std::mutex> lock(table->mutex);
+          auto it = table->pins.find(addr);
+          if (it != table->pins.end() && --it->second == 0) {
+            table->pins.erase(it);
+          }
+        }
+        asobs::Registry::Global().GetGauge("alloy_asbuffer_tx_pinned").Add(-1);
+      });
+}
+
+bool SlotRegistry::IsPinnedForTx(uintptr_t addr) const {
+  std::lock_guard<std::mutex> lock(pin_table_->mutex);
+  return pin_table_->pins.count(addr) > 0;
+}
+
+size_t SlotRegistry::TxPinnedBuffers() const {
+  std::lock_guard<std::mutex> lock(pin_table_->mutex);
+  return pin_table_->pins.size();
+}
+
+bool SlotRegistry::CheckReleasable(uintptr_t addr) const {
+  size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(pin_table_->mutex);
+    auto it = pin_table_->pins.find(addr);
+    if (it != pin_table_->pins.end()) {
+      live = it->second;
+    }
+  }
+  if (live == 0) {
+    return true;
+  }
+  asobs::Registry::Global()
+      .GetCounter("alloy_asbuffer_pinned_release_total")
+      .Add(1);
+  AS_LOG(kError) << "releasing buffer @" << addr << " with " << live
+                 << " live TX pin(s): the netstack still references this "
+                    "memory (leaked pin or teardown-order bug)";
+  if (abort_on_pinned_release.load(std::memory_order_relaxed)) {
+    assert(false && "buffer released with live TX pins");
+  }
+  return false;
+}
+
+void SlotRegistry::set_abort_on_pinned_release(bool abort_on_violation) {
+  abort_on_pinned_release.store(abort_on_violation,
+                                std::memory_order_relaxed);
+}
 
 asbase::Status SlotRegistry::Register(const std::string& slot,
                                       BufferRecord record) {

@@ -10,6 +10,7 @@
 #define SRC_ALLOC_SLOT_REGISTRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,10 @@ struct BufferRecord {
 
 class SlotRegistry {
  public:
+  // Out of line: the pin table is an incomplete type here.
+  SlotRegistry();
+  ~SlotRegistry();
+
   // Fails with kAlreadyExists if the slot is occupied (a sender must not
   // silently clobber data a receiver has not consumed).
   asbase::Status Register(const std::string& slot, BufferRecord record);
@@ -47,9 +52,35 @@ class SlotRegistry {
   std::vector<std::string> SlotNames() const;
   void Clear();
 
+  // ---- TX pinning (zero-copy netstack sends) ----
+  //
+  // `SlotRegistry` is the authority on slot-buffer ownership, so it also
+  // tracks which buffers the netstack currently holds by reference. A pin
+  // refcounts `[addr, addr+size)`: the TCP send queue and every in-flight
+  // frame share the handle, and the count drops when the covering ACK (or
+  // connection teardown) releases the last reference. Handles stay valid
+  // past the registry's lifetime — they own the shared pin table, and
+  // orphaned releases just decay to no-ops.
+  std::shared_ptr<const void> PinForTx(uintptr_t addr, size_t size);
+  bool IsPinnedForTx(uintptr_t addr) const;
+  size_t TxPinnedBuffers() const;
+
+  // Owners call this immediately before freeing or recycling buffer memory.
+  // Returns false — and records `alloy_asbuffer_pinned_release_total` (plus
+  // a debug assert) — when live TX pins still cover `addr`: a leaked pin
+  // would otherwise re-read freed memory on retransmit, silently.
+  bool CheckReleasable(uintptr_t addr) const;
+
+  // Tests flip this off to exercise the violation path (metric + log)
+  // without tripping the debug assert; production leaves it armed.
+  static void set_abort_on_pinned_release(bool abort_on_violation);
+
  private:
+  struct PinTable;
+
   mutable std::mutex mutex_;
   std::unordered_map<std::string, BufferRecord> slots_;
+  std::shared_ptr<PinTable> pin_table_;
 };
 
 // FNV-1a over a type's stable name; as-std uses this to fingerprint

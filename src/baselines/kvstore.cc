@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -37,15 +38,28 @@ bool ReadExact(int fd, void* buffer, size_t len) {
   return true;
 }
 
-bool WriteExact(int fd, const void* buffer, size_t len) {
-  size_t done = 0;
-  while (done < len) {
-    ssize_t n = ::send(fd, static_cast<const char*>(buffer) + done,
-                       len - done, MSG_NOSIGNAL);
+// Gather-writes all iovecs, resuming after partial writes. One syscall per
+// message in the common case instead of one per field — the kernel-socket
+// mirror of the netstack's gather TX path.
+bool WritevExact(int fd, struct iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n <= 0) {
       return false;
     }
-    done += static_cast<size_t>(n);
+    size_t sent = static_cast<size_t>(n);
+    while (iovcnt > 0 && sent >= iov->iov_len) {
+      sent -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && sent > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + sent;
+      iov->iov_len -= sent;
+    }
   }
   return true;
 }
@@ -199,9 +213,13 @@ void KvServer::ServeConnection(int fd) {
           status = 255;
       }
     }
-    const uint32_t reply_len = static_cast<uint32_t>(reply.size());
-    if (!WriteExact(fd, &status, 1) || !WriteExact(fd, &reply_len, 4) ||
-        (reply_len > 0 && !WriteExact(fd, reply.data(), reply_len))) {
+    uint32_t reply_len = static_cast<uint32_t>(reply.size());
+    struct iovec iov[3] = {
+        {&status, 1},
+        {&reply_len, 4},
+        {reply.data(), reply.size()},
+    };
+    if (!WritevExact(fd, iov, reply_len > 0 ? 3 : 2)) {
       break;
     }
   }
@@ -235,12 +253,16 @@ KvClient::~KvClient() {
 
 asbase::Result<std::vector<uint8_t>> KvClient::Call(
     uint8_t op, const std::string& key, std::span<const uint8_t> value) {
-  const uint32_t key_len = static_cast<uint32_t>(key.size());
-  const uint32_t value_len = static_cast<uint32_t>(value.size());
-  if (!WriteExact(fd_, &op, 1) || !WriteExact(fd_, &key_len, 4) ||
-      !WriteExact(fd_, key.data(), key.size()) ||
-      !WriteExact(fd_, &value_len, 4) ||
-      (value_len > 0 && !WriteExact(fd_, value.data(), value.size()))) {
+  uint32_t key_len = static_cast<uint32_t>(key.size());
+  uint32_t value_len = static_cast<uint32_t>(value.size());
+  struct iovec iov[5] = {
+      {&op, 1},
+      {&key_len, 4},
+      {const_cast<char*>(key.data()), key.size()},
+      {&value_len, 4},
+      {const_cast<uint8_t*>(value.data()), value.size()},
+  };
+  if (!WritevExact(fd_, iov, value_len > 0 ? 5 : 4)) {
     return asbase::Unavailable("kv connection lost (send)");
   }
   uint8_t status;

@@ -146,6 +146,23 @@ asbase::Result<std::unique_ptr<asnet::TcpConnection>> AsStd::Connect(
   return connection;
 }
 
+asbase::Result<size_t> AsStd::SendZeroCopy(asnet::TcpConnection& connection,
+                                           const RawBuffer& buffer) {
+  AS_ASSIGN_OR_RETURN(std::shared_ptr<const void> pin, Syscall([&] {
+                        return wfd_->libos().PinTxBuffer(buffer.bytes.data(),
+                                                         buffer.bytes.size());
+                      }));
+  return connection.SendZeroCopy(buffer.bytes, std::move(pin));
+}
+
+asbase::Result<asnet::RxChunk> AsStd::RecvZeroCopy(
+    asnet::TcpConnection& connection) {
+  // The connection blocks on stack state, not LibOS state, so no trampoline
+  // crossing is needed — but count it as a syscall like Recv-through-fd.
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  return connection.RecvZeroCopy();
+}
+
 asbase::Result<RawBuffer> AsStd::AllocBuffer(const std::string& slot,
                                              size_t size,
                                              uint64_t fingerprint) {

@@ -91,6 +91,18 @@ class AsStd {
   asbase::Result<std::unique_ptr<asnet::TcpListener>> Bind(uint16_t port);
   asbase::Result<std::unique_ptr<asnet::TcpConnection>> Connect(
       asnet::Ipv4Addr dst, uint16_t port);
+  // Zero-copy send of a slot-backed buffer: pins the heap memory in the
+  // LibOS (so freeing it while the netstack still references it is loudly
+  // visible) and hands the bytes to the stack by reference — the segment
+  // builder gather-writes frames straight from the slot, no payload memcpy.
+  // The pin is released when the covering ACK arrives or the connection
+  // tears down. Blocking semantics match connection.Send.
+  asbase::Result<size_t> SendZeroCopy(asnet::TcpConnection& connection,
+                                      const RawBuffer& buffer);
+  // Zero-copy receive: the front pool-owned extent by reference (no copy);
+  // `bytes.empty()` signals EOF. Use connection.Recv for contiguity.
+  asbase::Result<asnet::RxChunk> RecvZeroCopy(
+      asnet::TcpConnection& connection);
 
   // ---- intermediate data (reference passing, §5) ----
   // Sender side: allocate `size` bytes on the WFD heap under `slot`.

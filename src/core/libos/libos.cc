@@ -301,21 +301,11 @@ asbase::Status Libos::ResetForReuse() {
       AS_RETURN_IF_ERROR(Munmap(reinterpret_cast<void*>(base)));
     }
   }
-  // Unconsumed slot buffers (a producer ran but its consumer never
-  // acquired): return the memory to the allocator so repeated warm
-  // invocations cannot leak the heap dry.
-  if (mm_ != nullptr) {
-    for (const std::string& slot : mm_->slots.SlotNames()) {
-      auto record = mm_->slots.Peek(slot);
-      if (!record.ok()) {
-        continue;  // raced with a concurrent consumer; nothing to free
-      }
-      AS_RETURN_IF_ERROR(mm_->slots.Remove(slot));
-      std::lock_guard<std::mutex> lock(mm_->mutex);
-      mm_->allocator.Deallocate(reinterpret_cast<void*>(record->addr));
-    }
-  }
-  // Open fds: close files (stdio entries 0-2 persist with the fdtab).
+  // Open fds next — and strictly before slot buffers are freed: dropping a
+  // connection entry tears the TCP connection down (waiting briefly for a
+  // clean close), which releases any zero-copy TX pins still covering slot
+  // memory. Freeing the slots first would rip pinned memory out from under
+  // in-flight frames. Files close too (stdio entries 0-2 persist).
   if (fdtab_ != nullptr) {
     std::vector<int> handles;
     {
@@ -330,6 +320,26 @@ asbase::Status Libos::ResetForReuse() {
     }
     for (int handle : handles) {
       AS_RETURN_IF_ERROR(fs_->fs->Close(handle));
+    }
+  }
+  // Unconsumed slot buffers (a producer ran but its consumer never
+  // acquired): return the memory to the allocator so repeated warm
+  // invocations cannot leak the heap dry. CheckReleasable makes a pin that
+  // somehow survived connection teardown loud instead of a silent
+  // use-after-free on retransmit.
+  if (mm_ != nullptr) {
+    for (const std::string& slot : mm_->slots.SlotNames()) {
+      auto record = mm_->slots.Peek(slot);
+      if (!record.ok()) {
+        continue;  // raced with a concurrent consumer; nothing to free
+      }
+      AS_RETURN_IF_ERROR(mm_->slots.Remove(slot));
+      if (!mm_->slots.CheckReleasable(record->addr)) {
+        return asbase::FailedPrecondition(
+            "slot buffer still pinned by the netstack at reset");
+      }
+      std::lock_guard<std::mutex> lock(mm_->mutex);
+      mm_->allocator.Deallocate(reinterpret_cast<void*>(record->addr));
     }
   }
   return asbase::OkStatus();
@@ -409,9 +419,18 @@ asbase::Result<void*> Libos::HeapAllocate(size_t size, size_t align) {
 
 asbase::Status Libos::HeapFree(void* ptr) {
   AS_ASSIGN_OR_RETURN(MmModule * mm, RequireMm());
+  // Freeing memory the netstack still sends from is a bug in the caller;
+  // surface it (metric + log + debug assert) rather than free silently.
+  mm->slots.CheckReleasable(reinterpret_cast<uintptr_t>(ptr));
   std::lock_guard<std::mutex> lock(mm->mutex);
   mm->allocator.Deallocate(ptr);
   return asbase::OkStatus();
+}
+
+asbase::Result<std::shared_ptr<const void>> Libos::PinTxBuffer(void* addr,
+                                                               size_t size) {
+  AS_ASSIGN_OR_RETURN(MmModule * mm, RequireMm());
+  return mm->slots.PinForTx(reinterpret_cast<uintptr_t>(addr), size);
 }
 
 asbase::Result<asalloc::LinkedListAllocator::Stats> Libos::HeapStats() {

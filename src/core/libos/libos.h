@@ -109,6 +109,12 @@ class Libos {
                                 size_t size, uint64_t fingerprint);
   asbase::Result<void*> HeapAllocate(size_t size, size_t align = 16);
   asbase::Status HeapFree(void* ptr);
+  // Pins a heap buffer for zero-copy TX: the netstack gather-writes frames
+  // straight from this memory and holds the returned handle until the
+  // covering ACK (or teardown). Tracked in the slot registry so freeing the
+  // buffer while pinned is loudly visible.
+  asbase::Result<std::shared_ptr<const void>> PinTxBuffer(void* addr,
+                                                          size_t size);
   asbase::Result<asalloc::LinkedListAllocator::Stats> HeapStats();
   size_t PendingSlots() const;
 

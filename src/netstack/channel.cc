@@ -52,7 +52,7 @@ void VirtualSwitch::Detach(Ipv4Addr addr) {
 
 void VirtualSwitch::Route(Packet packet) {
   Ipv4Header header;
-  auto payload = ParseIpv4(packet, &header);
+  auto payload = ParseIpv4Packet(packet, &header);
   if (!payload.ok()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;

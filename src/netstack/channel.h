@@ -23,7 +23,9 @@
 
 namespace asnet {
 
-using Packet = std::vector<uint8_t>;
+// `Packet` (wire.h) is either a contiguous frame or a gather frame whose
+// payload rides by reference; the fabric treats both uniformly — duplicate
+// delivery copies the descriptor, which shares payload pins, not bytes.
 
 // Fault/latency model applied to every delivered packet.
 struct LinkModel {

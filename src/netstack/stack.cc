@@ -36,6 +36,21 @@ struct NetCounters {
   asobs::Counter& rx_dropped_bad_tcp;
   asobs::Counter& rx_dropped_bad_udp;
   asobs::Counter& rx_dropped_no_listener;
+  // Segments the reassembler declines to copy: out-of-order arrivals that
+  // go-back-N would discard anyway, and in-order payload past the receive
+  // buffer cap.
+  asobs::Counter& rx_dropped_out_of_order;
+  asobs::Counter& rx_dropped_window_full;
+  // TCP payload bytes by path: zerocopy = gather frames over pinned memory,
+  // copy = legacy contiguous segments. TX counts bytes put on the wire
+  // (retransmits included), RX counts bytes consumed by the reader.
+  asobs::Counter& tx_payload_zerocopy;
+  asobs::Counter& tx_payload_copy;
+  asobs::Counter& rx_payload_zerocopy;
+  asobs::Counter& rx_payload_copy;
+  // Zero-copy chunks still un-ACKed when their connection was torn down:
+  // the pin released at teardown instead of at the covering ACK.
+  asobs::Counter& tx_pins_aborted;
   // Time senders spent blocked on a full send buffer (kSendBufferCap).
   asobs::LatencyHistogram& tx_backpressure;
 };
@@ -57,6 +72,19 @@ NetCounters& Counters() {
                                            {{"reason", "bad_udp"}}),
       asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
                                            {{"reason", "no_listener"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "out_of_order"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_dropped_total",
+                                           {{"reason", "window_full"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_tx_bytes_total",
+                                           {{"path", "zerocopy"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_tx_bytes_total",
+                                           {{"path", "copy"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_bytes_total",
+                                           {{"path", "zerocopy"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_rx_bytes_total",
+                                           {{"path", "copy"}}),
+      asobs::Registry::Global().GetCounter("alloy_net_tx_pins_aborted_total"),
       asobs::Registry::Global().GetHistogram(
           "alloy_net_tx_backpressure_nanos"),
   };
@@ -219,6 +247,19 @@ void NetStack::DestroyTcbLocked(uint64_t id) {
     return;
   }
   Tcb& tcb = *it->second;
+  // Chunks still queued here are un-ACKed (the ACK trim pops acknowledged
+  // ones); their pins release on erase below — at teardown, not at the
+  // covering ACK. Count the zero-copy ones so leaked-looking early releases
+  // are visible.
+  size_t aborted_pins = 0;
+  for (const TxChunk& chunk : tcb.send_chunks) {
+    if (chunk.zerocopy) {
+      ++aborted_pins;
+    }
+  }
+  if (aborted_pins > 0) {
+    Counters().tx_pins_aborted.Add(aborted_pins);
+  }
   tcb_index_.erase({tcb.remote_ip, tcb.remote_port, tcb.local_port});
   tcbs_.erase(it);
 }
@@ -239,6 +280,110 @@ void NetStack::SendSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
   ip.proto = IpProto::kTcp;
   Transmit(BuildIpv4(ip, segment));
   ++stats_.segments_sent;
+}
+
+void NetStack::SendGatherSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
+                                       std::vector<PayloadRef> payload) {
+  TcpHeader header;
+  header.src_port = tcb.local_port;
+  header.dst_port = tcb.remote_port;
+  header.seq = seq;
+  header.ack = tcb.rcv_nxt;
+  header.flags = flags;
+  header.window = static_cast<uint16_t>(kWindow);
+  // checksum_offload: the fabric is an in-process queue, the NIC-offload
+  // analogue — no payload read for checksumming, no payload copy at all.
+  Transmit(BuildTcpPacket(addr(), tcb.remote_ip, header, std::move(payload),
+                          /*checksum_offload=*/true));
+  ++stats_.segments_sent;
+}
+
+size_t NetStack::TransmitChunkAtLocked(Tcb& tcb, uint32_t seq, size_t offset,
+                                       size_t limit) {
+  size_t skip = offset;
+  auto it = tcb.send_chunks.begin();
+  while (it != tcb.send_chunks.end() && skip >= it->bytes.size()) {
+    skip -= it->bytes.size();
+    ++it;
+  }
+  if (it == tcb.send_chunks.end() || limit == 0) {
+    return 0;
+  }
+  if (it->zerocopy) {
+    // Jumbo gather segment over consecutive pinned extents: the frame
+    // references slot memory directly; retransmission re-enters here and
+    // re-reads the same memory.
+    size_t budget = std::min(limit, kZeroCopySegBytes);
+    std::vector<PayloadRef> refs;
+    size_t total = 0;
+    while (it != tcb.send_chunks.end() && it->zerocopy && budget > 0) {
+      const size_t take = std::min(it->bytes.size() - skip, budget);
+      refs.push_back(PayloadRef{it->bytes.subspan(skip, take), it->pin});
+      total += take;
+      budget -= take;
+      skip = 0;
+      ++it;
+    }
+    SendGatherSegmentLocked(tcb, kTcpAck | kTcpPsh, seq, std::move(refs));
+    Counters().tx_payload_zerocopy.Add(total);
+    return total;
+  }
+  // Copying path: legacy contiguous MSS segment, assembled from consecutive
+  // copy chunks (stops at the first zero-copy chunk so paths never mix
+  // within one segment).
+  const size_t budget = std::min(limit, kMss);
+  std::vector<uint8_t> payload;
+  payload.reserve(budget);
+  while (it != tcb.send_chunks.end() && !it->zerocopy &&
+         payload.size() < budget) {
+    const size_t take =
+        std::min(it->bytes.size() - skip, budget - payload.size());
+    payload.insert(payload.end(), it->bytes.begin() + static_cast<long>(skip),
+                   it->bytes.begin() + static_cast<long>(skip + take));
+    skip = 0;
+    ++it;
+  }
+  SendSegmentLocked(tcb, kTcpAck | kTcpPsh, seq, payload);
+  Counters().tx_payload_copy.Add(payload.size());
+  return payload.size();
+}
+
+void NetStack::AppendRecvLocked(Tcb& tcb, std::span<const uint8_t> data) {
+  // Land the wire bytes into pool-owned blocks (the DMA-into-buffer step);
+  // readers take these blocks by reference via RecvZeroCopy, so this is the
+  // last copy the payload sees on the RX side.
+  asalloc::BufferPool& pool = asalloc::BufferPool::Global();
+  const size_t block_bytes = pool.block_bytes();
+  size_t done = 0;
+  while (done < data.size()) {
+    if (tcb.land_block == nullptr || tcb.land_fill == block_bytes) {
+      tcb.land_block = pool.Take();
+      tcb.land_fill = 0;
+    }
+    const size_t take =
+        std::min(data.size() - done, block_bytes - tcb.land_fill);
+    std::memcpy(tcb.land_block.get() + tcb.land_fill, data.data() + done,
+                take);
+    // Extend the previous slice when this lands flush against it in the
+    // same block — keeps RecvZeroCopy extents segment-spanningly large.
+    bool merged = false;
+    if (!tcb.recv_slices.empty()) {
+      RxSlice& back = tcb.recv_slices.back();
+      if (back.block == tcb.land_block &&
+          back.offset + back.length == tcb.land_fill) {
+        back.length += static_cast<uint32_t>(take);
+        merged = true;
+      }
+    }
+    if (!merged) {
+      tcb.recv_slices.push_back(RxSlice{tcb.land_block,
+                                        static_cast<uint32_t>(tcb.land_fill),
+                                        static_cast<uint32_t>(take)});
+    }
+    tcb.land_fill += take;
+    tcb.recv_bytes += take;
+    done += take;
+  }
 }
 
 void NetStack::SendRst(Ipv4Addr dst, uint16_t dst_port, uint16_t src_port,
@@ -265,13 +410,13 @@ void NetStack::PumpSendLocked(Tcb& tcb) {
       tcb.state != TcpState::kLastAck && tcb.state != TcpState::kClosing) {
     return;
   }
-  // `data_base` == seq of send_buffer.front() == snd_una (the buffer is
-  // trimmed exactly to snd_una on every ACK).
+  // `data_base` == seq of the first queued chunk byte == snd_una (the chunk
+  // queue is trimmed exactly to snd_una on every ACK).
   const uint32_t data_base = tcb.snd_una;
   const uint32_t fin_adjust = tcb.fin_sent ? 1 : 0;
   while (true) {
     const uint32_t sent_ahead = tcb.snd_nxt - data_base - fin_adjust;
-    if (sent_ahead >= tcb.send_buffer.size()) {
+    if (sent_ahead >= tcb.send_bytes) {
       break;  // everything queued has been transmitted at least once
     }
     const uint32_t inflight = tcb.snd_nxt - tcb.snd_una;
@@ -279,19 +424,18 @@ void NetStack::PumpSendLocked(Tcb& tcb) {
     if (inflight >= window) {
       break;
     }
-    const size_t chunk = std::min<size_t>(
-        {kMss, tcb.send_buffer.size() - sent_ahead,
-         static_cast<size_t>(window - inflight)});
-    std::vector<uint8_t> payload(chunk);
-    std::copy(tcb.send_buffer.begin() + sent_ahead,
-              tcb.send_buffer.begin() + sent_ahead + static_cast<long>(chunk),
-              payload.begin());
-    SendSegmentLocked(tcb, kTcpAck | kTcpPsh, tcb.snd_nxt, payload);
-    tcb.snd_nxt += chunk;
+    const size_t limit = std::min<size_t>(tcb.send_bytes - sent_ahead,
+                                          window - inflight);
+    const size_t sent =
+        TransmitChunkAtLocked(tcb, tcb.snd_nxt, sent_ahead, limit);
+    if (sent == 0) {
+      break;
+    }
+    tcb.snd_nxt += static_cast<uint32_t>(sent);
   }
 
   const bool all_data_sent =
-      (tcb.snd_nxt - data_base - fin_adjust) >= tcb.send_buffer.size();
+      (tcb.snd_nxt - data_base - fin_adjust) >= tcb.send_bytes;
   if (tcb.fin_queued && !tcb.fin_sent && all_data_sent) {
     SendSegmentLocked(tcb, kTcpFin | kTcpAck, tcb.snd_nxt, {});
     tcb.fin_sent = true;
@@ -370,7 +514,7 @@ void NetStack::HandlePacket(const Packet& packet) {
   counters.rx_packets.Add(1);
   counters.rx_bytes.Add(packet.size());
   Ipv4Header ip;
-  auto l4 = ParseIpv4(packet, &ip);
+  auto l4 = ParseIpv4Packet(packet, &ip);
   if (!l4.ok()) {
     counters.rx_dropped_bad_ipv4.Add(1);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -385,9 +529,10 @@ void NetStack::HandlePacket(const Packet& packet) {
   }
   switch (ip.proto) {
     case IpProto::kTcp:
-      HandleTcp(ip, *l4);
+      HandleTcp(ip, *l4, packet);
       break;
     case IpProto::kUdp:
+      // Only TCP data rides gather frames; UDP/ICMP are always contiguous.
       HandleUdp(ip, *l4);
       break;
     case IpProto::kIcmp:
@@ -396,16 +541,20 @@ void NetStack::HandlePacket(const Packet& packet) {
   }
 }
 
-void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4_head,
+                         const Packet& packet) {
   TcpHeader header;
-  auto payload_or = ParseTcp(ip.src, ip.dst, l4, &header);
+  auto payload_or = ParseTcpSegment(ip.src, ip.dst, l4_head, packet, &header);
   std::unique_lock<std::mutex> lock(mutex_);
   if (!payload_or.ok()) {
     Counters().rx_dropped_bad_tcp.Add(1);
     ++stats_.checksum_failures;
     return;
   }
+  // Inline payload (contiguous frames) — gather frames carry theirs in
+  // packet.refs(); `seg_len` is the segment's total payload either way.
   auto payload = *payload_or;
+  const size_t seg_len = payload.size() + packet.payload_ref_bytes();
   ++stats_.segments_received;
 
   Tcb* tcb = FindTcbLocked(ip.src, header.src_port, header.dst_port);
@@ -437,7 +586,7 @@ void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
     }
     if (!(header.flags & kTcpRst)) {
       SendRst(ip.src, header.src_port, header.dst_port, header.ack,
-              header.seq + static_cast<uint32_t>(payload.size()) + 1);
+              header.seq + static_cast<uint32_t>(seg_len) + 1);
     }
     return;
   }
@@ -499,10 +648,22 @@ void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
       if (tcb->fin_sent && header.ack == tcb->snd_nxt) {
         data_acked = acked - 1;
       }
-      data_acked = std::min<uint32_t>(data_acked, tcb->send_buffer.size());
-      tcb->send_buffer.erase(
-          tcb->send_buffer.begin(),
-          tcb->send_buffer.begin() + static_cast<long>(data_acked));
+      data_acked = std::min<uint32_t>(data_acked, tcb->send_bytes);
+      // Trim acknowledged chunks. Popping a fully-covered chunk drops its
+      // pin — for zero-copy sends this is the moment the AsBuffer slot is
+      // released (any duplicate frame still in flight keeps its own ref).
+      uint32_t remaining = data_acked;
+      while (remaining > 0) {
+        TxChunk& front = tcb->send_chunks.front();
+        if (front.bytes.size() <= remaining) {
+          remaining -= static_cast<uint32_t>(front.bytes.size());
+          tcb->send_chunks.pop_front();
+        } else {
+          front.bytes = front.bytes.subspan(remaining);
+          remaining = 0;
+        }
+      }
+      tcb->send_bytes -= data_acked;
       tcb->snd_una = header.ack;
       tcb->retries = 0;
       tcb->rto_deadline = 0;
@@ -524,23 +685,40 @@ void NetStack::HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   }
 
   // Payload processing (in-order only; go-back-N).
-  if (!payload.empty()) {
+  if (seg_len > 0) {
     if (header.seq == tcb->rcv_nxt && !tcb->peer_fin) {
-      tcb->recv_buffer.insert(tcb->recv_buffer.end(), payload.begin(),
-                              payload.end());
-      tcb->rcv_nxt += static_cast<uint32_t>(payload.size());
-      SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
-      cv_.notify_all();
+      if (tcb->recv_bytes + seg_len > kRecvBufferCap) {
+        // Receive buffer at cap: drop without copying — the sender's
+        // go-back-N retransmission recovers once the reader drains. The
+        // re-asserted cumulative ACK keeps the sender's clock ticking.
+        Counters().rx_dropped_window_full.Add(1);
+        SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+      } else {
+        if (!payload.empty()) {
+          AppendRecvLocked(*tcb, payload);
+        }
+        for (const PayloadRef& ref : packet.refs()) {
+          AppendRecvLocked(*tcb, ref.bytes);
+        }
+        tcb->rcv_nxt += static_cast<uint32_t>(seg_len);
+        SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
+        cv_.notify_all();
+      }
     } else {
-      // Duplicate or out-of-order: re-assert the cumulative ACK.
+      // Duplicate or out-of-order: go-back-N discards it regardless, so
+      // skip the copy entirely — count it and re-assert the cumulative ACK.
+      Counters().rx_dropped_out_of_order.Add(1);
       SendSegmentLocked(*tcb, kTcpAck, tcb->snd_nxt, {});
     }
   }
 
   // FIN processing.
   if (header.flags & kTcpFin) {
+    // A FIN rides after any payload the segment carried; if that payload
+    // was dropped above, rcv_nxt has not advanced and the FIN stays out of
+    // order — the peer retransmits it.
     const uint32_t fin_seq =
-        header.seq + static_cast<uint32_t>(payload.size());
+        header.seq + static_cast<uint32_t>(seg_len);
     if (fin_seq == tcb->rcv_nxt && !tcb->peer_fin) {
       tcb->peer_fin = true;
       tcb->rcv_nxt += 1;
@@ -639,13 +817,11 @@ void NetStack::CheckTimersLocked() {
       default: {
         const uint32_t unacked_data =
             std::min<uint32_t>(tcb.snd_nxt - tcb.snd_una,
-                               static_cast<uint32_t>(tcb.send_buffer.size()));
+                               static_cast<uint32_t>(tcb.send_bytes));
         if (unacked_data > 0) {
-          const size_t chunk = std::min<size_t>(kMss, unacked_data);
-          std::vector<uint8_t> payload(tcb.send_buffer.begin(),
-                                       tcb.send_buffer.begin() +
-                                           static_cast<long>(chunk));
-          SendSegmentLocked(tcb, kTcpAck | kTcpPsh, tcb.snd_una, payload);
+          // Go-back-N: resend one segment from snd_una. Zero-copy chunks
+          // re-read the still-pinned slot memory; no stash was kept.
+          TransmitChunkAtLocked(tcb, tcb.snd_una, 0, unacked_data);
         } else if (tcb.fin_sent && tcb.snd_una != tcb.snd_nxt) {
           SendSegmentLocked(tcb, kTcpFin | kTcpAck, tcb.snd_nxt - 1, {});
         }
@@ -683,7 +859,7 @@ asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out,
   }
   Tcb& tcb = *it->second;
   auto readable = [&] {
-    return !tcb.recv_buffer.empty() || tcb.peer_fin || tcb.aborted ||
+    return tcb.recv_bytes > 0 || tcb.peer_fin || tcb.aborted ||
            tcb.state == TcpState::kClosed;
   };
   if (deadline_nanos == 0) {
@@ -700,20 +876,77 @@ asbase::Result<size_t> NetStack::TcpRecv(uint64_t id, std::span<uint8_t> out,
   if (tcb.aborted) {
     return asbase::Unavailable("connection reset by peer");
   }
-  if (tcb.recv_buffer.empty()) {
+  if (tcb.recv_bytes == 0) {
     return size_t{0};  // EOF
   }
-  const size_t n = std::min(out.size(), tcb.recv_buffer.size());
-  std::copy(tcb.recv_buffer.begin(),
-            tcb.recv_buffer.begin() + static_cast<long>(n), out.begin());
-  tcb.recv_buffer.erase(tcb.recv_buffer.begin(),
-                        tcb.recv_buffer.begin() + static_cast<long>(n));
+  // Copy fallback: gather the pool-owned slices into the caller's
+  // contiguous buffer (readers that can take extents use RecvZeroCopy).
+  const size_t n = std::min(out.size(), tcb.recv_bytes);
+  size_t done = 0;
+  while (done < n) {
+    RxSlice& slice = tcb.recv_slices.front();
+    const size_t take = std::min<size_t>(slice.length, n - done);
+    std::memcpy(out.data() + done, slice.block.get() + slice.offset, take);
+    done += take;
+    if (take == slice.length) {
+      tcb.recv_slices.pop_front();  // block recycles when the last ref drops
+    } else {
+      slice.offset += static_cast<uint32_t>(take);
+      slice.length -= static_cast<uint32_t>(take);
+    }
+  }
+  tcb.recv_bytes -= n;
+  Counters().rx_payload_copy.Add(n);
   return n;
 }
 
-asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
-                                         std::span<const uint8_t> data,
-                                         int64_t deadline_nanos) {
+asbase::Result<RxChunk> NetStack::TcpRecvZeroCopy(uint64_t id,
+                                                  int64_t deadline_nanos) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tcbs_.find(id);
+  if (it == tcbs_.end()) {
+    return asbase::FailedPrecondition("connection is gone");
+  }
+  Tcb& tcb = *it->second;
+  auto readable = [&] {
+    return tcb.recv_bytes > 0 || tcb.peer_fin || tcb.aborted ||
+           tcb.state == TcpState::kClosed;
+  };
+  if (deadline_nanos == 0) {
+    cv_.wait(lock, readable);
+  } else {
+    while (!readable()) {
+      const int64_t now = asbase::MonoNanos();
+      if (now >= deadline_nanos) {
+        return asbase::DeadlineExceeded("recv past invocation deadline");
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(deadline_nanos - now));
+    }
+  }
+  if (tcb.aborted) {
+    return asbase::Unavailable("connection reset by peer");
+  }
+  if (tcb.recv_bytes == 0) {
+    return RxChunk{};  // EOF: empty bytes, no owner
+  }
+  // Hand the front extent to the reader by reference — the block leaves the
+  // connection's queue but stays alive through chunk.owner.
+  RxSlice slice = std::move(tcb.recv_slices.front());
+  tcb.recv_slices.pop_front();
+  tcb.recv_bytes -= slice.length;
+  Counters().rx_payload_zerocopy.Add(slice.length);
+  RxChunk chunk;
+  chunk.bytes = std::span<const uint8_t>(slice.block.get() + slice.offset,
+                                         slice.length);
+  chunk.owner = std::move(slice.block);
+  return chunk;
+}
+
+asbase::Result<size_t> NetStack::TcpQueue(uint64_t id,
+                                          std::span<const uint8_t> data,
+                                          std::shared_ptr<const void> pin,
+                                          bool zerocopy,
+                                          int64_t deadline_nanos) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = tcbs_.find(id);
   if (it == tcbs_.end()) {
@@ -723,11 +956,11 @@ asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
   size_t queued = 0;
   while (queued < data.size()) {
     auto writable = [&] {
-      return tcb.send_buffer.size() < kSendBufferCap || tcb.aborted ||
+      return tcb.send_bytes < kSendBufferCap || tcb.aborted ||
              tcb.fin_queued || tcb.state == TcpState::kClosed;
     };
     if (!writable()) {
-      // Backpressure: the send buffer is at kSendBufferCap and the sender
+      // Backpressure: the send queue is at kSendBufferCap and the sender
       // blocks (deadline-aware) until ACK processing trims it. The blocked
       // time is the `alloy_net_tx_backpressure_nanos` summary.
       const int64_t blocked_at = asbase::MonoNanos();
@@ -751,14 +984,35 @@ asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
     if (tcb.aborted || tcb.state == TcpState::kClosed) {
       return asbase::Unavailable("connection reset");
     }
-    const size_t space = kSendBufferCap - tcb.send_buffer.size();
+    const size_t space = kSendBufferCap - tcb.send_bytes;
     const size_t chunk = std::min(space, data.size() - queued);
-    tcb.send_buffer.insert(tcb.send_buffer.end(), data.begin() + queued,
-                           data.begin() + queued + static_cast<long>(chunk));
+    tcb.send_chunks.push_back(
+        TxChunk{data.subspan(queued, chunk), pin, zerocopy});
+    tcb.send_bytes += chunk;
     queued += chunk;
     PumpSendLocked(tcb);
   }
   return queued;
+}
+
+asbase::Result<size_t> NetStack::TcpSend(uint64_t id,
+                                         std::span<const uint8_t> data,
+                                         int64_t deadline_nanos) {
+  // Copying path: one shared heap copy of the caller's bytes up front. The
+  // copy doubles as the chunk pin, so in-flight frames (and duplicates in
+  // switch queues) share ownership instead of referencing tcb-local
+  // storage that an ACK could trim from under them.
+  auto owned = std::make_shared<std::vector<uint8_t>>(data.begin(),
+                                                      data.end());
+  return TcpQueue(id, std::span<const uint8_t>(*owned), owned,
+                  /*zerocopy=*/false, deadline_nanos);
+}
+
+asbase::Result<size_t> NetStack::TcpSendZeroCopy(
+    uint64_t id, std::span<const uint8_t> data,
+    std::shared_ptr<const void> pin, int64_t deadline_nanos) {
+  return TcpQueue(id, data, std::move(pin), /*zerocopy=*/true,
+                  deadline_nanos);
 }
 
 void NetStack::TcpClose(uint64_t id) {
@@ -829,6 +1083,15 @@ asbase::Result<size_t> TcpConnection::Recv(std::span<uint8_t> out) {
 
 asbase::Result<size_t> TcpConnection::Send(std::span<const uint8_t> data) {
   return stack_->TcpSend(id_, data, deadline_nanos_);
+}
+
+asbase::Result<size_t> TcpConnection::SendZeroCopy(
+    std::span<const uint8_t> data, std::shared_ptr<const void> pin) {
+  return stack_->TcpSendZeroCopy(id_, data, std::move(pin), deadline_nanos_);
+}
+
+asbase::Result<RxChunk> TcpConnection::RecvZeroCopy() {
+  return stack_->TcpRecvZeroCopy(id_, deadline_nanos_);
 }
 
 asbase::Result<size_t> TcpConnection::RecvAll(std::span<uint8_t> out) {

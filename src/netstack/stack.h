@@ -14,7 +14,16 @@
 //     single retransmission timer per connection resending from snd_una,
 //   * fixed 64 KiB windows (the advertised window is honored; no congestion
 //     control — links here are queues, not routers),
-//   * MSS 1460.
+//   * MSS 1460 on the copying path; the zero-copy path sends jumbo gather
+//     segments (kZeroCopySegBytes, the TSO analogue) with the TCP checksum
+//     offloaded to the trusted fabric.
+//
+// Zero-copy payload path (DESIGN.md "Zero-copy data path"): SendZeroCopy
+// queues caller memory by reference under a refcounted pin that the stack
+// holds until the covering ACK (retransmits re-read the pinned memory);
+// received payload lands in pool-owned blocks (src/alloc/buffer_pool.h)
+// that RecvZeroCopy hands to the reader by reference. Recv/Send remain the
+// copying fallbacks and interoperate byte-exactly with the zero-copy calls.
 
 #ifndef SRC_NETSTACK_STACK_H_
 #define SRC_NETSTACK_STACK_H_
@@ -25,6 +34,7 @@
 #include <memory>
 #include <thread>
 
+#include "src/alloc/buffer_pool.h"
 #include "src/common/queue.h"
 #include "src/netstack/channel.h"
 #include "src/netstack/wire.h"
@@ -32,6 +42,14 @@
 namespace asnet {
 
 class NetStack;
+
+// One pool-owned extent of received payload, handed to the reader by
+// reference. `owner` keeps the backing pool block alive while the reader
+// looks at `bytes`; empty `bytes` signals EOF.
+struct RxChunk {
+  std::shared_ptr<const void> owner;
+  std::span<const uint8_t> bytes;
+};
 
 // User handle for an established (or in-progress) TCP connection.
 class TcpConnection {
@@ -45,6 +63,18 @@ class TcpConnection {
   asbase::Result<size_t> Send(std::span<const uint8_t> data);
   // Reads exactly out.size() bytes unless EOF intervenes.
   asbase::Result<size_t> RecvAll(std::span<uint8_t> out);
+
+  // Zero-copy TX: queues `data` by reference — the stack gather-writes
+  // segments straight out of this memory (and re-reads it on retransmit),
+  // then drops `pin` once the covering ACK arrives or the connection dies.
+  // `pin` must keep `data` alive until then (an AsBuffer slot pin or any
+  // shared owner). Same blocking/backpressure/deadline semantics as Send.
+  asbase::Result<size_t> SendZeroCopy(std::span<const uint8_t> data,
+                                      std::shared_ptr<const void> pin);
+  // Zero-copy RX: hands back the front pool-owned extent by reference, no
+  // copy. Blocks like Recv; `bytes.empty()` signals EOF. Readers needing
+  // contiguity across extents use Recv/RecvAll (the copy fallback).
+  asbase::Result<RxChunk> RecvZeroCopy();
 
   // Absolute MonoNanos instant after which blocking Recv/Send fail with
   // kDeadlineExceeded instead of waiting (cooperative invocation deadlines;
@@ -152,6 +182,15 @@ class NetStack {
   static constexpr size_t kMss = 1460;
   static constexpr size_t kWindow = 64 * 1024 - 1;
   static constexpr size_t kSendBufferCap = 256 * 1024;
+  // Zero-copy segments are gather frames over pinned memory, so they are
+  // not bound by a copy budget: send up to 32 KiB per segment (the TSO
+  // analogue; several still fit in the 64 KiB window for pipelining).
+  static constexpr size_t kZeroCopySegBytes = 32 * 1024;
+  // In-order payload past this much un-consumed buffered data is dropped
+  // (and counted) instead of landed; go-back-N retransmission recovers it
+  // once the reader drains. Generously above kSendBufferCap + kWindow so a
+  // single maximally-backpressured sender never trips it.
+  static constexpr size_t kRecvBufferCap = 1024 * 1024;
   static constexpr int64_t kRtoNanos = 20'000'000;  // 20 ms
   static constexpr int kMaxRetries = 10;
 
@@ -172,6 +211,24 @@ class NetStack {
     kClosed,
   };
 
+  // One descriptor in a connection's send queue. Copy-path chunks pin their
+  // own shared heap copy of the caller's bytes; zero-copy chunks pin the
+  // caller's memory directly (AsBuffer slot pins). In-flight frames share
+  // the pin, so memory survives any duplicate still sitting in a switch
+  // queue even after the ACK trims the chunk.
+  struct TxChunk {
+    std::span<const uint8_t> bytes;
+    std::shared_ptr<const void> pin;
+    bool zerocopy = false;
+  };
+
+  // One contiguous extent of reassembled payload inside a pool block.
+  struct RxSlice {
+    asalloc::BufferPool::BlockRef block;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+
   struct Tcb {
     uint64_t id;
     TcpState state;
@@ -179,17 +236,22 @@ class NetStack {
     uint16_t remote_port;
     uint16_t local_port;
 
-    // Send side: send_buffer holds bytes [snd_una, snd_una + size).
+    // Send side: send_chunks covers bytes [snd_una, snd_una + send_bytes).
     uint32_t snd_una = 0;
     uint32_t snd_nxt = 0;
     uint16_t snd_wnd = kWindow;
-    std::deque<uint8_t> send_buffer;
+    std::deque<TxChunk> send_chunks;
+    size_t send_bytes = 0;
     bool fin_queued = false;
     bool fin_sent = false;
 
-    // Receive side.
+    // Receive side: payload lands in pool-owned blocks; `land_block` is the
+    // partially-filled tail the next in-order segment copies into.
     uint32_t rcv_nxt = 0;
-    std::deque<uint8_t> recv_buffer;
+    std::deque<RxSlice> recv_slices;
+    size_t recv_bytes = 0;
+    asalloc::BufferPool::BlockRef land_block;
+    size_t land_fill = 0;
     bool peer_fin = false;
 
     // Retransmission.
@@ -225,7 +287,8 @@ class NetStack {
   // Counts the frame into /metrics (alloy_net_tx_*) and hands it to the port.
   void Transmit(Packet frame);
   void HandlePacket(const Packet& packet);
-  void HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4);
+  void HandleTcp(const Ipv4Header& ip, std::span<const uint8_t> l4_head,
+                 const Packet& packet);
   void HandleUdp(const Ipv4Header& ip, std::span<const uint8_t> l4);
   void HandleIcmp(const Ipv4Header& ip, std::span<const uint8_t> l4);
   void CheckTimersLocked();
@@ -233,6 +296,17 @@ class NetStack {
   // Transmission helpers; all require `mutex_` held.
   void SendSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
                          std::span<const uint8_t> payload);
+  // Gather variant: payload travels by reference (pinned), checksum is
+  // offloaded to the trusted fabric. Zero memcpy of payload bytes.
+  void SendGatherSegmentLocked(Tcb& tcb, uint8_t flags, uint32_t seq,
+                               std::vector<PayloadRef> payload);
+  // Transmits up to `limit` bytes of queued data starting `offset` bytes
+  // past snd_una as ONE segment (gather or copied, depending on which kind
+  // of chunk sits at `offset`); returns the segment's payload size.
+  size_t TransmitChunkAtLocked(Tcb& tcb, uint32_t seq, size_t offset,
+                               size_t limit);
+  // Lands one in-order payload extent into the connection's pool blocks.
+  void AppendRecvLocked(Tcb& tcb, std::span<const uint8_t> data);
   void SendRst(Ipv4Addr dst, uint16_t dst_port, uint16_t src_port,
                uint32_t seq, uint32_t ack);
   void PumpSendLocked(Tcb& tcb);
@@ -248,6 +322,16 @@ class NetStack {
                                  int64_t deadline_nanos);
   asbase::Result<size_t> TcpSend(uint64_t id, std::span<const uint8_t> data,
                                  int64_t deadline_nanos);
+  // Shared queueing loop behind both send paths: pushes chunk descriptors
+  // under backpressure; `pin` keeps the chunk's memory alive until ACK.
+  asbase::Result<size_t> TcpQueue(uint64_t id, std::span<const uint8_t> data,
+                                  std::shared_ptr<const void> pin,
+                                  bool zerocopy, int64_t deadline_nanos);
+  asbase::Result<size_t> TcpSendZeroCopy(uint64_t id,
+                                         std::span<const uint8_t> data,
+                                         std::shared_ptr<const void> pin,
+                                         int64_t deadline_nanos);
+  asbase::Result<RxChunk> TcpRecvZeroCopy(uint64_t id, int64_t deadline_nanos);
   void TcpClose(uint64_t id);
   void TcpRelease(uint64_t id);  // handle destroyed
   void ListenerRelease(uint16_t port);

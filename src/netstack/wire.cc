@@ -65,6 +65,40 @@ uint16_t Checksum(std::span<const uint8_t> data, uint32_t initial) {
   return static_cast<uint16_t>(~sum);
 }
 
+uint32_t ChecksumAccumulate(std::span<const uint8_t> data, uint32_t sum,
+                            bool* odd) {
+  size_t i = 0;
+  if (*odd && !data.empty()) {
+    // The previous extent ended mid-word: this byte is the low half.
+    sum += static_cast<uint32_t>(data[0]);
+    i = 1;
+    *odd = false;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i] << 8);
+    *odd = true;
+  }
+  // Defer folding to the caller; a 32-bit accumulator cannot overflow over
+  // any frame-sized gather list (sum of 16-bit words).
+  return sum;
+}
+
+uint16_t ChecksumGather(std::span<const std::span<const uint8_t>> parts,
+                        uint32_t initial) {
+  uint32_t sum = initial;
+  bool odd = false;
+  for (const auto& part : parts) {
+    sum = ChecksumAccumulate(part, sum, &odd);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
 uint32_t PseudoHeaderSum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
                          uint16_t l4_length) {
   uint32_t sum = 0;
@@ -124,6 +158,41 @@ asbase::Result<std::span<const uint8_t>> ParseIpv4(
   return packet.subspan(ihl, total - ihl);
 }
 
+asbase::Result<std::span<const uint8_t>> ParseIpv4Packet(const Packet& packet,
+                                                         Ipv4Header* header) {
+  if (packet.contiguous()) {
+    return ParseIpv4(packet.head(), header);
+  }
+  const std::span<const uint8_t> head = packet.head();
+  if (head.size() < kIpv4HeaderSize) {
+    return asbase::InvalidArgument("IPv4 packet too short");
+  }
+  const uint8_t* p = head.data();
+  if ((p[0] >> 4) != 4) {
+    return asbase::InvalidArgument("not IPv4");
+  }
+  const size_t ihl = static_cast<size_t>(p[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderSize || head.size() < ihl) {
+    return asbase::InvalidArgument("bad IHL");
+  }
+  if (Checksum({p, ihl}) != 0) {
+    return asbase::DataLoss("IPv4 header checksum mismatch");
+  }
+  const uint16_t total = GetBe16(&p[2]);
+  // For a gather frame the total length must cover the inline L4 bytes plus
+  // every payload extent exactly — the builder is local, so a mismatch means
+  // a mangled frame, not padding.
+  if (total != packet.size()) {
+    return asbase::InvalidArgument("bad IPv4 total length");
+  }
+  header->total_length = total;
+  header->ttl = p[8];
+  header->proto = static_cast<IpProto>(p[9]);
+  header->src = GetBe32(&p[12]);
+  header->dst = GetBe32(&p[16]);
+  return head.subspan(ihl);
+}
+
 std::vector<uint8_t> BuildTcp(Ipv4Addr src, Ipv4Addr dst,
                               const TcpHeader& header,
                               std::span<const uint8_t> payload) {
@@ -170,6 +239,88 @@ asbase::Result<std::span<const uint8_t>> ParseTcp(
   header->flags = p[13];
   header->window = GetBe16(&p[14]);
   return segment.subspan(offset);
+}
+
+Packet BuildTcpPacket(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& header,
+                      std::vector<PayloadRef> payload, bool checksum_offload) {
+  size_t payload_bytes = 0;
+  for (const PayloadRef& ref : payload) {
+    payload_bytes += ref.bytes.size();
+  }
+  std::vector<uint8_t> head(kIpv4HeaderSize + kTcpHeaderSize);
+  uint8_t* ip = head.data();
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;     // DSCP
+  PutBe16(&ip[2], static_cast<uint16_t>(head.size() + payload_bytes));
+  PutBe16(&ip[4], 0);       // identification
+  PutBe16(&ip[6], 0x4000);  // don't fragment
+  ip[8] = 64;               // ttl
+  ip[9] = static_cast<uint8_t>(IpProto::kTcp);
+  PutBe16(&ip[10], 0);  // checksum placeholder
+  PutBe32(&ip[12], src);
+  PutBe32(&ip[16], dst);
+  PutBe16(&ip[10], Checksum({ip, kIpv4HeaderSize}));
+
+  uint8_t* tcp = head.data() + kIpv4HeaderSize;
+  PutBe16(&tcp[0], header.src_port);
+  PutBe16(&tcp[2], header.dst_port);
+  PutBe32(&tcp[4], header.seq);
+  PutBe32(&tcp[8], header.ack);
+  tcp[12] = (kTcpHeaderSize / 4) << 4;  // data offset
+  tcp[13] = header.flags;
+  PutBe16(&tcp[14], header.window);
+  PutBe16(&tcp[16], 0);  // checksum: stays zero under offload
+  PutBe16(&tcp[18], 0);  // urgent pointer
+  if (!checksum_offload) {
+    const uint32_t pseudo = PseudoHeaderSum(
+        src, dst, IpProto::kTcp,
+        static_cast<uint16_t>(kTcpHeaderSize + payload_bytes));
+    std::vector<std::span<const uint8_t>> parts;
+    parts.reserve(payload.size() + 1);
+    parts.emplace_back(tcp, kTcpHeaderSize);
+    for (const PayloadRef& ref : payload) {
+      parts.push_back(ref.bytes);
+    }
+    PutBe16(&tcp[16], ChecksumGather(parts, pseudo));
+  }
+  return Packet(std::move(head), std::move(payload), checksum_offload);
+}
+
+asbase::Result<std::span<const uint8_t>> ParseTcpSegment(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> l4_head,
+    const Packet& packet, TcpHeader* header) {
+  if (l4_head.size() < kTcpHeaderSize) {
+    return asbase::InvalidArgument("TCP segment too short");
+  }
+  const size_t l4_length = l4_head.size() + packet.payload_ref_bytes();
+  if (!packet.checksum_offload()) {
+    const uint32_t pseudo = PseudoHeaderSum(src, dst, IpProto::kTcp,
+                                            static_cast<uint16_t>(l4_length));
+    uint32_t sum = pseudo;
+    bool odd = false;
+    sum = ChecksumAccumulate(l4_head, sum, &odd);
+    for (const PayloadRef& ref : packet.refs()) {
+      sum = ChecksumAccumulate(ref.bytes, sum, &odd);
+    }
+    while (sum >> 16) {
+      sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    if (static_cast<uint16_t>(~sum) != 0) {
+      return asbase::DataLoss("TCP checksum mismatch");
+    }
+  }
+  const uint8_t* p = l4_head.data();
+  header->src_port = GetBe16(&p[0]);
+  header->dst_port = GetBe16(&p[2]);
+  header->seq = GetBe32(&p[4]);
+  header->ack = GetBe32(&p[8]);
+  const size_t offset = static_cast<size_t>(p[12] >> 4) * 4;
+  if (offset < kTcpHeaderSize || offset > l4_head.size()) {
+    return asbase::InvalidArgument("bad TCP data offset");
+  }
+  header->flags = p[13];
+  header->window = GetBe16(&p[14]);
+  return l4_head.subspan(offset);
 }
 
 std::vector<uint8_t> BuildUdp(Ipv4Addr src, Ipv4Addr dst,

@@ -7,6 +7,7 @@
 #define SRC_NETSTACK_WIRE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,8 +64,69 @@ constexpr size_t kTcpHeaderSize = 20;
 constexpr size_t kUdpHeaderSize = 8;
 constexpr size_t kIcmpHeaderSize = 8;
 
+// One extent of payload carried by reference instead of by value — the
+// virtual-fabric equivalent of an sk_buff frag. `pin` keeps `bytes` alive
+// for as long as any frame (or duplicate of it sitting in a switch queue)
+// references the memory: a TX slot pin, or the sender's shared heap copy.
+struct PayloadRef {
+  std::span<const uint8_t> bytes;
+  std::shared_ptr<const void> pin;
+};
+
+// A frame on the virtual wire. Legacy frames are one contiguous byte buffer
+// (headers + payload, built by BuildIpv4); zero-copy frames carry only the
+// L3+L4 headers inline in `head()` while the payload stays in the sender's
+// pinned memory and travels as `PayloadRef` extents. Copying a Packet (the
+// switch does, for duplicate delivery) shares the pins, never the bytes.
+class Packet {
+ public:
+  Packet() = default;
+  // Legacy contiguous frame; implicit so existing BuildIpv4 call sites and
+  // hand-rolled test packets keep working unchanged.
+  Packet(std::vector<uint8_t> frame) : head_(std::move(frame)) {}
+  // Gather frame: headers inline, payload by reference. `checksum_offload`
+  // marks the L4 checksum as elided at build time (the trusted-fabric
+  // analogue of NIC checksum offload); receivers must not verify it.
+  Packet(std::vector<uint8_t> head, std::vector<PayloadRef> refs,
+         bool checksum_offload)
+      : head_(std::move(head)),
+        refs_(std::move(refs)),
+        checksum_offload_(checksum_offload) {}
+
+  std::span<const uint8_t> head() const { return head_; }
+  const std::vector<PayloadRef>& refs() const { return refs_; }
+  bool contiguous() const { return refs_.empty(); }
+  bool checksum_offload() const { return checksum_offload_; }
+
+  size_t payload_ref_bytes() const {
+    size_t total = 0;
+    for (const PayloadRef& ref : refs_) {
+      total += ref.bytes.size();
+    }
+    return total;
+  }
+  // Logical frame size (what a flattened copy would occupy).
+  size_t size() const { return head_.size() + payload_ref_bytes(); }
+
+ private:
+  std::vector<uint8_t> head_;
+  std::vector<PayloadRef> refs_;
+  bool checksum_offload_ = false;
+};
+
 // RFC 1071 Internet checksum over `data` (+ optional initial sum).
 uint16_t Checksum(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// Streaming checksum over scattered extents. `*odd` carries byte parity
+// between extents so odd-length extents chain exactly as if the bytes were
+// contiguous; start with `*odd = false` and fold/complement at the end.
+uint32_t ChecksumAccumulate(std::span<const uint8_t> data, uint32_t sum,
+                            bool* odd);
+
+// Internet checksum over a gather list (headers + payload extents) without
+// assembling them — the zero-copy TX path's checksum when offload is off.
+uint16_t ChecksumGather(std::span<const std::span<const uint8_t>> parts,
+                        uint32_t initial = 0);
 
 // Pseudo-header partial sum for TCP/UDP checksums.
 uint32_t PseudoHeaderSum(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
@@ -79,6 +141,13 @@ std::vector<uint8_t> BuildIpv4(const Ipv4Header& header,
 asbase::Result<std::span<const uint8_t>> ParseIpv4(
     std::span<const uint8_t> packet, Ipv4Header* header);
 
+// Gather-aware ParseIpv4: validates the header in `packet.head()` and the
+// total length against the frame's *logical* size (inline L4 bytes + payload
+// extents), and returns the in-head L4 view. For a gather TCP frame that view
+// is just the 20-byte TCP header; the payload stays in `packet.refs()`.
+asbase::Result<std::span<const uint8_t>> ParseIpv4Packet(const Packet& packet,
+                                                         Ipv4Header* header);
+
 // Builds a TCP segment (header + payload) with a correct checksum.
 std::vector<uint8_t> BuildTcp(Ipv4Addr src, Ipv4Addr dst,
                               const TcpHeader& header,
@@ -87,6 +156,23 @@ std::vector<uint8_t> BuildTcp(Ipv4Addr src, Ipv4Addr dst,
 asbase::Result<std::span<const uint8_t>> ParseTcp(
     Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> segment,
     TcpHeader* header);
+
+// Builds a complete TCP/IPv4 gather frame: one 40-byte header block plus the
+// payload by reference — zero memcpy of payload bytes. With
+// `checksum_offload` the TCP checksum field is left zero and the frame is
+// flagged so receivers skip verification; otherwise the checksum is computed
+// by gathering the extents in place.
+Packet BuildTcpPacket(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& header,
+                      std::vector<PayloadRef> payload, bool checksum_offload);
+
+// Parses a TCP segment whose payload may be scattered: `l4_head` is the
+// frame's in-head L4 view (from ParseIpv4Packet), `packet.refs()` the payload
+// extents. Verifies the checksum across all extents unless the frame carries
+// the offload flag. Returns the *inline* payload view (empty for gather
+// frames — their payload is in `packet.refs()`).
+asbase::Result<std::span<const uint8_t>> ParseTcpSegment(
+    Ipv4Addr src, Ipv4Addr dst, std::span<const uint8_t> l4_head,
+    const Packet& packet, TcpHeader* header);
 
 std::vector<uint8_t> BuildUdp(Ipv4Addr src, Ipv4Addr dst,
                               const UdpHeader& header,

@@ -79,6 +79,9 @@ constexpr struct {
     {"alloy_mpk_domain_switch_nanos_total", MetricType::kCounter},
     {"alloy_asbuffer_bytes_total", MetricType::kCounter},
     {"alloy_asbuffer_transfer_bytes", MetricType::kSummary},
+    {"alloy_asbuffer_tx_pins_total", MetricType::kCounter},
+    {"alloy_asbuffer_tx_pinned", MetricType::kGauge},
+    {"alloy_asbuffer_pinned_release_total", MetricType::kCounter},
     {"alloy_net_tx_packets_total", MetricType::kCounter},
     {"alloy_net_rx_packets_total", MetricType::kCounter},
     {"alloy_net_tx_bytes_total", MetricType::kCounter},
@@ -86,6 +89,8 @@ constexpr struct {
     {"alloy_net_poll_iterations_total", MetricType::kCounter},
     {"alloy_net_rx_dropped_total", MetricType::kCounter},
     {"alloy_net_tx_backpressure_nanos", MetricType::kSummary},
+    {"alloy_net_tx_pins_aborted_total", MetricType::kCounter},
+    {"alloy_net_rx_pool_blocks_total", MetricType::kCounter},
     {"alloy_edge_connections", MetricType::kGauge},
     {"alloy_edge_accepts_total", MetricType::kCounter},
     {"alloy_edge_overflows_total", MetricType::kCounter},

@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "src/alloc/arena.h"
+#include "src/alloc/buffer_pool.h"
 #include "src/alloc/linked_list_allocator.h"
 #include "src/alloc/slot_registry.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace asalloc {
 namespace {
@@ -274,6 +276,105 @@ TEST(SlotRegistryTest, FingerprintNameIsStableAndDiscriminating) {
   EXPECT_EQ(FingerprintName("MyFuncData"), FingerprintName("MyFuncData"));
   EXPECT_NE(FingerprintName("MyFuncData"), FingerprintName("MyFuncDatb"));
   EXPECT_NE(FingerprintName(""), FingerprintName("x"));
+}
+
+// ------------------------------------------------------------ TX pins
+
+TEST(SlotRegistryTest, PinForTxLifecycle) {
+  SlotRegistry registry;
+  EXPECT_FALSE(registry.IsPinnedForTx(0x3000));
+  EXPECT_TRUE(registry.CheckReleasable(0x3000)) << "unpinned is releasable";
+
+  auto pin = registry.PinForTx(0x3000, 64);
+  ASSERT_NE(pin, nullptr);
+  EXPECT_TRUE(registry.IsPinnedForTx(0x3000));
+  EXPECT_EQ(registry.TxPinnedBuffers(), 1u);
+
+  // Retransmit path: the same buffer can be pinned again (refcounted).
+  auto pin2 = registry.PinForTx(0x3000, 64);
+  EXPECT_EQ(registry.TxPinnedBuffers(), 1u) << "same buffer, one entry";
+  pin.reset();
+  EXPECT_TRUE(registry.IsPinnedForTx(0x3000)) << "second pin still live";
+  pin2.reset();
+  EXPECT_FALSE(registry.IsPinnedForTx(0x3000));
+  EXPECT_EQ(registry.TxPinnedBuffers(), 0u);
+  EXPECT_TRUE(registry.CheckReleasable(0x3000));
+}
+
+TEST(SlotRegistryTest, PinnedReleaseIsLoudlyVisible) {
+  SlotRegistry::set_abort_on_pinned_release(false);
+  SlotRegistry registry;
+  auto pin = registry.PinForTx(0x4000, 128);
+  // Freeing a buffer the netstack still references: not releasable, and the
+  // violation counter must tick so it shows up on dashboards.
+  asobs::Counter& violations = asobs::Registry::Global().GetCounter(
+      "alloy_asbuffer_pinned_release_total");
+  const uint64_t before = violations.value();
+  EXPECT_FALSE(registry.CheckReleasable(0x4000));
+  EXPECT_EQ(violations.value(), before + 1);
+  pin.reset();
+  EXPECT_TRUE(registry.CheckReleasable(0x4000));
+  SlotRegistry::set_abort_on_pinned_release(true);
+}
+
+TEST(SlotRegistryTest, PinsOutliveTheRegistry) {
+  // Connection teardown can release pins after the WFD (and its registry)
+  // is gone; the handle must stay safe to drop.
+  std::shared_ptr<const void> pin;
+  {
+    SlotRegistry registry;
+    pin = registry.PinForTx(0x5000, 32);
+  }
+  pin.reset();  // must not touch freed registry state
+}
+
+// ---------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, TakeGivesDistinctWritableBlocks) {
+  BufferPool pool(4096, 4);
+  auto a = pool.Take();
+  auto b = pool.Take();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+  std::memset(a.get(), 0x11, pool.block_bytes());
+  std::memset(b.get(), 0x22, pool.block_bytes());
+  EXPECT_EQ(a.get()[0], 0x11);
+  EXPECT_EQ(b.get()[0], 0x22);
+}
+
+TEST(BufferPoolTest, ReleasedBlocksAreRecycled) {
+  BufferPool pool(4096, 4);
+  auto block = pool.Take();
+  uint8_t* raw = block.get();
+  block.reset();
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  auto again = pool.Take();
+  EXPECT_EQ(again.get(), raw) << "freed block should be reused, not malloc'd";
+  EXPECT_EQ(pool.free_blocks(), 0u);
+}
+
+TEST(BufferPoolTest, FreeListIsBounded) {
+  BufferPool pool(4096, 2);
+  std::vector<BufferPool::BlockRef> blocks;
+  for (int i = 0; i < 5; ++i) {
+    blocks.push_back(pool.Take());
+  }
+  blocks.clear();
+  EXPECT_EQ(pool.free_blocks(), 2u) << "excess blocks go back to the OS";
+}
+
+TEST(BufferPoolTest, BlockRefsOutliveThePool) {
+  // RX chunks handed to a reader may outlive the stack (and pool) that
+  // produced them; the deleter must degrade to a plain free.
+  BufferPool::BlockRef survivor;
+  {
+    BufferPool pool(4096, 4);
+    survivor = pool.Take();
+    std::memset(survivor.get(), 0x7E, 4096);
+  }
+  EXPECT_EQ(survivor.get()[4095], 0x7E);
+  survivor.reset();  // must not touch the destroyed freelist
 }
 
 }  // namespace
