@@ -73,6 +73,29 @@ void RegisterFunctions() {
         ctx.SetResult("done");
         return asbase::OkStatus();
       });
+  // IO workflow that rendezvouses with a sibling invocation, so a pair of
+  // concurrent invokes deterministically overlaps: the second one misses
+  // the (depth-1) pool and must clone-boot from the snapshot template.
+  FunctionRegistry::Global().Register(
+      "bench.serve-io-block", [](FunctionContext& ctx) -> asbase::Status {
+        auto* gate = reinterpret_cast<std::atomic<int>*>(
+            static_cast<uintptr_t>(ctx.params()["gate"].as_int()));
+        if (gate != nullptr) {
+          gate->fetch_add(1);
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(5);
+          while (gate->load() < 2 &&
+                 std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+          }
+        }
+        AS_RETURN_IF_ERROR(
+            ctx.as().WriteWholeFile("/serve.bin", Bytes(std::string(4096, 'x'))));
+        AS_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                            ctx.as().ReadWholeFile("/serve.bin"));
+        ctx.SetResult(std::to_string(data.size()));
+        return asbase::OkStatus();
+      });
 }
 
 WorkflowSpec OneStage(const std::string& name, const std::string& fn) {
@@ -276,6 +299,54 @@ int Main(int argc, char** argv) {
             static_cast<double>(cold_hist.Percentile(0.5)) /
                 static_cast<double>(
                     std::max<int64_t>(warm_hist.Percentile(0.5), 1)));
+  }
+
+  // ------------------------------------- 1b. snapshot clone boot on a miss
+  // Pool misses after the first invocation clone-boot from the snapshot
+  // template (DESIGN.md §14) instead of paying a full cold start. Pairs of
+  // rendezvoused invocations force one warm lease + one miss per round; the
+  // miss's end-to-end latency is the clone row.
+  {
+    asbase::Histogram clone_hist;
+    AsVisor visor;
+    AsVisor::WorkflowOptions options;
+    options.wfd = BenchWfd();
+    options.pool_size = 1;
+    options.max_concurrency = 2;
+    visor.RegisterWorkflow(OneStage("serve-snap", "bench.serve-io-block"),
+                           options);
+    const uint64_t clones0 =
+        PoolCounter("alloy_visor_snapshot_clones_total", "serve-snap");
+    // First invocation boots, invokes, resets, and captures the template.
+    (void)visor.Invoke("serve-snap", asbase::Json());
+    const int pairs = std::max(closed_loop_n / 4, 2);
+    std::atomic<int> gate{0};
+    asbase::Json params;
+    params.Set("gate",
+               static_cast<int64_t>(reinterpret_cast<uintptr_t>(&gate)));
+    for (int i = 0; i < pairs; ++i) {
+      gate.store(0);
+      asbase::Result<alloy::InvokeResult> r1 = asbase::Unavailable("unset");
+      asbase::Result<alloy::InvokeResult> r2 = asbase::Unavailable("unset");
+      std::thread t1([&] { r1 = visor.Invoke("serve-snap", params); });
+      std::thread t2([&] { r2 = visor.Invoke("serve-snap", params); });
+      t1.join();
+      t2.join();
+      for (const auto* r : {&r1, &r2}) {
+        if (r->ok() && (**r).clone_start) {
+          clone_hist.Record((**r).end_to_end_nanos);
+        }
+      }
+    }
+    const uint64_t clones =
+        PoolCounter("alloy_visor_snapshot_clones_total", "serve-snap") -
+        clones0;
+    std::printf("  %-18s %10s %10s  (%llu clone boots, counter-proved)\n",
+                "miss (clone boot)", Ms(clone_hist.Percentile(0.5)).c_str(),
+                Ms(clone_hist.Percentile(0.99)).c_str(),
+                static_cast<unsigned long long>(clones));
+    series.Set("clone", clone_hist.ToJson());
+    doc.Set("snapshot_clones_delta", static_cast<int64_t>(clones));
   }
 
   // ------------------------------------------------------- 2. RPS scaling

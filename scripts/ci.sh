@@ -42,6 +42,7 @@ ctest --test-dir "${BUILD}-tsan" -L http --output-on-failure
 
 echo "==> serving + dataplane + sharding + obs-overhead bench smoke (--quick)"
 (cd "${BUILD}" && ./bench/bench_serving --quick >/dev/null)
+(cd "${BUILD}" && ./bench/bench_fig10_coldstart --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_dataplane --quick >/dev/null)
 (cd "${BUILD}" && ./bench/bench_sharding --quick --zipf >/dev/null)
 (cd "${BUILD}" && ./bench/bench_serving --obs-overhead --quick >/dev/null)

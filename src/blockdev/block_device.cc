@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/clock.h"
@@ -20,21 +21,123 @@ asbase::Status BlockDevice::ValidateRange(uint64_t lba, size_t bytes) const {
   return asbase::OkStatus();
 }
 
-MemDisk::MemDisk(uint64_t block_count)
-    : blocks_(block_count), data_(block_count * kBlockSize, 0) {}
+size_t MemDiskImage::bytes() const {
+  size_t total = 0;
+  for (const auto& [index, chunk] : chunks) {
+    total += chunk->size();
+  }
+  return total;
+}
+
+MemDisk::MemDisk(uint64_t block_count) : blocks_(block_count) {}
+
+MemDisk::MemDisk(std::shared_ptr<const MemDiskImage> base)
+    : blocks_(base == nullptr ? 0 : base->blocks), base_(std::move(base)) {}
+
+const std::vector<uint8_t>* MemDisk::ChunkForRead(uint64_t chunk_index) const {
+  auto it = chunks_.find(chunk_index);
+  if (it != chunks_.end()) {
+    return it->second.get();
+  }
+  if (base_ != nullptr) {
+    auto base_it = base_->chunks.find(chunk_index);
+    if (base_it != base_->chunks.end()) {
+      return base_it->second.get();
+    }
+  }
+  return nullptr;  // hole: zeros
+}
+
+std::vector<uint8_t>* MemDisk::ChunkForWrite(uint64_t chunk_index) {
+  auto it = chunks_.find(chunk_index);
+  if (it != chunks_.end()) {
+    return it->second.get();
+  }
+  // First write into this chunk: copy the template's content (CoW break) or
+  // start from zeros.
+  std::shared_ptr<std::vector<uint8_t>> chunk;
+  const std::vector<uint8_t>* base_chunk = nullptr;
+  if (base_ != nullptr) {
+    auto base_it = base_->chunks.find(chunk_index);
+    if (base_it != base_->chunks.end()) {
+      base_chunk = base_it->second.get();
+    }
+  }
+  if (base_chunk != nullptr) {
+    chunk = std::make_shared<std::vector<uint8_t>>(*base_chunk);
+  } else {
+    chunk = std::make_shared<std::vector<uint8_t>>(kChunkBytes, 0);
+  }
+  std::vector<uint8_t>* raw = chunk.get();
+  chunks_.emplace(chunk_index, std::move(chunk));
+  return raw;
+}
 
 asbase::Status MemDisk::Read(uint64_t lba, std::span<uint8_t> out) {
   AS_RETURN_IF_ERROR(ValidateRange(lba, out.size()));
-  std::memcpy(out.data(), data_.data() + lba * kBlockSize, out.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t offset = lba * kBlockSize;
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t chunk_index = offset / kChunkBytes;
+    const size_t within = static_cast<size_t>(offset % kChunkBytes);
+    const size_t len = std::min(out.size() - done, kChunkBytes - within);
+    const std::vector<uint8_t>* chunk = ChunkForRead(chunk_index);
+    if (chunk != nullptr) {
+      std::memcpy(out.data() + done, chunk->data() + within, len);
+    } else {
+      std::memset(out.data() + done, 0, len);
+    }
+    done += len;
+    offset += len;
+  }
   CountRead(out.size());
   return asbase::OkStatus();
 }
 
 asbase::Status MemDisk::Write(uint64_t lba, std::span<const uint8_t> data) {
   AS_RETURN_IF_ERROR(ValidateRange(lba, data.size()));
-  std::memcpy(data_.data() + lba * kBlockSize, data.data(), data.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t offset = lba * kBlockSize;
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t chunk_index = offset / kChunkBytes;
+    const size_t within = static_cast<size_t>(offset % kChunkBytes);
+    const size_t len = std::min(data.size() - done, kChunkBytes - within);
+    std::vector<uint8_t>* chunk = ChunkForWrite(chunk_index);
+    std::memcpy(chunk->data() + within, data.data() + done, len);
+    done += len;
+    offset += len;
+  }
   CountWrite(data.size());
   return asbase::OkStatus();
+}
+
+std::shared_ptr<const MemDiskImage> MemDisk::SnapshotImage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto image = std::make_shared<MemDiskImage>();
+  image->blocks = blocks_;
+  if (base_ != nullptr) {
+    image->chunks = base_->chunks;
+  }
+  for (const auto& [index, chunk] : chunks_) {
+    image->chunks[index] = chunk;
+  }
+  // The template disk becomes a CoW client of its own frozen image: its
+  // next write to any of these chunks copies privately, so the image stays
+  // immutable while the template keeps serving.
+  base_ = image;
+  chunks_.clear();
+  return image;
+}
+
+size_t MemDisk::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [index, chunk] : chunks_) {
+    total += chunk->size();
+  }
+  return total;
 }
 
 asbase::Result<std::unique_ptr<FileDisk>> FileDisk::Create(

@@ -14,8 +14,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -64,17 +66,57 @@ class BlockDevice {
   std::atomic<uint64_t> bytes_written_{0};
 };
 
+// Immutable disk template for snapshot-fork (DESIGN.md §14): the sparse set
+// of touched chunks of a MemDisk at capture time. Shared by every clone (and
+// by the template disk itself, which becomes a CoW client of its own image
+// after SnapshotImage); chunk vectors are never mutated once they land here.
+struct MemDiskImage {
+  uint64_t blocks = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<std::vector<uint8_t>>> chunks;
+
+  size_t bytes() const;
+};
+
+// RAM-backed disk with lazily-touched chunked storage: a fresh 64 MiB disk
+// commits nothing until blocks are written (an idle WFD's resident bytes
+// track touched blocks, not configured disk size), and a disk cloned from a
+// MemDiskImage shares the template's chunks copy-on-write — the first write
+// to a shared chunk copies that chunk privately.
 class MemDisk : public BlockDevice {
  public:
+  static constexpr size_t kChunkBytes = 64u << 10;  // 128 blocks
+
   explicit MemDisk(uint64_t block_count);
+  // CoW clone: reads come from the image until this disk writes.
+  explicit MemDisk(std::shared_ptr<const MemDiskImage> base);
 
   asbase::Status Read(uint64_t lba, std::span<uint8_t> out) override;
   asbase::Status Write(uint64_t lba, std::span<const uint8_t> data) override;
   uint64_t block_count() const override { return blocks_; }
 
+  // Freezes the current contents into an immutable image (cheap: shares
+  // chunk vectors, copies no data). This disk keeps serving reads/writes;
+  // its own next write to any frozen chunk copies privately first.
+  std::shared_ptr<const MemDiskImage> SnapshotImage();
+
+  // Bytes privately materialized by this disk: touched chunks minus those
+  // still shared with the base image. The CoW-aware half of
+  // alloy_visor_pool_resident_bytes.
+  size_t ResidentBytes() const;
+
  private:
+  // Returns a privately-owned, mutable chunk for `chunk_index`, copying
+  // from the base image (or zero-filling) on first write. mutex_ held.
+  std::vector<uint8_t>* ChunkForWrite(uint64_t chunk_index);
+  // Read view of a chunk; nullptr = hole (zeros). mutex_ held.
+  const std::vector<uint8_t>* ChunkForRead(uint64_t chunk_index) const;
+
+  mutable std::mutex mutex_;
   uint64_t blocks_;
-  std::vector<uint8_t> data_;
+  // Touched chunks owned by this disk. An entry shadows the base image.
+  std::unordered_map<uint64_t, std::shared_ptr<std::vector<uint8_t>>> chunks_;
+  // Template this disk was cloned from (or froze itself into); may be null.
+  std::shared_ptr<const MemDiskImage> base_;
 };
 
 class FileDisk : public BlockDevice {

@@ -7,6 +7,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/core/wfd_snapshot.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -60,6 +61,133 @@ Libos::Libos(Options options) : options_(std::move(options)) {
     }
     options_.trace = trace;
   }
+}
+
+Libos::Libos(Options options, const WfdSnapshot& snapshot)
+    : options_(std::move(options)) {
+  // Geometry comes from the template — a snapshot of a 64 MiB heap can only
+  // clone into a 64 MiB heap.
+  options_.heap_bytes = snapshot.heap_bytes;
+  options_.disk_blocks = snapshot.disk_blocks;
+  for (ModuleKind kind : snapshot.modules) {
+    switch (kind) {
+      case ModuleKind::kMm: {
+        if (snapshot.heap == nullptr) {
+          clone_status_ = asbase::Internal("snapshot lists mm but no heap");
+          return;
+        }
+        auto cloned = asalloc::Arena::CloneFrom(*snapshot.heap);
+        if (!cloned.ok()) {
+          clone_status_ = cloned.status();
+          return;
+        }
+        auto module = std::make_unique<MmModule>();
+        module->heap = std::move(*cloned);
+        module->allocator.RestoreImage(snapshot.allocator,
+                                       module->heap.data());
+        if (options_.mpk != nullptr && options_.heap_key != 0) {
+          asbase::Status bound = options_.mpk->BindRegion(
+              module->heap.data(), module->heap.size(), options_.heap_key,
+              PROT_READ | PROT_WRITE);
+          if (!bound.ok()) {
+            clone_status_ = bound;
+            return;
+          }
+        }
+        mm_ = std::move(module);
+        break;
+      }
+      case ModuleKind::kFatfs: {
+        if (snapshot.disk == nullptr) {
+          clone_status_ = asbase::Internal("snapshot lists fatfs but no disk");
+          return;
+        }
+        auto module = std::make_unique<FsModule>();
+        auto mem_disk = std::make_unique<asblk::MemDisk>(snapshot.disk);
+        module->mem_disk = mem_disk.get();
+        module->owned_disk = std::move(mem_disk);
+        auto volume = asfat::FatVolume::MountFromMeta(
+            module->owned_disk.get(), snapshot.fat);
+        module->fat_volume = volume.get();
+        module->fs = std::move(volume);
+        fs_ = std::move(module);
+        break;
+      }
+      case ModuleKind::kFdtab: {
+        auto module = std::make_unique<FdtabModule>();
+        module->entries.resize(3);  // 0/1/2 reserved for stdio
+        for (auto& entry : module->entries) {
+          entry.kind = FdEntry::Kind::kStdio;
+        }
+        fdtab_ = std::move(module);
+        break;
+      }
+      case ModuleKind::kSocket:
+        // Deliberately not reconstructed: the netstack (TUN attach + poller
+        // thread) registers lazily on the clone's first socket use. An idle
+        // clone should not own a poller thread.
+        continue;
+      case ModuleKind::kStdio:
+        stdio_ready_ = true;
+        break;
+      case ModuleKind::kTime: {
+        auto module = std::make_unique<TimeModule>();
+        module->boot_micros = asbase::WallMicros();
+        time_ = std::move(module);
+        break;
+      }
+      case ModuleKind::kMmapFileBackend:
+        mmap_ = std::make_unique<MmapModule>();
+        break;
+      case ModuleKind::kRamfs:
+        clone_status_ =
+            asbase::Internal("ramfs module in a snapshot (unsupported)");
+        return;
+    }
+    // Marked loaded with zero load_nanos_: clone boot pays no module load,
+    // and the visor's warm-delta accounting must not see one.
+    loaded_[static_cast<size_t>(kind)].store(true, std::memory_order_release);
+  }
+}
+
+asbase::Status Libos::CaptureSnapshot(WfdSnapshot* out) {
+  std::lock_guard<std::mutex> lock(load_mutex_);
+  if (options_.use_ramfs && IsLoaded(ModuleKind::kRamfs)) {
+    return asbase::FailedPrecondition("ramfs WFDs are not snapshotable");
+  }
+  if (IsLoaded(ModuleKind::kFatfs) &&
+      (fs_ == nullptr || fs_->mem_disk == nullptr ||
+       fs_->fat_volume == nullptr)) {
+    return asbase::FailedPrecondition(
+        "external disk images are not snapshotable");
+  }
+  if (PendingSlots() != 0) {
+    return asbase::FailedPrecondition("pending slots at snapshot capture");
+  }
+  if (mmap_ != nullptr) {
+    std::lock_guard<std::mutex> mmap_lock(mmap_->mutex);
+    if (!mmap_->regions.empty()) {
+      return asbase::FailedPrecondition("live mmap regions at capture");
+    }
+  }
+  out->modules = LoadedModules();
+  out->heap_bytes = options_.heap_bytes;
+  out->disk_blocks = options_.disk_blocks;
+  out->use_ramfs = options_.use_ramfs;
+  out->load_all = options_.load_all;
+  out->image_bytes = 0;
+  if (mm_ != nullptr) {
+    std::lock_guard<std::mutex> mm_lock(mm_->mutex);
+    AS_ASSIGN_OR_RETURN(out->heap, mm_->heap.CaptureSnapshot());
+    out->allocator = mm_->allocator.CaptureImage();
+    out->image_bytes += out->heap->image_bytes();
+  }
+  if (fs_ != nullptr && fs_->mem_disk != nullptr) {
+    out->disk = fs_->mem_disk->SnapshotImage();
+    out->fat = fs_->fat_volume->SnapshotMeta();
+    out->image_bytes += out->disk->bytes();
+  }
+  return asbase::OkStatus();
 }
 
 Libos::~Libos() = default;
@@ -204,8 +332,9 @@ asbase::Status Libos::LoadLocked(ModuleKind kind) {
       auto module = std::make_unique<FsModule>();
       asblk::BlockDevice* disk = options_.disk;
       if (disk == nullptr) {
-        module->owned_disk =
-            std::make_unique<asblk::MemDisk>(options_.disk_blocks);
+        auto mem_disk = std::make_unique<asblk::MemDisk>(options_.disk_blocks);
+        module->mem_disk = mem_disk.get();
+        module->owned_disk = std::move(mem_disk);
         disk = module->owned_disk.get();
       }
       auto mounted = asfat::FatVolume::Mount(disk);
@@ -217,6 +346,7 @@ asbase::Status Libos::LoadLocked(ModuleKind kind) {
           return mounted.status();
         }
       }
+      module->fat_volume = mounted->get();
       module->fs = std::move(*mounted);
       fs_ = std::move(module);
       return asbase::OkStatus();
@@ -448,7 +578,13 @@ asalloc::Arena* Libos::heap_arena() {
 }
 
 size_t Libos::ResidentHeapBytes() const {
-  return mm_ == nullptr ? 0 : mm_->heap.ResidentBytes();
+  return mm_ == nullptr ? 0 : mm_->heap.PrivateResidentBytes();
+}
+
+size_t Libos::ResidentDiskBytes() const {
+  return fs_ == nullptr || fs_->mem_disk == nullptr
+             ? 0
+             : fs_->mem_disk->ResidentBytes();
 }
 
 // ------------------------------------------------------------------ files

@@ -41,6 +41,8 @@ class Trace;
 
 namespace alloy {
 
+struct WfdSnapshot;
+
 class Libos {
  public:
   struct Options {
@@ -68,6 +70,27 @@ class Libos {
   };
 
   explicit Libos(Options options);
+
+  // Clone boot (DESIGN.md §14): reconstructs the snapshot's loaded modules
+  // from its CoW images instead of booting them — the heap arena maps
+  // MAP_PRIVATE over the template memfd (allocator free list rebased into
+  // the new address space, MPK key bound over the view), the disk clones
+  // chunk-CoW, the FAT volume mounts from metadata without device reads.
+  // No LoadModuleImage (dlmopen) cost is paid; load_nanos_ stays zero so
+  // warm-delta accounting is unaffected. The socket module (if the template
+  // had one) is NOT reconstructed — the netstack registers lazily on first
+  // use. Check clone_status() before using the instance.
+  Libos(Options options, const WfdSnapshot& snapshot);
+
+  // Freezes this LibOS's module state into `out` (heap/allocator/disk/FAT
+  // images + module table). Preconditions: quiescent (post-ResetForReuse,
+  // exclusively owned), fatfs-backed with an owned MemDisk (ramfs and
+  // external disks are not snapshotable), no pending slots.
+  asbase::Status CaptureSnapshot(WfdSnapshot* out);
+
+  // kOk unless the clone-boot constructor failed (e.g. the CoW mmap).
+  const asbase::Status& clone_status() const { return clone_status_; }
+
   ~Libos();
 
   Libos(const Libos&) = delete;
@@ -155,8 +178,16 @@ class Libos {
   // Heap arena pages (for MPK binding by the WFD). Null until mm is loaded.
   asalloc::Arena* heap_arena();
 
-  // Total bytes of resident heap (resource accounting, Fig 17b).
+  // Bytes of heap privately owned by this WFD (resource accounting,
+  // Fig 17b). CoW-aware: for a cloned arena only dirtied pages count, not
+  // the shared template pages; for a booted arena this equals the resident
+  // set as before.
   size_t ResidentHeapBytes() const;
+
+  // Bytes of disk chunks privately materialized by this WFD's owned
+  // MemDisk (0 for external disks, ramfs, or an unloaded fs module).
+  // CoW-aware like ResidentHeapBytes.
+  size_t ResidentDiskBytes() const;
 
  private:
   // ---- module state ----
@@ -169,6 +200,10 @@ class Libos {
   struct FsModule {
     std::unique_ptr<asblk::BlockDevice> owned_disk;
     std::unique_ptr<asfat::Filesystem> fs;
+    // Downcast views for snapshot capture; non-null only when this module
+    // owns a MemDisk with a FatVolume mounted on it.
+    asblk::MemDisk* mem_disk = nullptr;
+    asfat::FatVolume* fat_volume = nullptr;
   };
   struct FdEntry {
     enum class Kind { kFree, kFile, kListener, kConnection, kStdio } kind =
@@ -218,6 +253,7 @@ class Libos {
   std::unique_ptr<MmapModule> mmap_;
   bool stdio_ready_ = false;
   std::mutex stdio_mutex_;
+  asbase::Status clone_status_;  // kOk unless clone-boot construction failed
 };
 
 }  // namespace alloy

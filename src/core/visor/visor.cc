@@ -36,6 +36,17 @@ int64_t EnvInt64(const char* name, int64_t fallback) {
   return static_cast<int64_t>(value);
 }
 
+// ALLOY_SNAPSHOT gates snapshot-fork clone boot (DESIGN.md §14). Default
+// on; "0"/"off"/"false" disables capture (and therefore cloning).
+bool SnapshotEnabledFromEnv() {
+  const char* env = std::getenv("ALLOY_SNAPSHOT");
+  if (env == nullptr || *env == '\0') {
+    return true;
+  }
+  const std::string value(env);
+  return value != "0" && value != "off" && value != "false";
+}
+
 // Burn rates export through int64 gauges; scale to milli-units (burn 1.0 →
 // gauge 1000) so fractional burns stay visible. Documented in docs/metrics.md.
 int64_t BurnMilli(double burn) {
@@ -147,6 +158,10 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   Entry entry;
   entry.spec = spec;
   entry.warmup = std::make_shared<WarmupProfile>();
+  entry.snapshot = std::make_shared<SnapshotCell>();
+  entry.snapshot_enabled = SnapshotEnabledFromEnv();
+  entry.snapshot_max_bytes =
+      static_cast<size_t>(EnvInt64("ALLOY_SNAPSHOT_MAX_BYTES", 0));
   {
     asobs::Registry& registry = asobs::Registry::Global();
     const asobs::Labels labels = WorkflowLabels(spec.name);
@@ -175,6 +190,16 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
       entry.burn_fast = &registry.GetGauge("alloy_slo_burn_rate", fast_labels);
       entry.burn_slow = &registry.GetGauge("alloy_slo_burn_rate", slow_labels);
     }
+    entry.snapshot_creates =
+        &registry.GetCounter("alloy_visor_snapshot_creates_total", labels);
+    entry.snapshot_clones =
+        &registry.GetCounter("alloy_visor_snapshot_clones_total", labels);
+    entry.snapshot_invalidations = &registry.GetCounter(
+        "alloy_visor_snapshot_invalidations_total", labels);
+    entry.snapshot_fallbacks = &registry.GetCounter(
+        "alloy_visor_snapshot_fallback_boots_total", labels);
+    entry.snapshot_clone_hist =
+        &registry.GetHistogram("alloy_visor_snapshot_clone_nanos", labels);
   }
   // The fan-out is known from the spec; the module set is learned from the
   // first completed invocation (see Invoke).
@@ -195,8 +220,26 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
     wfd_options.trace = nullptr;
     wfd_options.trace_parent = 0;
     pool_options.factory =
-        [wfd_options, warmup = entry.warmup]()
+        [wfd_options, warmup = entry.warmup, snapcell = entry.snapshot,
+         clones = entry.snapshot_clones, fallbacks = entry.snapshot_fallbacks,
+         clone_hist = entry.snapshot_clone_hist]()
         -> asbase::Result<std::unique_ptr<Wfd>> {
+      // Primary path (DESIGN.md §14): clone-boot from the snapshot template
+      // when one exists — the pre-warmed WFD arrives hot for O(µs) instead
+      // of a full boot + module replay. Counter pointers are registry-owned
+      // (immortal), safe to hold in a closure that outlives the Entry.
+      if (std::shared_ptr<const WfdSnapshot> snap = snapcell->Get()) {
+        auto clone_or = Wfd::CloneFromSnapshot(wfd_options, std::move(snap));
+        if (clone_or.ok()) {
+          clones->Add(1);
+          clone_hist->Record((*clone_or)->creation_nanos());
+          return clone_or;
+        }
+        AS_LOG(kWarn) << "snapshot clone-boot failed ("
+                      << clone_or.status().ToString()
+                      << "); falling back to full boot";
+      }
+      fallbacks->Add(1);
       AS_ASSIGN_OR_RETURN(std::unique_ptr<Wfd> wfd,
                           Wfd::Create(wfd_options));
       std::vector<ModuleKind> modules;
@@ -224,7 +267,9 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   }
   entry.pool = std::make_shared<WfdPool>(spec.name, std::move(pool_options));
   entry.options = std::move(options);
+  asobs::Counter* invalidations = entry.snapshot_invalidations;
   std::shared_ptr<WfdPool> old_pool;
+  std::shared_ptr<SnapshotCell> old_cell;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Overwrite drops the previous entry — including its pool, whose warm
@@ -234,6 +279,7 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
     auto it = workflows_.find(spec.name);
     if (it != workflows_.end()) {
       old_pool = it->second.pool;
+      old_cell = it->second.snapshot;
     }
     workflows_[spec.name] = std::move(entry);
     // A fresh registration supersedes any migration tombstone: requests for
@@ -243,6 +289,14 @@ void AsVisor::RegisterWorkflow(const WorkflowSpec& spec,
   // Requests queued against the old registration re-evaluate (their ticket
   // vanished with the old Entry).
   admission_cv_.notify_all();
+  // Re-registration invalidates the old snapshot template: its images were
+  // built from the old code/options and must not clone-boot the new
+  // registration. The old cell may still be referenced by the orphaned
+  // pool's factory; dropping the snapshot makes that factory fall back to a
+  // full boot until the pool shuts down.
+  if (old_cell != nullptr && old_cell->Invalidate()) {
+    invalidations->Add(1);
+  }
   if (old_pool != nullptr) {
     // Stop the orphan's warmer now (it joins a thread — never under mutex_)
     // so it does not keep booting WFDs nobody will lease.
@@ -465,6 +519,14 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   asobs::Counter* timeouts = nullptr;
   asobs::LatencyHistogram* invoke_hist = nullptr;
   uint32_t flight_id = 0;
+  std::shared_ptr<SnapshotCell> snapcell;
+  bool snapshot_enabled = true;
+  size_t snapshot_max_bytes = 0;
+  asobs::Counter* snapshot_creates = nullptr;
+  asobs::Counter* snapshot_clones = nullptr;
+  asobs::Counter* snapshot_invalidations = nullptr;
+  asobs::Counter* snapshot_fallbacks = nullptr;
+  asobs::LatencyHistogram* snapshot_clone_hist = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = workflows_.find(workflow_name);
@@ -482,6 +544,14 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     timeouts = it->second.timeouts;
     invoke_hist = it->second.invoke_hist;
     flight_id = it->second.flight_id;
+    snapcell = it->second.snapshot;
+    snapshot_enabled = it->second.snapshot_enabled;
+    snapshot_max_bytes = it->second.snapshot_max_bytes;
+    snapshot_creates = it->second.snapshot_creates;
+    snapshot_clones = it->second.snapshot_clones;
+    snapshot_invalidations = it->second.snapshot_invalidations;
+    snapshot_fallbacks = it->second.snapshot_fallbacks;
+    snapshot_clone_hist = it->second.snapshot_clone_hist;
   }
 
   // Everything logged while this invocation runs on this thread carries its
@@ -561,17 +631,44 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   } else {
     wfd_options.trace = trace.get();
     wfd_options.trace_parent = root.id();
-    asobs::Span create_span =
-        trace->StartSpan("wfd_create", "visor", root.id());
-    auto wfd_or = Wfd::Create(wfd_options);
-    create_span.End();
-    if (!wfd_or.ok()) {
-      flight.lease_nanos = asbase::MonoNanos() - lease_start;
-      return fail(wfd_or.status());
+    // Miss path, primary: clone-boot from the snapshot template (DESIGN.md
+    // §14) — O(µs) where a full boot is ~ms. Falls through to Create on any
+    // clone failure (geometry drift, mmap failure) or when no template has
+    // been captured yet.
+    std::shared_ptr<const WfdSnapshot> snap =
+        snapcell != nullptr ? snapcell->Get() : nullptr;
+    if (snap != nullptr) {
+      asobs::Span clone_span =
+          trace->StartSpan("wfd_clone", "visor", root.id());
+      auto clone_or = Wfd::CloneFromSnapshot(wfd_options, std::move(snap));
+      clone_span.End();
+      if (clone_or.ok()) {
+        wfd = std::move(*clone_or);
+        result.wfd_create_nanos = wfd->creation_nanos();
+        result.clone_start = true;
+        snapshot_clones->Add(1);
+        snapshot_clone_hist->Record(result.wfd_create_nanos);
+        root.SetArg("start", "clone");
+      } else {
+        AS_LOG(kWarn) << "snapshot clone-boot failed ("
+                      << clone_or.status().ToString()
+                      << "); falling back to full boot";
+      }
     }
-    wfd = std::move(*wfd_or);
-    result.wfd_create_nanos = wfd->creation_nanos();
-    root.SetArg("start", "cold");
+    if (wfd == nullptr) {
+      asobs::Span create_span =
+          trace->StartSpan("wfd_create", "visor", root.id());
+      auto wfd_or = Wfd::Create(wfd_options);
+      create_span.End();
+      if (!wfd_or.ok()) {
+        flight.lease_nanos = asbase::MonoNanos() - lease_start;
+        return fail(wfd_or.status());
+      }
+      wfd = std::move(*wfd_or);
+      result.wfd_create_nanos = wfd->creation_nanos();
+      snapshot_fallbacks->Add(1);
+      root.SetArg("start", "cold");
+    }
   }
   // Lease phase: warm pop, or the cold start the miss forced.
   flight.lease_nanos = asbase::MonoNanos() - lease_start;
@@ -616,14 +713,45 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
     reset_span.End();
     if (reset.ok()) {
       wfd->SetTrace(nullptr, 0);
+      // First successful boot+invoke+reset freezes the snapshot template
+      // (DESIGN.md §14). Post-reset so the image holds no per-invocation
+      // state; pre-park so the WFD is still exclusively ours. The cell
+      // admits exactly one capture attempt, so steady state pays only a
+      // CaptureWorthTrying() mutex peek.
+      if (snapshot_enabled && snapcell != nullptr &&
+          !wfd->cloned_from_snapshot() && snapcell->CaptureWorthTrying()) {
+        asobs::Span snap_span =
+            trace->StartSpan("snapshot_capture", "visor", root.id());
+        MaybeCaptureSnapshot(snapcell, *wfd, snapshot_max_bytes,
+                             snapshot_creates);
+        snap_span.End();
+      }
       pool->Park(std::move(wfd));
       lease_end.armed = false;
     } else {
       AS_LOG(kWarn) << "WFD reset for '" << workflow_name
                     << "' failed (" << reset.ToString() << "); destroying";
+      // A WFD that cannot reset throws doubt on the template it may have
+      // been cloned from (e.g. leaked slots baked into the image): drop the
+      // snapshot so the next boot rebuilds from scratch.
+      if (snapcell != nullptr && snapcell->Invalidate()) {
+        snapshot_invalidations->Add(1);
+      }
       wfd.reset();
     }
   } else {
+    // pool_size == 0 cold-starts every invocation — the configuration with
+    // the most to gain from a template. Reset + capture once even though
+    // this WFD is about to be destroyed, so every later miss clone-boots.
+    if (snapshot_enabled && snapcell != nullptr &&
+        !wfd->cloned_from_snapshot() && snapcell->CaptureWorthTrying() &&
+        wfd->Reset().ok()) {
+      asobs::Span snap_span =
+          trace->StartSpan("snapshot_capture", "visor", root.id());
+      MaybeCaptureSnapshot(snapcell, *wfd, snapshot_max_bytes,
+                           snapshot_creates);
+      snap_span.End();
+    }
     wfd.reset();
   }
   flight.reset_nanos = asbase::MonoNanos() - reset_start;
@@ -669,6 +797,27 @@ asbase::Result<InvokeResult> AsVisor::Invoke(
   AccountOutcome(workflow_name, trace, asobs::FlightOutcome::kOk,
                  result.end_to_end_nanos);
   return result;
+}
+
+void AsVisor::MaybeCaptureSnapshot(
+    const std::shared_ptr<SnapshotCell>& cell, Wfd& wfd,
+    size_t max_image_bytes, asobs::Counter* creates) {
+  if (!cell->TryBeginCapture()) {
+    return;  // lost the race to a concurrent invocation, or already done
+  }
+  auto snapshot_or = wfd.CaptureSnapshot(max_image_bytes);
+  if (snapshot_or.ok()) {
+    cell->EndCapture(std::move(*snapshot_or));
+    creates->Add(1);
+  } else {
+    // Capture failure marks the cell dead: a workflow whose state cannot
+    // snapshot (ramfs, external disk, oversized image, pinned buffers)
+    // should not retry — and pay for — the capture on every invocation.
+    AS_LOG(kInfo) << "snapshot capture declined ("
+                  << snapshot_or.status().ToString()
+                  << "); workflow will keep full-boot cold starts";
+    cell->EndCapture(nullptr);
+  }
 }
 
 asbase::Result<InvokeResult> AsVisor::InvokeFromConfig(

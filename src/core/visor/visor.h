@@ -36,6 +36,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/visor/orchestrator.h"
 #include "src/core/visor/wfd_pool.h"
+#include "src/core/wfd_snapshot.h"
 #include "src/http/http.h"
 #include "src/obs/flight.h"
 #include "src/obs/metrics.h"
@@ -53,6 +54,9 @@ struct InvokeResult {
   int64_t module_load_nanos = 0;
   // True when the invocation ran on a pooled warm WFD.
   bool warm_start = false;
+  // True when the pool missed but the WFD was clone-booted from a snapshot
+  // template (wfd_create_nanos is then the clone time, O(µs)).
+  bool clone_start = false;
   RunStats run;
   // End-to-end: invocation receipt to workflow completion.
   int64_t end_to_end_nanos = 0;
@@ -330,6 +334,11 @@ class AsVisor {
     std::shared_ptr<WfdPool> pool;
     // Warm-up recording for the pool factory (see WarmupProfile).
     std::shared_ptr<WarmupProfile> warmup;
+    // Snapshot-fork template slot (DESIGN.md §14): written once by the
+    // first successful post-invoke reset, read by the factory and the
+    // invoke miss path, dropped on re-registration or reset failure.
+    // Shared with the factory closure like `warmup`.
+    std::shared_ptr<SnapshotCell> snapshot;
     // Watchdog invocations currently running this workflow (admission).
     int inflight = 0;
     // FIFO admission queue: tickets of requests waiting for a concurrency
@@ -365,7 +374,25 @@ class AsVisor {
     std::shared_ptr<asobs::SloTracker> slo;
     asobs::Gauge* burn_fast = nullptr;
     asobs::Gauge* burn_slow = nullptr;
+    // Snapshot lifecycle counters + clone-boot latency, cached like the
+    // series above (registry-owned, immortal).
+    asobs::Counter* snapshot_creates = nullptr;
+    asobs::Counter* snapshot_clones = nullptr;
+    asobs::Counter* snapshot_invalidations = nullptr;
+    asobs::Counter* snapshot_fallbacks = nullptr;
+    asobs::LatencyHistogram* snapshot_clone_hist = nullptr;
+    // ALLOY_SNAPSHOT / ALLOY_SNAPSHOT_MAX_BYTES, parsed at registration.
+    bool snapshot_enabled = true;
+    size_t snapshot_max_bytes = 0;
   };
+
+  // Captures a snapshot template from `wfd` (post-reset, pre-park) into
+  // `cell` if the cell is still open and snapshots are enabled. At most one
+  // capture per registration ever runs; failures mark the cell dead so the
+  // cost is not re-paid. Never called under mutex_.
+  static void MaybeCaptureSnapshot(const std::shared_ptr<SnapshotCell>& cell,
+                                   Wfd& wfd, size_t max_image_bytes,
+                                   asobs::Counter* creates);
 
   void ReleaseAdmission(const std::string& workflow_name);
 

@@ -23,6 +23,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/libos/libos.h"
+#include "src/core/wfd_snapshot.h"
 #include "src/mpk/trampoline.h"
 
 namespace alloy {
@@ -67,6 +68,24 @@ class Wfd {
   // Instantiates the WFD: MPK keys + trampoline + (empty or full) LibOS.
   // The time this takes *is* the WFD part of cold start (Fig 10).
   static asbase::Result<std::unique_ptr<Wfd>> Create(WfdOptions options);
+
+  // Clone boot (DESIGN.md §14): a fresh WFD — own MPK keys, own trampoline,
+  // own address-space view — whose LibOS state is reconstructed
+  // copy-on-write from a snapshot-fork template instead of booted. The
+  // clone's user key is rebound over its private CoW heap view; fds and the
+  // netstack register lazily. O(µs) where Create is ~ms. Fails when the
+  // options are incompatible with the template's geometry.
+  static asbase::Result<std::unique_ptr<Wfd>> CloneFromSnapshot(
+      WfdOptions options, std::shared_ptr<const WfdSnapshot> snapshot);
+  bool cloned_from_snapshot() const { return cloned_from_snapshot_; }
+
+  // Freezes this WFD's booted state into an immutable template (call only
+  // post-Reset on an exclusively-owned WFD). `max_image_bytes` caps the
+  // template's one-time resident cost (heap image + disk chunks); 0 = no
+  // cap. The WFD keeps serving afterwards — its disk becomes a CoW client
+  // of the frozen image.
+  asbase::Result<std::shared_ptr<const WfdSnapshot>> CaptureSnapshot(
+      size_t max_image_bytes = 0);
 
   ~Wfd();
 
@@ -131,6 +150,7 @@ class Wfd {
   std::unique_ptr<asmpk::Trampoline> trampoline_;
   std::unique_ptr<Libos> libos_;
   int64_t creation_nanos_ = 0;
+  bool cloned_from_snapshot_ = false;
 
   // Declared last so the workers join before the LibOS (heap, netstack)
   // they may have touched is torn down.

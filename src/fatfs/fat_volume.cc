@@ -239,35 +239,78 @@ asbase::Status FatVolume::LoadGeometry() {
 }
 
 asbase::Status FatVolume::LoadFat() {
-  fat_.assign(cluster_count_ + 2, 0);
+  fat_ = std::make_shared<std::vector<uint32_t>>(cluster_count_ + 2, 0);
+  std::vector<uint32_t>& fat = *fat_;
   std::vector<uint8_t> sector(kSector);
   const uint32_t entries_needed = cluster_count_ + 2;
   for (uint32_t s = 0; s * (kSector / 4) < entries_needed; ++s) {
     AS_RETURN_IF_ERROR(device_->Read(reserved_sectors_ + s, sector));
     const uint32_t base = s * (kSector / 4);
     for (uint32_t i = 0; i < kSector / 4 && base + i < entries_needed; ++i) {
-      fat_[base + i] = GetLe32(&sector[i * 4]) & kFatMask;
+      fat[base + i] = GetLe32(&sector[i * 4]) & kFatMask;
     }
   }
   return asbase::OkStatus();
 }
 
+FatVolume::MetaImage FatVolume::SnapshotMeta() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetaImage meta;
+  meta.sectors_per_cluster = sectors_per_cluster_;
+  meta.bytes_per_cluster = bytes_per_cluster_;
+  meta.reserved_sectors = reserved_sectors_;
+  meta.fat_sectors = fat_sectors_;
+  meta.data_start_sector = data_start_sector_;
+  meta.cluster_count = cluster_count_;
+  meta.root_cluster = root_cluster_;
+  meta.fat = fat_;  // shared; MutableFat copies before the next update
+  meta.next_free_hint = next_free_hint_;
+  return meta;
+}
+
+std::unique_ptr<FatVolume> FatVolume::MountFromMeta(asblk::BlockDevice* device,
+                                                    const MetaImage& meta) {
+  auto volume = std::unique_ptr<FatVolume>(new FatVolume(device));
+  volume->sectors_per_cluster_ = meta.sectors_per_cluster;
+  volume->bytes_per_cluster_ = meta.bytes_per_cluster;
+  volume->reserved_sectors_ = meta.reserved_sectors;
+  volume->fat_sectors_ = meta.fat_sectors;
+  volume->data_start_sector_ = meta.data_start_sector;
+  volume->cluster_count_ = meta.cluster_count;
+  volume->root_cluster_ = meta.root_cluster;
+  volume->fat_ = meta.fat;
+  volume->next_free_hint_ = meta.next_free_hint;
+  return volume;
+}
+
 // ----------------------------------------------------------------- FAT ops
 
+std::vector<uint32_t>& FatVolume::MutableFat() {
+  // use_count > 1 means a MetaImage (or a sibling mounted from one) still
+  // references this vector: copy before mutating. A spuriously high count
+  // (the image died concurrently) only costs an extra copy, never a shared
+  // mutation.
+  if (fat_.use_count() > 1) {
+    fat_ = std::make_shared<std::vector<uint32_t>>(*fat_);
+  }
+  return *fat_;
+}
+
 uint32_t FatVolume::FatEntry(uint32_t cluster) const {
-  AS_CHECK(cluster < fat_.size()) << "FAT index out of range";
-  return fat_[cluster];
+  AS_CHECK(cluster < fat().size()) << "FAT index out of range";
+  return fat()[cluster];
 }
 
 asbase::Status FatVolume::SetFatEntry(uint32_t cluster, uint32_t value) {
-  AS_CHECK(cluster < fat_.size());
-  fat_[cluster] = value & kFatMask;
+  std::vector<uint32_t>& fat = MutableFat();
+  AS_CHECK(cluster < fat.size());
+  fat[cluster] = value & kFatMask;
   // Write-through of the containing FAT sector.
   const uint32_t sector_index = cluster / (kSector / 4);
   std::vector<uint8_t> sector(kSector);
   const uint32_t base = sector_index * (kSector / 4);
   for (uint32_t i = 0; i < kSector / 4; ++i) {
-    PutLe32(&sector[i * 4], base + i < fat_.size() ? fat_[base + i] : 0);
+    PutLe32(&sector[i * 4], base + i < fat.size() ? fat[base + i] : 0);
   }
   return device_->Write(reserved_sectors_ + sector_index, sector);
 }
@@ -276,7 +319,7 @@ asbase::Result<uint32_t> FatVolume::AllocateCluster(uint32_t prev_cluster) {
   const uint32_t hint = next_free_hint_ < 2 ? 2 : next_free_hint_;
   for (uint32_t probe = 0; probe < cluster_count_; ++probe) {
     const uint32_t candidate = 2 + (hint - 2 + probe) % cluster_count_;
-    if (fat_[candidate] == 0) {
+    if (fat()[candidate] == 0) {
       AS_RETURN_IF_ERROR(SetFatEntry(candidate, 0x0FFFFFFF));
       if (prev_cluster != 0) {
         AS_RETURN_IF_ERROR(SetFatEntry(prev_cluster, candidate));
@@ -981,7 +1024,7 @@ asbase::Result<uint32_t> FatVolume::CountFreeClusters() {
   std::lock_guard<std::mutex> lock(mutex_);
   uint32_t free = 0;
   for (uint32_t c = 2; c < cluster_count_ + 2; ++c) {
-    if (fat_[c] == 0) {
+    if (fat()[c] == 0) {
       ++free;
     }
   }

@@ -41,6 +41,34 @@ class FatVolume : public Filesystem {
   static asbase::Result<std::unique_ptr<FatVolume>> Mount(
       asblk::BlockDevice* device);
 
+  // Snapshot-fork fast mount (DESIGN.md §14): everything Mount derives from
+  // the device — geometry plus the in-memory FAT — captured once from a
+  // booted volume. The FAT vector is shared copy-on-write between the image
+  // and every volume mounted from it; a volume's first FAT update after the
+  // capture copies the vector privately (see MutableFat), so an idle clone's
+  // host-heap cost for the FAT is zero.
+  struct MetaImage {
+    uint32_t sectors_per_cluster = 0;
+    uint32_t bytes_per_cluster = 0;
+    uint32_t reserved_sectors = 0;
+    uint32_t fat_sectors = 0;
+    uint32_t data_start_sector = 0;
+    uint32_t cluster_count = 0;
+    uint32_t root_cluster = 2;
+    std::shared_ptr<std::vector<uint32_t>> fat;  // immutable once captured
+    uint32_t next_free_hint = 3;
+  };
+
+  // Captures the mounted volume's metadata. Call with no open files (the
+  // visor snapshots post-reset); open handles are not part of the image.
+  MetaImage SnapshotMeta();
+
+  // Mounts over `device` (typically a CoW MemDisk clone) without reading a
+  // single block: geometry and FAT come from the image. O(µs) vs O(FAT
+  // sectors) for Mount.
+  static std::unique_ptr<FatVolume> MountFromMeta(asblk::BlockDevice* device,
+                                                  const MetaImage& meta);
+
   // ---- Filesystem interface ----
   asbase::Result<int> Open(const std::string& path, OpenFlags flags) override;
   asbase::Status Close(int handle) override;
@@ -96,6 +124,12 @@ class FatVolume : public Filesystem {
 
   asbase::Status LoadGeometry();
   asbase::Status LoadFat();
+
+  // The FAT cache, copy-on-write: shared with a MetaImage (and sibling
+  // volumes) until the first update, which copies it privately. Readers use
+  // fat(); writers must go through MutableFat(). mutex_ held for both.
+  const std::vector<uint32_t>& fat() const { return *fat_; }
+  std::vector<uint32_t>& MutableFat();
 
   // FAT access (in-memory cache, write-through).
   uint32_t FatEntry(uint32_t cluster) const;
@@ -156,7 +190,7 @@ class FatVolume : public Filesystem {
   uint32_t cluster_count_ = 0;
   uint32_t root_cluster_ = 2;
 
-  std::vector<uint32_t> fat_;   // in-memory copy of the FAT
+  std::shared_ptr<std::vector<uint32_t>> fat_;  // in-memory copy of the FAT
   uint32_t next_free_hint_ = 3;
 
   std::unordered_map<int, OpenFile> open_files_;

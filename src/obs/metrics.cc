@@ -59,6 +59,11 @@ constexpr struct {
     {"alloy_visor_prewarms_total", MetricType::kCounter},
     {"alloy_visor_pool_resident_bytes", MetricType::kGauge},
     {"alloy_visor_pool_lease_nanos", MetricType::kSummary},
+    {"alloy_visor_snapshot_creates_total", MetricType::kCounter},
+    {"alloy_visor_snapshot_clones_total", MetricType::kCounter},
+    {"alloy_visor_snapshot_invalidations_total", MetricType::kCounter},
+    {"alloy_visor_snapshot_fallback_boots_total", MetricType::kCounter},
+    {"alloy_visor_snapshot_clone_nanos", MetricType::kSummary},
     {"alloy_visor_flight_records_total", MetricType::kCounter},
     {"alloy_visor_flight_dropped_total", MetricType::kCounter},
     {"alloy_visor_traces_retained_total", MetricType::kCounter},

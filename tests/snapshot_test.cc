@@ -1,0 +1,481 @@
+// Tests for WFD snapshot-fork clone boot (DESIGN.md §14): CoW isolation of
+// heap and filesystem between the template and its clones, MPK key
+// isolation across clones, the visor's capture/clone/invalidate lifecycle
+// (with counter proof), and the clone-while-snapshotting race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/alloc/arena.h"
+#include "src/blockdev/block_device.h"
+#include "src/core/visor/visor.h"
+#include "src/core/wfd.h"
+#include "src/core/wfd_snapshot.h"
+#include "src/obs/metrics.h"
+
+namespace alloy {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+WfdOptions SmallWfd() {
+  WfdOptions options;
+  options.heap_bytes = 8u << 20;
+  options.disk_blocks = 16 * 1024;  // 8 MiB disk
+  options.mpk_backend = asmpk::MpkBackend::kEmulated;
+  return options;
+}
+
+uint64_t CounterValue(const std::string& name, const std::string& workflow) {
+  return asobs::Registry::Global()
+      .GetCounter(name, {{"workflow", workflow}})
+      .value();
+}
+
+std::string ReadFile(Libos& libos, const std::string& path) {
+  auto fd = libos.Open(path, asfat::OpenFlags::ReadOnly());
+  if (!fd.ok()) {
+    return "<open failed: " + fd.status().ToString() + ">";
+  }
+  std::vector<uint8_t> buffer(4096);
+  auto n = libos.Read(*fd, buffer);
+  (void)libos.CloseFd(*fd);
+  if (!n.ok()) {
+    return "<read failed>";
+  }
+  return std::string(buffer.begin(), buffer.begin() + *n);
+}
+
+asbase::Status WriteFile(Libos& libos, const std::string& path,
+                         const std::string& content) {
+  AS_ASSIGN_OR_RETURN(int fd,
+                      libos.Open(path, asfat::OpenFlags::WriteCreate()));
+  auto written = libos.Write(fd, Bytes(content));
+  AS_RETURN_IF_ERROR(libos.CloseFd(fd));
+  AS_RETURN_IF_ERROR(written.status());
+  return asbase::OkStatus();
+}
+
+// ------------------------------------------------------------ arena CoW
+
+TEST(ArenaSnapshotTest, ClonesAreIsolatedFromTemplateAndSiblings) {
+  asalloc::Arena arena(1u << 20);
+  ASSERT_TRUE(arena.valid());
+  uint8_t* base = static_cast<uint8_t*>(arena.data());
+  std::memset(base, 0x5a, 4096);
+
+  auto snapshot = arena.CaptureSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_GT((*snapshot)->image_bytes(), 0u);
+
+  auto clone_a = asalloc::Arena::CloneFrom(**snapshot);
+  auto clone_b = asalloc::Arena::CloneFrom(**snapshot);
+  ASSERT_TRUE(clone_a.ok());
+  ASSERT_TRUE(clone_b.ok());
+  EXPECT_TRUE(clone_a->is_cow_clone());
+  uint8_t* a = static_cast<uint8_t*>(clone_a->data());
+  uint8_t* b = static_cast<uint8_t*>(clone_b->data());
+
+  // Clones see the template's bytes without any copy having happened.
+  EXPECT_EQ(a[0], 0x5a);
+  EXPECT_EQ(b[100], 0x5a);
+
+  // Writes in one clone are invisible to the template and the sibling.
+  std::memset(a, 0xaa, 4096);
+  EXPECT_EQ(base[0], 0x5a);
+  EXPECT_EQ(b[0], 0x5a);
+  std::memset(b, 0xbb, 4096);
+  EXPECT_EQ(a[0], 0xaa);
+  EXPECT_EQ(base[0], 0x5a);
+
+  // Template writes after capture do not leak into clones (the memfd image
+  // is sealed; the template keeps its own anonymous pages).
+  std::memset(base, 0xcc, 4096);
+  EXPECT_EQ(a[0], 0xaa);
+  EXPECT_EQ(b[0], 0xbb);
+
+  // A clone privately owns only what it dirtied, not the shared template
+  // pages: one dirtied 4 KiB run, not the 1 MiB mapping.
+  EXPECT_LE(clone_a->PrivateResidentBytes(), 64u * 1024);
+}
+
+// ------------------------------------------------------- memdisk chunks
+
+TEST(MemDiskTest, AllocatesLazilyAndClonesCopyOnWrite) {
+  // Satellite 1: a fresh disk must not eagerly materialize its full size.
+  asblk::MemDisk disk(128 * 1024);  // 64 MiB virtual
+  EXPECT_EQ(disk.ResidentBytes(), 0u);
+
+  std::vector<uint8_t> block(asblk::BlockDevice::kBlockSize, 0x11);
+  ASSERT_TRUE(disk.Write(7, block).ok());
+  EXPECT_GT(disk.ResidentBytes(), 0u);
+  EXPECT_LE(disk.ResidentBytes(), asblk::MemDisk::kChunkBytes);
+
+  auto image = disk.SnapshotImage();
+  ASSERT_NE(image, nullptr);
+  // The template re-based onto the frozen image: its private set is empty
+  // again, and the image holds the written chunk.
+  EXPECT_EQ(disk.ResidentBytes(), 0u);
+  EXPECT_GT(image->bytes(), 0u);
+
+  asblk::MemDisk clone(image);
+  std::vector<uint8_t> out(asblk::BlockDevice::kBlockSize);
+  ASSERT_TRUE(clone.Read(7, out).ok());
+  EXPECT_EQ(out[0], 0x11);
+  EXPECT_EQ(clone.ResidentBytes(), 0u) << "reads must not materialize chunks";
+
+  // Clone write copies the chunk; the template still reads the image data.
+  std::vector<uint8_t> other(asblk::BlockDevice::kBlockSize, 0x22);
+  ASSERT_TRUE(clone.Write(7, other).ok());
+  ASSERT_TRUE(disk.Read(7, out).ok());
+  EXPECT_EQ(out[0], 0x11);
+  ASSERT_TRUE(clone.Read(7, out).ok());
+  EXPECT_EQ(out[0], 0x22);
+
+  // Unwritten blocks read as zeros in both.
+  ASSERT_TRUE(clone.Read(9999, out).ok());
+  EXPECT_EQ(out[0], 0u);
+}
+
+// ------------------------------------------------------------- wfd clone
+
+TEST(WfdSnapshotTest, CloneBootSharesStateButIsolatesWrites) {
+  auto wfd_or = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(wfd_or.ok());
+  Wfd& tmpl = **wfd_or;
+
+  // Bake recognizable state into the template: a heap allocation with a
+  // pattern and a file on the FAT volume.
+  auto heap_ptr = tmpl.libos().HeapAllocate(64 * 1024);
+  ASSERT_TRUE(heap_ptr.ok());
+  std::memset(*heap_ptr, 0x5a, 64 * 1024);
+  ASSERT_TRUE(WriteFile(tmpl.libos(), "/seed.txt", "template-state").ok());
+  ASSERT_TRUE(tmpl.Reset().ok());
+
+  uint8_t* tmpl_base = static_cast<uint8_t*>(tmpl.libos().heap_arena()->data());
+  const size_t heap_offset =
+      static_cast<uint8_t*>(*heap_ptr) - tmpl_base;
+
+  auto snapshot = tmpl.CaptureSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_GT((*snapshot)->image_bytes, 0u);
+
+  auto clone_a_or = Wfd::CloneFromSnapshot(SmallWfd(), *snapshot);
+  auto clone_b_or = Wfd::CloneFromSnapshot(SmallWfd(), *snapshot);
+  ASSERT_TRUE(clone_a_or.ok()) << clone_a_or.status().ToString();
+  ASSERT_TRUE(clone_b_or.ok());
+  Wfd& a = **clone_a_or;
+  Wfd& b = **clone_b_or;
+  EXPECT_TRUE(a.cloned_from_snapshot());
+
+  // Before dirtying anything, a clone's incremental resident cost is a
+  // small fraction of the template's (CoW views, not copies). The few
+  // private pages it does hold come from the free-list rebase.
+  EXPECT_LT(b.ResidentBytes(), tmpl.ResidentBytes() / 2);
+
+  // Clone boot skipped module construction but the modules are loaded.
+  EXPECT_TRUE(a.libos().IsLoaded(ModuleKind::kMm));
+  EXPECT_TRUE(a.libos().IsLoaded(ModuleKind::kFatfs));
+  EXPECT_EQ(a.libos().TotalLoadNanos(), 0)
+      << "clone boot must not charge module-load time";
+
+  // Heap contents came across at the same offset; file contents mounted
+  // without device I/O.
+  uint8_t* a_base = static_cast<uint8_t*>(a.libos().heap_arena()->data());
+  uint8_t* b_base = static_cast<uint8_t*>(b.libos().heap_arena()->data());
+  EXPECT_EQ(a_base[heap_offset], 0x5a);
+  EXPECT_EQ(ReadFile(a.libos(), "/seed.txt"), "template-state");
+
+  // Heap writes stay private per clone.
+  a_base[heap_offset] = 0xaa;
+  b_base[heap_offset] = 0xbb;
+  EXPECT_EQ(tmpl_base[heap_offset], 0x5a);
+  EXPECT_EQ(a_base[heap_offset], 0xaa);
+  EXPECT_EQ(b_base[heap_offset], 0xbb);
+
+  // Filesystem writes stay private per clone: /a.txt exists only in A.
+  ASSERT_TRUE(WriteFile(a.libos(), "/a.txt", "from-a").ok());
+  EXPECT_TRUE(a.libos().Stat("/a.txt").ok());
+  EXPECT_FALSE(b.libos().Stat("/a.txt").ok());
+  EXPECT_FALSE(tmpl.libos().Stat("/a.txt").ok());
+  ASSERT_TRUE(WriteFile(b.libos(), "/b.txt", "from-b").ok());
+  EXPECT_EQ(ReadFile(b.libos(), "/b.txt"), "from-b");
+  EXPECT_FALSE(a.libos().Stat("/b.txt").ok());
+
+  // The clone's allocator resumed from the template's cursor: it can keep
+  // allocating, and freeing the template's allocation inside the clone is
+  // legal (the free-list was rebased into the clone's address space).
+  auto clone_alloc = a.libos().HeapAllocate(32 * 1024);
+  ASSERT_TRUE(clone_alloc.ok());
+  EXPECT_TRUE(a.libos().HeapFree(a_base + heap_offset).ok());
+}
+
+TEST(WfdSnapshotTest, MpkKeysAreReboundPerClone) {
+  auto tmpl_or = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(tmpl_or.ok());
+  ASSERT_TRUE((*tmpl_or)->libos().EnsureLoaded(ModuleKind::kMm).ok());
+  ASSERT_TRUE((*tmpl_or)->Reset().ok());
+  auto snapshot = (*tmpl_or)->CaptureSnapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  auto a_or = Wfd::CloneFromSnapshot(SmallWfd(), *snapshot);
+  auto b_or = Wfd::CloneFromSnapshot(SmallWfd(), *snapshot);
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  Wfd& a = **a_or;
+  Wfd& b = **b_or;
+
+  // Each clone's heap view is bound to that clone's own user key in that
+  // clone's own key runtime — the MPK partition does not come from the
+  // template.
+  void* a_heap = a.libos().heap_arena()->data();
+  void* b_heap = b.libos().heap_arena()->data();
+  EXPECT_EQ(a.mpk().KeyOf(a_heap), a.user_key());
+  EXPECT_EQ(b.mpk().KeyOf(b_heap), b.user_key());
+  // A's runtime knows nothing about B's view and vice versa.
+  EXPECT_EQ(a.mpk().KeyOf(b_heap), 0u);
+  EXPECT_EQ(b.mpk().KeyOf(a_heap), 0u);
+}
+
+TEST(WfdSnapshotTest, RamfsAndGeometryMismatchesRefuse) {
+  WfdOptions ramfs_options = SmallWfd();
+  ramfs_options.use_ramfs = true;
+  auto ramfs_wfd = Wfd::Create(ramfs_options);
+  ASSERT_TRUE(ramfs_wfd.ok());
+  ASSERT_TRUE((*ramfs_wfd)->libos().EnsureLoaded(ModuleKind::kRamfs).ok());
+  EXPECT_FALSE((*ramfs_wfd)->CaptureSnapshot().ok())
+      << "ramfs WFDs must not snapshot";
+
+  auto tmpl = Wfd::Create(SmallWfd());
+  ASSERT_TRUE(tmpl.ok());
+  ASSERT_TRUE((*tmpl)->libos().EnsureLoaded(ModuleKind::kMm).ok());
+  auto snapshot = (*tmpl)->CaptureSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  WfdOptions bigger = SmallWfd();
+  bigger.heap_bytes = 16u << 20;
+  EXPECT_FALSE(Wfd::CloneFromSnapshot(bigger, *snapshot).ok())
+      << "geometry drift must refuse, not mis-clone";
+
+  // Cap enforcement: a tiny budget refuses the capture.
+  EXPECT_FALSE((*tmpl)->CaptureSnapshot(/*max_image_bytes=*/1).ok());
+}
+
+// ------------------------------------------------------ visor lifecycle
+
+TEST(VisorSnapshotTest, CaptureCloneAndInvalidateWithCounters) {
+  FunctionRegistry::Global().Register(
+      "snap.rendezvous", [](FunctionContext& ctx) -> asbase::Status {
+        static std::atomic<int>* arrivals = nullptr;
+        if (ctx.params()["mode"].as_string() == "block") {
+          auto* gate = reinterpret_cast<std::atomic<int>*>(
+              static_cast<uintptr_t>(ctx.params()["gate"].as_int()));
+          gate->fetch_add(1);
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(5);
+          while (gate->load() < 2 &&
+                 std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+          }
+        }
+        (void)arrivals;
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+
+  const std::string wf = "snapwf";
+  const uint64_t creates0 =
+      CounterValue("alloy_visor_snapshot_creates_total", wf);
+  const uint64_t clones0 =
+      CounterValue("alloy_visor_snapshot_clones_total", wf);
+  const uint64_t fallbacks0 =
+      CounterValue("alloy_visor_snapshot_fallback_boots_total", wf);
+  const uint64_t invalidations0 =
+      CounterValue("alloy_visor_snapshot_invalidations_total", wf);
+
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = wf;
+  spec.stages.push_back(StageSpec{{FunctionSpec{"snap.rendezvous", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 2;
+  options.max_concurrency = 2;
+  visor.RegisterWorkflow(spec, options);
+
+  // First invocation: full boot (counts as a fallback — no template yet),
+  // then the post-reset capture freezes the template.
+  asbase::Json params;
+  params.Set("mode", "plain");
+  auto first = visor.Invoke(wf, params);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->clone_start);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_fallback_boots_total", wf),
+            fallbacks0 + 1);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_creates_total", wf),
+            creates0 + 1);
+
+  // Two concurrent invocations: one leases the parked WFD (warm), the
+  // other misses and must clone-boot from the template. The rendezvous
+  // keeps both in flight simultaneously so the miss is deterministic.
+  std::atomic<int> gate{0};
+  asbase::Json block_params;
+  block_params.Set("mode", "block");
+  block_params.Set("gate", static_cast<int64_t>(
+                               reinterpret_cast<uintptr_t>(&gate)));
+  asbase::Result<InvokeResult> r1 = asbase::Unavailable("unset");
+  asbase::Result<InvokeResult> r2 = asbase::Unavailable("unset");
+  std::thread t1([&] { r1 = visor.Invoke(wf, block_params); });
+  std::thread t2([&] { r2 = visor.Invoke(wf, block_params); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ((r1->clone_start ? 1 : 0) + (r2->clone_start ? 1 : 0), 1)
+      << "exactly one of the concurrent invocations should clone-boot";
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_clones_total", wf),
+            clones0 + 1);
+  const InvokeResult& cloned = r1->clone_start ? *r1 : *r2;
+  EXPECT_EQ(cloned.run.result, "ok");
+  EXPECT_EQ(cloned.module_load_nanos, 0)
+      << "clone boot must not pay module loads";
+
+  // Re-registration drops the template (counted) and the next miss falls
+  // back to a full boot, then re-captures.
+  visor.RegisterWorkflow(spec, options);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_invalidations_total", wf),
+            invalidations0 + 1);
+  auto after = visor.Invoke(wf, params);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->clone_start);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_clones_total", wf),
+            clones0 + 1)
+      << "an invalidated template must not serve clones";
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_fallback_boots_total", wf),
+            fallbacks0 + 2);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_creates_total", wf),
+            creates0 + 2);
+}
+
+TEST(VisorSnapshotTest, EnvKnobDisablesCapture) {
+  setenv("ALLOY_SNAPSHOT", "off", 1);
+  FunctionRegistry::Global().Register(
+      "snap.noop", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  const std::string wf = "snapoffwf";
+  const uint64_t creates0 =
+      CounterValue("alloy_visor_snapshot_creates_total", wf);
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = wf;
+  spec.stages.push_back(StageSpec{{FunctionSpec{"snap.noop", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 1;
+  visor.RegisterWorkflow(spec, options);
+  auto result = visor.Invoke(wf, asbase::Json{});
+  unsetenv("ALLOY_SNAPSHOT");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_creates_total", wf), creates0)
+      << "ALLOY_SNAPSHOT=off must disable capture";
+}
+
+TEST(VisorSnapshotTest, PoolLessWorkflowStillCapturesAndClones) {
+  // pool_size == 0 cold-starts every invocation — the configuration with
+  // the most to gain from snapshot-fork. The first invoke must still
+  // capture (on the destroy path, not the park path), and every later
+  // invoke must clone-boot.
+  FunctionRegistry::Global().Register(
+      "snap.poolless", [](FunctionContext& ctx) -> asbase::Status {
+        ctx.SetResult("ok");
+        return asbase::OkStatus();
+      });
+  const std::string wf = "snapnopool";
+  const uint64_t creates0 =
+      CounterValue("alloy_visor_snapshot_creates_total", wf);
+  const uint64_t clones0 =
+      CounterValue("alloy_visor_snapshot_clones_total", wf);
+  AsVisor visor;
+  WorkflowSpec spec;
+  spec.name = wf;
+  spec.stages.push_back(StageSpec{{FunctionSpec{"snap.poolless", 1}}});
+  AsVisor::WorkflowOptions options;
+  options.wfd = SmallWfd();
+  options.pool_size = 0;
+  visor.RegisterWorkflow(spec, options);
+
+  auto first = visor.Invoke(wf, asbase::Json{});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->clone_start);
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_creates_total", wf),
+            creates0 + 1);
+
+  for (int i = 0; i < 3; ++i) {
+    auto later = visor.Invoke(wf, asbase::Json{});
+    ASSERT_TRUE(later.ok()) << later.status().ToString();
+    EXPECT_TRUE(later->clone_start) << "pool-less invoke " << i;
+  }
+  EXPECT_EQ(CounterValue("alloy_visor_snapshot_clones_total", wf),
+            clones0 + 3);
+}
+
+// ----------------------------------------------------------- cell races
+
+TEST(SnapshotCellTest, ConcurrentCloneWhileSnapshotting) {
+  // Hammer the cell from readers (clone path), an invalidator
+  // (re-registration / reset failure), and capture attempts — the shape of
+  // the clone-while-snapshotting race, run under TSan in CI.
+  SnapshotCell cell;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots_seen{0};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        if (auto snap = cell.Get()) {
+          // A published snapshot must be fully formed.
+          snapshots_seen.fetch_add(snap->heap_bytes == (8u << 20) ? 1 : 0);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      cell.Invalidate();
+      std::this_thread::yield();
+    }
+  });
+  std::thread capturer([&] {
+    while (!stop.load()) {
+      if (cell.TryBeginCapture()) {
+        auto snapshot = std::make_shared<WfdSnapshot>();
+        snapshot->heap_bytes = 8u << 20;
+        cell.EndCapture(std::move(snapshot));
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+  invalidator.join();
+  capturer.join();
+  EXPECT_GT(snapshots_seen.load(), 0u);
+}
+
+}  // namespace
+}  // namespace alloy
